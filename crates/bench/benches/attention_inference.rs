@@ -1,0 +1,37 @@
+//! Criterion benches for attention inference with each softmax backend —
+//! the end-to-end software path the accuracy experiments exercise.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use softermax_transformer::attention::{
+    AttentionSoftmax, Base2Softmax, ExactSoftmax, MultiHeadAttention, SoftermaxAttention,
+};
+use softermax_transformer::tensor::Matrix;
+
+fn bench_attention_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mha_forward");
+    let backends: Vec<(&str, Arc<dyn AttentionSoftmax>)> = vec![
+        ("exact_base_e", Arc::new(ExactSoftmax)),
+        ("exact_base_2", Arc::new(Base2Softmax)),
+        ("softermax_fixed", Arc::new(SoftermaxAttention::paper())),
+    ];
+    for (name, backend) in backends {
+        for &seq in &[16usize, 64] {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut mha = MultiHeadAttention::new(32, 4, Arc::clone(&backend), &mut rng);
+            let x = Matrix::xavier(seq, 32, &mut rng);
+            group.bench_with_input(
+                BenchmarkId::new(name, seq),
+                &x,
+                |b, x| b.iter(|| mha.forward(x)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attention_backends);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Cross-implementation fidelity comparison (extends the paper's §II-C
+//! related-work discussion with measurements): exact softmax, the
+//! DesignWare FP16 baseline (functional, via `softermax-fp16`), a
+//! 256-entry software-only int-LUT softmax (the Prato/Lin class), and
+//! the fixed-point Softermax pipeline — error against the exact softmax
+//! of the same quantized inputs, plus each scheme's hardware posture.
+
+use softermax::baselines::LutSoftmax;
+use softermax::{metrics, reference, Softermax, SoftermaxConfig};
+use softermax_bench::{attention_scores, print_header};
+use softermax_fp16::softmax::softmax_fp16;
+
+const ROWS: usize = 60;
+const LEN: usize = 128;
+
+struct Fidelity {
+    max_err: f64,
+    kl: f64,
+    mass_err: f64,
+    top1: usize,
+}
+
+fn measure(f: impl Fn(&[f64]) -> Vec<f64>, base2_reference: bool) -> Fidelity {
+    let mut out = Fidelity {
+        max_err: 0.0,
+        kl: 0.0,
+        mass_err: 0.0,
+        top1: 0,
+    };
+    for r in 0..ROWS {
+        let scores = attention_scores(LEN, 2.5, 21_000 + r as u64);
+        let quantized: Vec<f64> = scores.iter().map(|v| (v * 4.0).round() / 4.0).collect();
+        let got = f(&quantized);
+        let want = if base2_reference {
+            reference::softmax_base2(&quantized).expect("non-empty")
+        } else {
+            reference::softmax(&quantized).expect("non-empty")
+        };
+        out.max_err = out.max_err.max(metrics::max_abs_error(&got, &want));
+        out.kl += metrics::kl_divergence_smoothed(&want, &got, 1.0 / 256.0) / ROWS as f64;
+        out.mass_err += metrics::mass_error(&got) / ROWS as f64;
+        out.top1 += usize::from(metrics::top1_agree(&got, &want));
+    }
+    out
+}
+
+fn main() {
+    println!("# Softmax implementation fidelity ({ROWS} calibrated rows of length {LEN})\n");
+    print_header(&[
+        "Implementation",
+        "MaxAbsErr",
+        "KL (smoothed)",
+        "MassErr",
+        "Top-1",
+        "Input passes",
+        "Hardware posture",
+    ]);
+
+    let fp16 = measure(|row| softmax_fp16(row).expect("non-empty"), false);
+    println!(
+        "| FP16 3-pass (DesignWare, functional) | {:.4} | {:.4} | {:.4} | {}/{ROWS} | 2 | FP16 exp SFU + divider |",
+        fp16.max_err, fp16.kl, fp16.mass_err, fp16.top1
+    );
+
+    let lut = LutSoftmax::new(0.25).expect("valid step");
+    let lut_f = measure(|row| lut.forward(row).expect("non-empty"), false);
+    println!(
+        "| int8 LUT softmax (software-only, 256 entries) | {:.4} | {:.4} | {:.4} | {}/{ROWS} | {} | no HW gain (paper §II-C) |",
+        lut_f.max_err,
+        lut_f.kl,
+        lut_f.mass_err,
+        lut_f.top1,
+        lut.input_passes()
+    );
+
+    let sm = Softermax::new(SoftermaxConfig::paper());
+    let sm_f = measure(|row| sm.forward(row).expect("non-empty"), true);
+    println!(
+        "| Softermax fixed-point (this paper) | {:.4} | {:.4} | {:.4} | {}/{ROWS} | 1 | 4-entry LUT + shifters |",
+        sm_f.max_err, sm_f.kl, sm_f.mass_err, sm_f.top1
+    );
+
+    println!();
+    println!("Reading: all three approximations keep top-1 agreement and small");
+    println!("elementwise error — accuracy does not separate them (which is why the");
+    println!("paper fine-tunes through its scheme and wins on hardware instead).");
+    println!("Only Softermax does it in one input pass with shift-only");
+    println!("renormalization; the LUT scheme still needs the explicit max pass and");
+    println!("a {}-entry table vs Softermax's 4+4 entries.", lut.entries());
+}

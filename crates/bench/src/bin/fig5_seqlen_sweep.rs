@@ -1,0 +1,54 @@
+//! Regenerates **Figure 5**: energy of a Softermax-based PE vs the
+//! DesignWare baseline for the SELF+Softmax workload as sequence length
+//! grows, for both 16-wide and 32-wide configurations.
+
+use softermax_bench::print_header;
+use softermax_hw::accel::Accelerator;
+use softermax_hw::pe::PeConfig;
+use softermax_hw::workload::AttentionShape;
+
+fn main() {
+    let seq_lens = [64usize, 128, 256, 384, 512, 1024, 2048, 4096];
+    println!("# Figure 5: PE energy for SELF+Softmax vs sequence length");
+    println!("# (BERT-Large head geometry: d_head 64, 16 heads)\n");
+    print_header(&[
+        "SeqLen",
+        "DW-16 (uJ)",
+        "SM-16 (uJ)",
+        "DW-32 (uJ)",
+        "SM-32 (uJ)",
+        "Improv-16",
+        "Improv-32",
+    ]);
+
+    let dw16 = Accelerator::baseline_default(PeConfig::paper_16(), 1);
+    let sm16 = Accelerator::softermax_default(PeConfig::paper_16(), 1);
+    let dw32 = Accelerator::baseline_default(PeConfig::paper_32(), 1);
+    let sm32 = Accelerator::softermax_default(PeConfig::paper_32(), 1);
+
+    let mut series = Vec::new();
+    for &n in &seq_lens {
+        let shape = AttentionShape::bert_large().with_seq_len(n);
+        let e_dw16 = dw16.self_softmax_energy(&shape).total_uj();
+        let e_sm16 = sm16.self_softmax_energy(&shape).total_uj();
+        let e_dw32 = dw32.self_softmax_energy(&shape).total_uj();
+        let e_sm32 = sm32.self_softmax_energy(&shape).total_uj();
+        println!(
+            "| {n} | {e_dw16:.2} | {e_sm16:.2} | {e_dw32:.2} | {e_sm32:.2} | {:.2}x | {:.2}x |",
+            e_dw16 / e_sm16,
+            e_dw32 / e_sm32
+        );
+        series.push(serde_json::json!({
+            "seq_len": n,
+            "dw16_uj": e_dw16, "sm16_uj": e_sm16,
+            "dw32_uj": e_dw32, "sm32_uj": e_sm32,
+        }));
+    }
+
+    println!("\nExpected shape (paper): Softermax starts lower and grows with a");
+    println!("shallower slope, so the gap widens with sequence length.");
+    println!(
+        "JSON: {}",
+        serde_json::json!({"experiment": "fig5", "series": series})
+    );
+}

@@ -1,0 +1,28 @@
+//! Regenerates **Table I**: the Softermax pipeline bitwidths, as encoded
+//! in `SoftermaxConfig::paper()`, cross-checked against the formats module
+//! of `softermax-fixed`.
+
+use softermax::SoftermaxConfig;
+use softermax_bench::print_header;
+
+fn main() {
+    let cfg = SoftermaxConfig::paper();
+    println!("# Table I: Summary of Softermax Bitwidths, Q(Int., Frac.)\n");
+    print_header(&["Inp.", "LocalMax", "Unnormed", "PowSum", "Recip.", "Outp."]);
+    println!(
+        "| {} | {} | {} | {} | {} | {} |",
+        cfg.input_format,
+        cfg.max_format,
+        cfg.unnormed_format,
+        cfg.pow_sum_format,
+        cfg.recip_format,
+        cfg.output_format
+    );
+    println!("\nPaper reference: Q(6,2) Q(6,2) Q(1,15) Q(10,6) Q(1,7) Q(1,7)");
+    println!("(unsigned stages are printed with a UQ prefix here; the paper's");
+    println!("notation leaves signedness implicit)");
+
+    println!("\nLPW segments: pow2 = {} (paper: 4), recip = {}", cfg.pow2_segments, cfg.recip_segments);
+    println!("Total pow2 LUT storage: {} bits (vs 64-128 *entries* in general-purpose hardware)",
+        softermax::pow2::Pow2Unit::paper().table().storage_bits());
+}

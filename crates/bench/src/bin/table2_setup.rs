@@ -1,0 +1,59 @@
+//! Regenerates **Table II**: the experimental setup — accelerator design
+//! parameters as encoded in `PeConfig::paper_16()/paper_32()` and the
+//! technology assumptions of the cost model.
+
+use softermax_bench::print_header;
+use softermax_hw::pe::PeConfig;
+use softermax_hw::tech::TechParams;
+
+fn main() {
+    let tech = TechParams::tsmc7_067v();
+    println!("# Table II: Experimental Setup\n");
+    println!("## Design parameters\n");
+    print_header(&["Parameter", "16-wide", "32-wide"]);
+    let p16 = PeConfig::paper_16();
+    let p32 = PeConfig::paper_32();
+    let rows: Vec<(&str, String, String)> = vec![
+        (
+            "Weight/Activation precision",
+            format!("{} bits", p16.weight_bits),
+            format!("{} bits", p32.weight_bits),
+        ),
+        (
+            "Accumulation precision",
+            format!("{} bits", p16.accum_bits),
+            format!("{} bits", p32.accum_bits),
+        ),
+        (
+            "VectorSize",
+            p16.vector_size.to_string(),
+            p32.vector_size.to_string(),
+        ),
+        ("NLanes", p16.n_lanes.to_string(), p32.n_lanes.to_string()),
+        (
+            "Input Buffer Size",
+            format!("{}KB", p16.input_buf_bytes / 1024),
+            format!("{}KB", p32.input_buf_bytes / 1024),
+        ),
+        (
+            "Weight Buffer Size",
+            format!("{}KB", p16.weight_buf_bytes / 1024),
+            format!("{}KB", p32.weight_buf_bytes / 1024),
+        ),
+        (
+            "Accumulation Collector Size",
+            format!("{}KB", p16.accum_buf_bytes / 1024),
+            format!("{}KB", p32.accum_buf_bytes / 1024),
+        ),
+    ];
+    for (name, a, b) in rows {
+        println!("| {name} | {a} | {b} |");
+    }
+    println!("\n## Technology (cost-model substitution for the paper's EDA flow)\n");
+    println!("Node: {} @ {} V", tech.node, tech.supply_v);
+    println!("NAND2 gate equivalent: {} um2, {} pJ/toggle", tech.ge_area_um2, tech.ge_energy_pj);
+    println!("SRAM: {} um2/bit, {} pJ/bit read", tech.sram_area_um2_per_bit, tech.sram_read_pj_per_bit);
+    println!("\nThe paper used Catapult HLS + Design Compiler + PT-PX on TSMC 7nm;");
+    println!("this reproduction prices both datapaths from the primitive constants");
+    println!("above (see crates/hw/src/tech.rs for provenance).");
+}

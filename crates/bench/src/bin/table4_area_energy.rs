@@ -1,0 +1,107 @@
+//! Regenerates **Table IV**: Softermax vs DesignWare-baseline area and
+//! energy, at the unit level and integrated into a 32-wide PE, for the
+//! SQuAD workload (sequence length 384).
+
+use softermax::SoftermaxConfig;
+use softermax_bench::{fmt_ratio, print_header};
+use softermax_hw::accel::Accelerator;
+use softermax_hw::pe::PeConfig;
+use softermax_hw::report::{Comparison, UnitReport};
+use softermax_hw::tech::TechParams;
+use softermax_hw::units::{
+    BaselineNormalizationUnit, BaselineUnnormedUnit, NormalizationUnit, UnnormedSoftmaxUnit,
+};
+use softermax_hw::workload::AttentionShape;
+
+const SEQ_LEN: usize = 384; // SQuAD, as in the paper
+
+fn main() {
+    let tech = TechParams::tsmc7_067v();
+    let cfg = SoftermaxConfig::paper();
+    let width = PeConfig::paper_32().softmax_width();
+
+    // --- Unnormed Softmax unit -----------------------------------------
+    let ours_u = UnnormedSoftmaxUnit::new(&tech, width, &cfg);
+    let base_u = BaselineUnnormedUnit::new(&tech, width);
+    let unnormed = Comparison {
+        name: "Unnormed Softmax Unit".to_string(),
+        softermax: UnitReport {
+            name: "softermax".into(),
+            area_um2: ours_u.area_um2(),
+            energy_pj: ours_u.energy_per_row_pj(SEQ_LEN),
+        },
+        baseline: UnitReport {
+            name: "designware fp16".into(),
+            area_um2: base_u.area_um2(),
+            energy_pj: base_u.energy_per_row_pj(SEQ_LEN),
+        },
+    };
+
+    // --- Normalization unit ---------------------------------------------
+    let ours_n = NormalizationUnit::new(&tech, &cfg);
+    let base_n = BaselineNormalizationUnit::new(&tech);
+    let norm = Comparison {
+        name: "Normalization Unit".to_string(),
+        softermax: UnitReport {
+            name: "softermax".into(),
+            area_um2: ours_n.area_um2(),
+            energy_pj: ours_n.energy_per_row_pj(SEQ_LEN),
+        },
+        baseline: UnitReport {
+            name: "designware fp16".into(),
+            area_um2: base_n.area_um2(),
+            energy_pj: base_n.energy_per_row_pj(SEQ_LEN),
+        },
+    };
+
+    // --- Full PE ----------------------------------------------------------
+    let shape = AttentionShape::bert_large().with_seq_len(SEQ_LEN);
+    let ours_accel = Accelerator::softermax_default(PeConfig::paper_32(), 1);
+    let base_accel = Accelerator::baseline_default(PeConfig::paper_32(), 1);
+    let full_pe = Comparison {
+        name: "Full PE".to_string(),
+        softermax: UnitReport {
+            name: "softermax".into(),
+            area_um2: ours_accel.pe().area_um2() + ours_accel.normalization_area_um2(),
+            energy_pj: ours_accel.self_softmax_energy(&shape).total_pj(),
+        },
+        baseline: UnitReport {
+            name: "designware fp16".into(),
+            area_um2: base_accel.pe().area_um2() + base_accel.normalization_area_um2(),
+            energy_pj: base_accel.self_softmax_energy(&shape).total_pj(),
+        },
+    };
+
+    println!("# Table IV: Softermax comparison to DesignWare-based softmax baseline");
+    println!("# Workload: SQuAD (seq len {SEQ_LEN}), 32-wide PE\n");
+    print_header(&["Unit", "Area ratio", "Energy ratio", "Energy improvement"]);
+    for c in [&unnormed, &norm, &full_pe] {
+        println!(
+            "| {} | {} | {} | {} |",
+            c.name,
+            fmt_ratio(c.area_ratio()),
+            fmt_ratio(c.energy_ratio()),
+            fmt_ratio(c.energy_improvement())
+        );
+    }
+    println!("\nPaper reference:");
+    println!("| Unnormed Softmax Unit | 0.25x | 0.10x | 9.53x |");
+    println!("| Normalization Unit    | 0.65x | 0.39x | 2.53x |");
+    println!("| Full PE               | 0.90x | 0.43x | 2.35x |");
+    println!("\nDetailed reports:\n");
+    for c in [&unnormed, &norm, &full_pe] {
+        println!("{c}\n");
+    }
+
+    // Machine-readable record for EXPERIMENTS.md.
+    let json = serde_json::json!({
+        "experiment": "table4",
+        "seq_len": SEQ_LEN,
+        "rows": [
+            {"name": "unnormed", "area_ratio": unnormed.area_ratio(), "energy_ratio": unnormed.energy_ratio()},
+            {"name": "normalization", "area_ratio": norm.area_ratio(), "energy_ratio": norm.energy_ratio()},
+            {"name": "full_pe", "area_ratio": full_pe.area_ratio(), "energy_ratio": full_pe.energy_ratio()},
+        ],
+    });
+    println!("JSON: {json}");
+}

@@ -1,0 +1,89 @@
+//! Shared harness utilities for regenerating the Softermax paper's tables
+//! and figures.
+//!
+//! Each table/figure has a dedicated binary in `src/bin/`:
+//!
+//! | Paper artifact | Binary |
+//! |---|---|
+//! | Figure 1 (runtime breakdown vs seq len) | `fig1_runtime_breakdown` |
+//! | Table I (bitwidths) | `table1_bitwidths` |
+//! | Table II (design parameters) | `table2_setup` |
+//! | Table III (accuracy) | `table3_accuracy` |
+//! | Table IV (area/energy ratios) | `table4_area_energy` |
+//! | Figure 5 (energy vs seq len sweep) | `fig5_seqlen_sweep` |
+//! | Ablations (design-choice sweeps) | `ablation_sweep` |
+//!
+//! Criterion benches for the software kernels live in `benches/`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a realistic attention-score row: calibrated-range Gaussian
+/// scores (most mass in [-8, 8], as produced by scaled dot-product
+/// attention after int8 quantization-aware training).
+///
+/// # Example
+///
+/// ```
+/// let row = softermax_bench::attention_scores(384, 2.5, 42);
+/// assert_eq!(row.len(), 384);
+/// assert!(row.iter().all(|v| v.abs() < 32.0));
+/// ```
+#[must_use]
+pub fn attention_scores(len: usize, std_dev: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            // Box-Muller from two uniforms; clamp into the Q(6,2) range.
+            let u1: f64 = rng.gen_range(1e-9..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (z * std_dev).clamp(-32.0, 31.75)
+        })
+        .collect()
+}
+
+/// Prints a markdown-style table row.
+pub fn print_row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a markdown-style table header with separator.
+pub fn print_header(cells: &[&str]) {
+    println!("| {} |", cells.join(" | "));
+    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+/// Formats a ratio as the paper does ("0.25x").
+#[must_use]
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scores_are_deterministic_and_bounded() {
+        let a = attention_scores(100, 3.0, 7);
+        let b = attention_scores(100, 3.0, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| (-32.0..=31.75).contains(v)));
+    }
+
+    #[test]
+    fn scores_have_roughly_requested_spread() {
+        let xs = attention_scores(10_000, 2.0, 11);
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var: f64 = xs.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.2, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(fmt_ratio(0.25), "0.25x");
+        assert_eq!(fmt_ratio(2.349), "2.35x");
+    }
+}

@@ -1,0 +1,244 @@
+//! Command parsing and dispatch for the `softermax` CLI.
+
+use softermax::baselines::LutSoftmax;
+use softermax::{metrics, online, reference, Softermax, SoftermaxConfig};
+use softermax_fp16::softmax::softmax_fp16;
+use softermax_hw::accel::Accelerator;
+use softermax_hw::pe::PeConfig;
+use softermax_hw::workload::AttentionShape;
+
+/// Usage text printed on errors.
+pub const USAGE: &str = "usage:
+  softermax softmax [--backend <name>] <score>...   compute one softmax row
+  softermax compare <score>...                      all backends side by side
+  softermax hw [--width 16|32] [--seq N]            hardware comparison report
+  softermax config                                  print the paper configuration
+
+backends: exact | base2 | online | intmax | fp16 | lut | softermax (default)";
+
+/// Parses and executes one CLI invocation.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands, bad flags or
+/// unparsable scores.
+pub fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("softmax") => cmd_softmax(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("hw") => cmd_hw(&args[1..]),
+        Some("config") => {
+            cmd_config();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'")),
+        None => Err("no command given".to_string()),
+    }
+}
+
+fn parse_scores(args: &[String]) -> Result<Vec<f64>, String> {
+    if args.is_empty() {
+        return Err("no scores given".to_string());
+    }
+    args.iter()
+        .map(|a| {
+            a.parse::<f64>()
+                .map_err(|_| format!("'{a}' is not a number"))
+        })
+        .collect()
+}
+
+fn eval_backend(name: &str, scores: &[f64]) -> Result<Vec<f64>, String> {
+    let err = |e: softermax::SoftmaxError| e.to_string();
+    match name {
+        "exact" => reference::softmax(scores).map_err(err),
+        "base2" => reference::softmax_base2(scores).map_err(err),
+        "online" => online::online_softmax_base2(scores).map_err(err),
+        "intmax" => online::online_softmax_intmax(scores).map_err(err),
+        "fp16" => softmax_fp16(scores).ok_or_else(|| "empty input".to_string()),
+        "lut" => LutSoftmax::new(0.25)
+            .map_err(err)?
+            .forward(scores)
+            .map_err(err),
+        "softermax" => Softermax::new(SoftermaxConfig::paper())
+            .forward(scores)
+            .map_err(err),
+        other => Err(format!("unknown backend '{other}'")),
+    }
+}
+
+fn cmd_softmax(args: &[String]) -> Result<(), String> {
+    let (backend, rest) = match args.first().map(String::as_str) {
+        Some("--backend") => {
+            let name = args
+                .get(1)
+                .ok_or_else(|| "--backend needs a value".to_string())?;
+            (name.clone(), &args[2..])
+        }
+        _ => ("softermax".to_string(), args),
+    };
+    let scores = parse_scores(rest)?;
+    let probs = eval_backend(&backend, &scores)?;
+    println!(
+        "{}",
+        serde_json::json!({ "backend": backend, "scores": scores, "probs": probs })
+    );
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let scores = parse_scores(args)?;
+    let reference = reference::softmax_base2(&scores).map_err(|e| e.to_string())?;
+    println!("{:<12} {}", "backend", "probabilities");
+    for backend in ["exact", "base2", "online", "intmax", "fp16", "lut", "softermax"] {
+        let probs = eval_backend(backend, &scores)?;
+        let tag = if backend == "exact" || backend == "fp16" || backend == "lut" {
+            // These use base e; compare against their own family below.
+            String::new()
+        } else {
+            format!(
+                "  (max |Δ| vs base-2 reference: {:.4})",
+                metrics::max_abs_error(&probs, &reference)
+            )
+        };
+        let rendered: Vec<String> = probs.iter().map(|p| format!("{p:.4}")).collect();
+        println!("{backend:<12} [{}]{tag}", rendered.join(", "));
+    }
+    Ok(())
+}
+
+fn cmd_hw(args: &[String]) -> Result<(), String> {
+    let mut width = 32usize;
+    let mut seq = 384usize;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--width" => {
+                width = it
+                    .next()
+                    .ok_or_else(|| "--width needs a value".to_string())?
+                    .parse()
+                    .map_err(|_| "--width must be 16 or 32".to_string())?;
+            }
+            "--seq" => {
+                seq = it
+                    .next()
+                    .ok_or_else(|| "--seq needs a value".to_string())?
+                    .parse()
+                    .map_err(|_| "--seq must be a positive integer".to_string())?;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    let pe = match width {
+        16 => PeConfig::paper_16(),
+        32 => PeConfig::paper_32(),
+        _ => return Err("--width must be 16 or 32".to_string()),
+    };
+    if seq == 0 {
+        return Err("--seq must be positive".to_string());
+    }
+    let ours = Accelerator::softermax_default(pe.clone(), 1);
+    let theirs = Accelerator::baseline_default(pe, 1);
+    let shape = AttentionShape::bert_large().with_seq_len(seq);
+    let a = ours.self_softmax_energy(&shape);
+    let b = theirs.self_softmax_energy(&shape);
+    println!(
+        "{}",
+        serde_json::json!({
+            "width": width,
+            "seq_len": seq,
+            "softermax": {
+                "pe_area_um2": ours.pe().area_um2(),
+                "self_softmax_energy_uj": a.total_uj(),
+                "softmax_fraction": a.softmax_fraction(),
+            },
+            "designware_baseline": {
+                "pe_area_um2": theirs.pe().area_um2(),
+                "self_softmax_energy_uj": b.total_uj(),
+                "softmax_fraction": b.softmax_fraction(),
+            },
+            "energy_improvement": b.total_pj() / a.total_pj(),
+            "area_ratio": ours.pe().area_um2() / theirs.pe().area_um2(),
+        })
+    );
+    Ok(())
+}
+
+fn cmd_config() {
+    let cfg = SoftermaxConfig::paper();
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&cfg).expect("config serializes")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| (*a).to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn softmax_default_backend_works() {
+        assert!(run(&s(&["softmax", "2", "1", "3"])).is_ok());
+    }
+
+    #[test]
+    fn softmax_all_backends_work() {
+        for b in ["exact", "base2", "online", "intmax", "fp16", "lut", "softermax"] {
+            assert!(
+                run(&s(&["softmax", "--backend", b, "1.5", "-0.5", "0.25"])).is_ok(),
+                "backend {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_rejects_bad_input() {
+        assert!(run(&s(&["softmax", "two"])).is_err());
+        assert!(run(&s(&["softmax"])).is_err());
+        assert!(run(&s(&["softmax", "--backend", "nope", "1"])).is_err());
+        assert!(run(&s(&["softmax", "--backend"])).is_err());
+    }
+
+    #[test]
+    fn compare_works() {
+        assert!(run(&s(&["compare", "2", "1", "3"])).is_ok());
+    }
+
+    #[test]
+    fn hw_flags_parse() {
+        assert!(run(&s(&["hw"])).is_ok());
+        assert!(run(&s(&["hw", "--width", "16", "--seq", "128"])).is_ok());
+        assert!(run(&s(&["hw", "--width", "8"])).is_err());
+        assert!(run(&s(&["hw", "--seq", "0"])).is_err());
+        assert!(run(&s(&["hw", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn config_prints() {
+        assert!(run(&s(&["config"])).is_ok());
+    }
+
+    #[test]
+    fn backend_outputs_agree_on_worked_example() {
+        let scores = [2.0, 1.0, 3.0];
+        let want = eval_backend("base2", &scores).unwrap();
+        for b in ["online", "intmax", "softermax"] {
+            let got = eval_backend(b, &scores).unwrap();
+            assert!(
+                metrics::max_abs_error(&got, &want) < 0.02,
+                "backend {b} diverged"
+            );
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! `softermax` — command-line interface to the reproduction.
+//!
+//! ```text
+//! softermax softmax  [--backend exact|base2|online|fp16|lut|softermax] 2 1 3
+//! softermax compare  2 1 3            # all backends side by side
+//! softermax hw       [--width 16|32] [--seq 384]
+//! softermax config                    # print the paper configuration
+//! ```
+
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Software-only quantized softmax baselines from the related work.
+//!
+//! The paper's §II-C surveys software-only softmax quantization (Prato et
+//! al., Lin et al.): the math is integer, but on real hardware the
+//! exponential/division still run on full-precision units, so there is no
+//! performance gain — sometimes a *loss* from casting. [`LutSoftmax`]
+//! reproduces that class of scheme functionally: a 256-entry `e^-x` LUT
+//! over int8-quantized inputs with an explicit max pass, so the accuracy
+//! experiments can compare Softermax against the strongest software-only
+//! alternative while `softermax-hw` shows why it buys no hardware.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, SoftmaxError};
+
+/// A 256-entry LUT-based integer softmax (software-only quantization).
+///
+/// Pipeline: explicit max pass → `idx = round((max - x)/step)` clamped to
+/// 255 → `e^(-idx·step)` from the LUT in Q0.16 → 32-bit integer sum →
+/// per-element integer division to 16-bit probabilities.
+///
+/// # Example
+///
+/// ```
+/// use softermax::baselines::LutSoftmax;
+///
+/// let lut = LutSoftmax::new(0.25)?;
+/// let p = lut.forward(&[2.0, 1.0, 3.0])?;
+/// assert!((p.iter().sum::<f64>() - 1.0).abs() < 0.01);
+/// # Ok::<(), softermax::SoftmaxError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LutSoftmax {
+    table: Vec<u32>,
+    step: f64,
+}
+
+/// Fraction bits of the LUT entries (Q0.16).
+const LUT_FRAC_BITS: u32 = 16;
+
+impl LutSoftmax {
+    /// Builds the LUT for an input quantization step (e.g. 0.25 for int8
+    /// attention scores scaled like the paper's Q(6,2) inputs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SoftmaxError::InvalidConfig`] if `step` is not a positive
+    /// finite number.
+    pub fn new(step: f64) -> Result<Self> {
+        if !(step.is_finite() && step > 0.0) {
+            return Err(SoftmaxError::InvalidConfig(format!(
+                "LUT step must be positive and finite, got {step}"
+            )));
+        }
+        let scale = f64::from(1u32 << LUT_FRAC_BITS);
+        let table = (0..256)
+            .map(|i| ((-(i as f64) * step).exp() * scale).round() as u32)
+            .collect();
+        Ok(Self { table, step })
+    }
+
+    /// The input quantization step.
+    #[must_use]
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// Number of LUT entries (256 — the size class the paper contrasts
+    /// with its own 4-segment tables).
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Total LUT storage in bits.
+    #[must_use]
+    pub fn storage_bits(&self) -> u32 {
+        self.table.len() as u32 * (LUT_FRAC_BITS + 1)
+    }
+
+    /// Three-pass integer softmax.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SoftmaxError::EmptyInput`] for an empty row.
+    pub fn forward(&self, row: &[f64]) -> Result<Vec<f64>> {
+        if row.is_empty() {
+            return Err(SoftmaxError::EmptyInput);
+        }
+        // Pass 1: explicit max (already on the quantized grid).
+        let max = row
+            .iter()
+            .map(|&v| (v / self.step).round() * self.step)
+            .fold(f64::NEG_INFINITY, f64::max);
+        // Pass 2: LUT exponentials and integer sum.
+        let exps: Vec<u32> = row
+            .iter()
+            .map(|&v| {
+                let q = (v / self.step).round() * self.step;
+                let idx = ((max - q) / self.step).round().clamp(0.0, 255.0) as usize;
+                self.table[idx]
+            })
+            .collect();
+        let sum: u64 = exps.iter().map(|&e| u64::from(e)).sum();
+        if sum == 0 {
+            return Err(SoftmaxError::DivisionByZero);
+        }
+        // Pass 3: integer division to 16-bit probabilities.
+        Ok(exps
+            .iter()
+            .map(|&e| {
+                let p16 = (u64::from(e) << LUT_FRAC_BITS) / sum;
+                p16 as f64 / f64::from(1u32 << LUT_FRAC_BITS)
+            })
+            .collect())
+    }
+
+    /// The number of passes this scheme makes over its input — still two
+    /// data passes plus a division pass, because it keeps the explicit
+    /// max: the latency/memory overhead Softermax's online normalization
+    /// removes.
+    #[must_use]
+    pub fn input_passes(&self) -> u32 {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{metrics, reference};
+
+    #[test]
+    fn rejects_bad_step() {
+        assert!(LutSoftmax::new(0.0).is_err());
+        assert!(LutSoftmax::new(-1.0).is_err());
+        assert!(LutSoftmax::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn empty_row_is_an_error() {
+        let lut = LutSoftmax::new(0.25).unwrap();
+        assert_eq!(lut.forward(&[]), Err(SoftmaxError::EmptyInput));
+    }
+
+    #[test]
+    fn tracks_exact_softmax_closely() {
+        let lut = LutSoftmax::new(0.25).unwrap();
+        let rows: [&[f64]; 3] = [
+            &[2.0, 1.0, 3.0],
+            &[0.5, -2.25, 1.75, 0.0],
+            &[8.0, 7.75, -8.0, 0.25, 3.5],
+        ];
+        for row in rows {
+            let got = lut.forward(row).unwrap();
+            let quantized: Vec<f64> = row.iter().map(|&v| (v * 4.0).round() / 4.0).collect();
+            let want = reference::softmax(&quantized).unwrap();
+            assert!(
+                metrics::max_abs_error(&got, &want) < 0.01,
+                "row {row:?}: err {}",
+                metrics::max_abs_error(&got, &want)
+            );
+        }
+    }
+
+    #[test]
+    fn mass_is_close_to_one() {
+        let lut = LutSoftmax::new(0.25).unwrap();
+        let p = lut.forward(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert!(metrics::mass_error(&p) < 0.01);
+    }
+
+    #[test]
+    fn deep_tail_saturates_at_lut_end() {
+        let lut = LutSoftmax::new(0.25).unwrap();
+        // max - x = 100 >> 255*0.25: index clamps, prob ~ e^-63.75 ≈ 0.
+        let p = lut.forward(&[0.0, -100.0]).unwrap();
+        assert!(p[0] > 0.99);
+        assert!(p[1] < 1e-9);
+    }
+
+    #[test]
+    fn storage_dwarfs_softermax_tables() {
+        // 256 entries × 17 bits vs Softermax's 128 bits of pow2 LUT.
+        let lut = LutSoftmax::new(0.25).unwrap();
+        assert_eq!(lut.entries(), 256);
+        assert!(lut.storage_bits() > 30 * 128);
+    }
+
+    #[test]
+    fn still_needs_two_input_passes() {
+        assert_eq!(LutSoftmax::new(0.25).unwrap().input_passes(), 2);
+    }
+}

@@ -1,0 +1,45 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the softmax implementations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SoftmaxError {
+    /// Softmax of an empty vector is undefined.
+    EmptyInput,
+    /// A configuration value is inconsistent (message explains which).
+    InvalidConfig(String),
+    /// The accumulated normalizer was zero, so no reciprocal exists.
+    DivisionByZero,
+}
+
+impl fmt::Display for SoftmaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SoftmaxError::EmptyInput => write!(f, "softmax input is empty"),
+            SoftmaxError::InvalidConfig(msg) => write!(f, "invalid softmax configuration: {msg}"),
+            SoftmaxError::DivisionByZero => write!(f, "normalizer is zero, reciprocal undefined"),
+        }
+    }
+}
+
+impl Error for SoftmaxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(SoftmaxError::EmptyInput.to_string(), "softmax input is empty");
+        assert!(SoftmaxError::InvalidConfig("slice width 0".into())
+            .to_string()
+            .contains("slice width 0"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SoftmaxError>();
+    }
+}

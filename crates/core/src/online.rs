@@ -1,0 +1,394 @@
+//! Online normalizer calculation for softmax (Milakov & Gimelshein, 2018),
+//! plus the Softermax modification that makes it hardware-friendly.
+//!
+//! The classic numerically-stable softmax needs an extra pass over the
+//! input just to find the maximum. The online algorithm fuses that pass
+//! into the exponential/summation pass by keeping a *running* maximum `m`
+//! and running sum `d`; whenever a new maximum appears, the sum accumulated
+//! so far is renormalized by `b^(m_old - m_new)`:
+//!
+//! ```text
+//! m_new = max(m, x_i)
+//! d     = d * b^(m - m_new) + b^(x_i - m_new)
+//! ```
+//!
+//! Softermax's co-design tweak ([`OnlineNormalizer::with_integer_max`])
+//! replaces `max` with an *integer* max (`max(m, ceil(x_i))`), so with base
+//! `b = 2` the renormalization factor `2^(m_old - m_new)` always has an
+//! integer exponent and the multiply becomes a bare shift in hardware.
+//!
+//! This module is the full-precision (`f64`) model of those recurrences;
+//! the bit-accurate fixed-point pipeline lives in [`crate::softermax`].
+
+use crate::{Result, SoftmaxError};
+
+/// Running state of the online softmax normalizer.
+///
+/// Feed values with [`push`](Self::push) (or slices with
+/// [`extend`](Self::extend)); read the running maximum and normalizer at any
+/// time; call [`finalize`](Self::finalize) against the stored inputs to
+/// produce probabilities in a single extra pass.
+///
+/// # Example
+///
+/// ```
+/// use softermax::online::OnlineNormalizer;
+///
+/// let x = [2.0, 1.0, 3.0];
+/// let mut norm = OnlineNormalizer::base2();
+/// norm.extend(x.iter().copied());
+/// // The worked example from the paper: d = 2^-1 + 2^-2 + 2^0 = 1.75.
+/// assert_eq!(norm.normalizer(), 1.75);
+/// assert_eq!(norm.running_max(), 3.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineNormalizer {
+    base: f64,
+    ln_base: f64,
+    integer_max: bool,
+    running_max: f64,
+    normalizer: f64,
+    count: usize,
+}
+
+impl OnlineNormalizer {
+    /// Creates an online normalizer for base-*e* softmax (the original
+    /// Milakov–Gimelshein formulation).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_base(std::f64::consts::E)
+    }
+
+    /// Creates an online normalizer for base-2 softmax.
+    #[must_use]
+    pub fn base2() -> Self {
+        Self::with_base(2.0)
+    }
+
+    /// Creates an online normalizer with an arbitrary base `b > 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not a finite number greater than 1.
+    #[must_use]
+    pub fn with_base(b: f64) -> Self {
+        assert!(b.is_finite() && b > 1.0, "base must be finite and > 1");
+        Self {
+            base: b,
+            ln_base: b.ln(),
+            integer_max: false,
+            running_max: f64::NEG_INFINITY,
+            normalizer: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Switches the running max to the Softermax *integer* max: the running
+    /// maximum only ever takes values `ceil(x_i)`, so every renormalization
+    /// exponent is an integer (a shift, in base-2 hardware).
+    #[must_use]
+    pub fn with_integer_max(mut self) -> Self {
+        self.integer_max = true;
+        self
+    }
+
+    /// The softmax base this normalizer uses.
+    #[must_use]
+    pub fn base(&self) -> f64 {
+        self.base
+    }
+
+    /// Whether the integer-max co-design modification is active.
+    #[must_use]
+    pub fn uses_integer_max(&self) -> bool {
+        self.integer_max
+    }
+
+    /// The current running maximum (`-inf` before any value is pushed).
+    #[must_use]
+    pub fn running_max(&self) -> f64 {
+        self.running_max
+    }
+
+    /// The current normalizer `d = Σ b^(x_i - running_max)`.
+    #[must_use]
+    pub fn normalizer(&self) -> f64 {
+        self.normalizer
+    }
+
+    /// Number of values absorbed so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether any value has been absorbed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    fn pow(&self, e: f64) -> f64 {
+        (e * self.ln_base).exp()
+    }
+
+    /// Absorbs one value, updating the running max and renormalizing the
+    /// running sum if the max changed.
+    pub fn push(&mut self, x: f64) {
+        let candidate = if self.integer_max { x.ceil() } else { x };
+        let new_max = self.running_max.max(candidate);
+        // b^(m_old - m_new) is 1.0 when the max is unchanged; the explicit
+        // branch also handles the initial -inf max without producing NaN.
+        if new_max > self.running_max {
+            if self.running_max.is_finite() {
+                self.normalizer *= self.pow(self.running_max - new_max);
+            }
+            self.running_max = new_max;
+        }
+        self.normalizer += self.pow(x - self.running_max);
+        self.count += 1;
+    }
+
+    /// Absorbs a sequence of values.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.push(v);
+        }
+    }
+
+    /// Merges another normalizer into this one (the Reduction-unit step:
+    /// combine a slice-local max/sum pair with the running row state).
+    ///
+    /// Both sides must use the same base and max mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bases or max modes differ.
+    pub fn merge(&mut self, other: &OnlineNormalizer) {
+        assert_eq!(self.base, other.base, "cannot merge different bases");
+        assert_eq!(
+            self.integer_max, other.integer_max,
+            "cannot merge different max modes"
+        );
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let new_max = self.running_max.max(other.running_max);
+        self.normalizer = self.normalizer * self.pow(self.running_max - new_max)
+            + other.normalizer * self.pow(other.running_max - new_max);
+        self.running_max = new_max;
+        self.count += other.count;
+    }
+
+    /// Produces the final probabilities for the values that built this
+    /// normalizer (a second pass over the caller-retained inputs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SoftmaxError::EmptyInput`] when no value was pushed, or
+    /// when `x` is inconsistent with the number of pushed values.
+    pub fn finalize(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if self.count == 0 || x.len() != self.count {
+            return Err(SoftmaxError::EmptyInput);
+        }
+        Ok(x.iter()
+            .map(|&v| self.pow(v - self.running_max) / self.normalizer)
+            .collect())
+    }
+}
+
+impl Default for OnlineNormalizer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot online softmax: single pass for max+normalizer, one more for the
+/// division — two passes total, versus three for the classic stable softmax.
+///
+/// # Errors
+///
+/// Returns [`SoftmaxError::EmptyInput`] when `x` is empty.
+///
+/// # Example
+///
+/// ```
+/// let x = [0.3, -1.2, 4.0, 0.3];
+/// let online = softermax::online::online_softmax(&x)?;
+/// let reference = softermax::reference::softmax(&x)?;
+/// for (a, b) in online.iter().zip(&reference) {
+///     assert!((a - b).abs() < 1e-12);
+/// }
+/// # Ok::<(), softermax::SoftmaxError>(())
+/// ```
+pub fn online_softmax(x: &[f64]) -> Result<Vec<f64>> {
+    let mut n = OnlineNormalizer::new();
+    n.extend(x.iter().copied());
+    n.finalize(x)
+}
+
+/// One-shot base-2 online softmax (the middle algorithm of the paper's
+/// Figure 3).
+///
+/// # Errors
+///
+/// Returns [`SoftmaxError::EmptyInput`] when `x` is empty.
+pub fn online_softmax_base2(x: &[f64]) -> Result<Vec<f64>> {
+    let mut n = OnlineNormalizer::base2();
+    n.extend(x.iter().copied());
+    n.finalize(x)
+}
+
+/// One-shot base-2 online softmax with the Softermax integer max (the
+/// right-hand algorithm of the paper's Figure 3, in full precision).
+///
+/// Note the output still sums to 1 exactly: using `ceil` for the *reference
+/// point* changes only the intermediate representation, not the final ratio.
+///
+/// # Errors
+///
+/// Returns [`SoftmaxError::EmptyInput`] when `x` is empty.
+pub fn online_softmax_intmax(x: &[f64]) -> Result<Vec<f64>> {
+    let mut n = OnlineNormalizer::base2().with_integer_max();
+    n.extend(x.iter().copied());
+    n.finalize(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        // Processing [2, 1, 3] in base 2 (paper §III-C): after the first two
+        // elements d = 1.5 with max 2; the new max 3 renormalizes to
+        // d = 1.5 * 2^-1 + 2^0 = 1.75.
+        let mut n = OnlineNormalizer::base2();
+        n.push(2.0);
+        assert_eq!(n.normalizer(), 1.0);
+        n.push(1.0);
+        assert_eq!(n.normalizer(), 1.5);
+        n.push(3.0);
+        assert_eq!(n.normalizer(), 1.75);
+        assert_eq!(n.running_max(), 3.0);
+    }
+
+    #[test]
+    fn online_matches_three_pass_base_e() {
+        let x = [0.4, -2.0, 1.7, 1.69, -0.1, 3.3];
+        assert_close(
+            &online_softmax(&x).unwrap(),
+            &reference::softmax(&x).unwrap(),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn online_matches_three_pass_base_2() {
+        let x = [5.0, 4.0, -31.0, 0.0, 4.99];
+        assert_close(
+            &online_softmax_base2(&x).unwrap(),
+            &reference::softmax_base2(&x).unwrap(),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn integer_max_does_not_change_the_distribution() {
+        let x = [0.3, -1.2, 4.6, 0.2, 2.9];
+        assert_close(
+            &online_softmax_intmax(&x).unwrap(),
+            &reference::softmax_base2(&x).unwrap(),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn integer_max_keeps_renorm_exponent_integral() {
+        // With integer max, the running max is always integral, so
+        // (old - new) is always an integer — the shifter guarantee.
+        let mut n = OnlineNormalizer::base2().with_integer_max();
+        for &v in &[0.25, -3.75, 2.5, 2.75, 7.25] {
+            n.push(v);
+            assert_eq!(n.running_max().fract(), 0.0);
+        }
+    }
+
+    #[test]
+    fn descending_input_never_renormalizes() {
+        let mut n = OnlineNormalizer::base2();
+        n.push(5.0);
+        let d1 = n.normalizer();
+        n.push(4.0);
+        // No new max: old contribution unchanged.
+        assert_eq!(n.normalizer(), d1 + 2f64.powf(-1.0));
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let x = [0.1, 3.0, -2.0, 7.5, 7.4, 0.0, 1.0, 2.0];
+        let mut seq = OnlineNormalizer::base2();
+        seq.extend(x.iter().copied());
+
+        let mut left = OnlineNormalizer::base2();
+        left.extend(x[..3].iter().copied());
+        let mut right = OnlineNormalizer::base2();
+        right.extend(x[3..].iter().copied());
+        left.merge(&right);
+
+        assert!((left.normalizer() - seq.normalizer()).abs() < 1e-12);
+        assert_eq!(left.running_max(), seq.running_max());
+        assert_eq!(left.len(), seq.len());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineNormalizer::base2();
+        a.extend([1.0, 2.0]);
+        let before = a.normalizer();
+        a.merge(&OnlineNormalizer::base2());
+        assert_eq!(a.normalizer(), before);
+
+        let mut empty = OnlineNormalizer::base2();
+        let b = a.clone();
+        empty.merge(&b);
+        assert_eq!(empty.normalizer(), a.normalizer());
+    }
+
+    #[test]
+    fn finalize_checks_length() {
+        let mut n = OnlineNormalizer::new();
+        n.extend([1.0, 2.0]);
+        assert!(n.finalize(&[1.0]).is_err());
+        assert!(n.finalize(&[1.0, 2.0]).is_ok());
+        let empty = OnlineNormalizer::new();
+        assert_eq!(empty.finalize(&[]), Err(SoftmaxError::EmptyInput));
+    }
+
+    #[test]
+    fn handles_extreme_ranges_without_overflow() {
+        let x = [1000.0, -1000.0, 999.5];
+        let p = online_softmax(&x).unwrap();
+        assert!(p.iter().all(|v| v.is_finite()));
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_base_e() {
+        let n = OnlineNormalizer::default();
+        assert_eq!(n.base(), std::f64::consts::E);
+        assert!(!n.uses_integer_max());
+    }
+}

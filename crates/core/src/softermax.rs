@@ -1,0 +1,579 @@
+//! The complete Softermax algorithm (paper Figure 3, right-hand column).
+//!
+//! [`Softermax`] owns the fixed-point units; [`SoftermaxAccumulator`]
+//! mirrors the hardware's streaming operation: input vectors are consumed
+//! in slices (the Unnormed Softmax unit), a running integer max and running
+//! power sum are maintained with shift-based renormalization (the Reduction
+//! unit), and a final pass renormalizes every stored numerator and divides
+//! by the accumulated sum (the Normalization unit).
+
+use serde::{Deserialize, Serialize};
+use softermax_fixed::{Fixed, QFormat, Rounding};
+
+use crate::config::{Base, MaxMode, SoftermaxConfig};
+use crate::pow2::Pow2Unit;
+use crate::recip::{apply_reciprocal, RecipUnit, Reciprocal};
+use crate::{Result, SoftmaxError};
+
+/// The Softermax operator: configuration plus the two fixed-point
+/// function units it is built from.
+///
+/// # Example
+///
+/// ```
+/// use softermax::{Softermax, SoftermaxConfig};
+///
+/// let sm = Softermax::new(SoftermaxConfig::paper());
+/// let probs = sm.forward(&[2.0, 1.0, 3.0])?;
+/// // Base-2 softmax of [2,1,3] is [2/7, 1/7, 4/7] ≈ [0.286, 0.143, 0.571].
+/// assert!((probs[2] - 4.0 / 7.0).abs() < 0.02);
+/// # Ok::<(), softermax::SoftmaxError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Softermax {
+    config: SoftermaxConfig,
+    pow2: Pow2Unit,
+    recip: RecipUnit,
+    log2_e: Fixed,
+}
+
+impl Softermax {
+    /// Builds the operator from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use
+    /// [`SoftermaxConfig::validate`] (or the builder) to check first.
+    #[must_use]
+    pub fn new(config: SoftermaxConfig) -> Self {
+        config
+            .validate()
+            .expect("invalid SoftermaxConfig passed to Softermax::new");
+        let pow2 = Pow2Unit::new(config.pow2_segments, config.unnormed_format);
+        let recip = RecipUnit::new(config.recip_segments, config.recip_format);
+        // log2(e) ≈ 1.4427, carried at 15 fractional bits for the base-e
+        // pre-scale multiplier (ablation path).
+        let log2_e = Fixed::from_f64(
+            std::f64::consts::LOG2_E,
+            QFormat::unsigned(2, 14),
+            Rounding::Nearest,
+        );
+        Self {
+            config,
+            pow2,
+            recip,
+            log2_e,
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &SoftermaxConfig {
+        &self.config
+    }
+
+    /// The Power-of-Two unit.
+    #[must_use]
+    pub fn pow2_unit(&self) -> &Pow2Unit {
+        &self.pow2
+    }
+
+    /// The reciprocal unit.
+    #[must_use]
+    pub fn recip_unit(&self) -> &RecipUnit {
+        &self.recip
+    }
+
+    /// Starts a streaming accumulation (one attention row).
+    #[must_use]
+    pub fn accumulator(&self) -> SoftermaxAccumulator<'_> {
+        SoftermaxAccumulator {
+            sm: self,
+            running_max: None,
+            running_sum: Fixed::zero(self.config.pow_sum_format),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Softmax over real-valued scores: quantize to the input format, run
+    /// the fixed-point pipeline, dequantize the probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SoftmaxError::EmptyInput`] for an empty row and
+    /// [`SoftmaxError::DivisionByZero`] if the accumulated sum underflows
+    /// to zero (cannot happen for in-range inputs).
+    pub fn forward(&self, row: &[f64]) -> Result<Vec<f64>> {
+        let quantized: Vec<Fixed> = row
+            .iter()
+            .map(|&v| Fixed::from_f64(v, self.config.input_format, Rounding::Nearest))
+            .collect();
+        Ok(self.forward_fixed(&quantized)?.probs_f64())
+    }
+
+    /// Softmax over already-quantized scores, exposing the intermediate
+    /// results (running max, power sum, reciprocal) alongside the output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SoftmaxError::EmptyInput`] for an empty row and
+    /// [`SoftmaxError::DivisionByZero`] if the accumulated sum is zero.
+    pub fn forward_fixed(&self, row: &[Fixed]) -> Result<SoftermaxRowOutput> {
+        let mut acc = self.accumulator();
+        acc.extend(row.iter().copied());
+        acc.finalize()
+    }
+
+    /// Pre-scales an input by `log2(e)` when the base-e ablation is active.
+    fn prescale(&self, x: Fixed) -> Fixed {
+        match self.config.base {
+            Base::Two => x.requantize(self.config.input_format, Rounding::Nearest),
+            Base::E => x.mul_into(self.log2_e, self.config.input_format, Rounding::Nearest),
+        }
+    }
+
+    /// The max-candidate for one element: `ceil(x)` under the integer-max
+    /// co-design, the raw value otherwise.
+    fn max_candidate(&self, x: Fixed) -> Fixed {
+        let m = x.requantize(self.config.max_format, Rounding::Nearest);
+        match self.config.max_mode {
+            MaxMode::Integer => m.ceil(),
+            MaxMode::Float => m,
+        }
+    }
+
+    /// Renormalizes `v` by `2^-d` for `d >= 0`. Under the integer max this
+    /// is a single right shift; under the float-max ablation the fractional
+    /// part needs an extra LPW lookup and multiply (the hardware cost the
+    /// paper's co-design removes).
+    fn renorm_down(&self, v: Fixed, d: Fixed) -> Fixed {
+        debug_assert!(d.raw() >= 0, "renormalization exponent must be >= 0");
+        let int_part = d.floor_int().clamp(0, 127) as u32;
+        let frac = d.frac();
+        let shifted = v.shr(int_part, Rounding::Floor);
+        if frac.raw() == 0 {
+            return shifted;
+        }
+        // Multiply by 2^-frac = pow2(-frac) ∈ (0.5, 1).
+        let neg_frac_fmt = QFormat::signed(2, d.format().frac_bits());
+        let neg_frac = Fixed::zero(neg_frac_fmt)
+            .saturating_sub(frac.requantize(neg_frac_fmt, Rounding::Nearest))
+            .expect("same format subtraction");
+        let factor = self.pow2.eval(neg_frac);
+        shifted.mul_into(factor, v.format(), Rounding::Floor)
+    }
+}
+
+/// Result of one Softermax row: output probabilities plus the
+/// intermediates a hardware implementation would expose.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct SoftermaxRowOutput {
+    /// Output probabilities in the configured output format.
+    pub probs: Vec<Fixed>,
+    /// The final running (integer) maximum.
+    pub global_max: Fixed,
+    /// The accumulated power sum (denominator before reciprocal).
+    pub pow_sum: Fixed,
+    /// The reciprocal used for the final division.
+    pub recip: Reciprocal,
+}
+
+impl SoftermaxRowOutput {
+    /// Probabilities as real numbers.
+    #[must_use]
+    pub fn probs_f64(&self) -> Vec<f64> {
+        self.probs.iter().map(Fixed::to_f64).collect()
+    }
+
+    /// Sum of the output probabilities (ideally ≈ 1).
+    #[must_use]
+    pub fn total_mass(&self) -> f64 {
+        self.probs.iter().map(Fixed::to_f64).sum()
+    }
+}
+
+/// Streaming state for one softmax row, mirroring the hardware:
+/// slice-sized chunks update a running max and a shift-renormalized
+/// running sum; `finalize` performs the Normalization-unit pass.
+///
+/// Obtain one from [`Softermax::accumulator`].
+#[derive(Debug, Clone)]
+pub struct SoftermaxAccumulator<'a> {
+    sm: &'a Softermax,
+    running_max: Option<Fixed>,
+    running_sum: Fixed,
+    /// (unnormed exponential, the local max it was computed against)
+    entries: Vec<(Fixed, Fixed)>,
+}
+
+impl SoftermaxAccumulator<'_> {
+    /// Number of elements absorbed so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether any element has been absorbed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The current running maximum, if any element has been seen.
+    #[must_use]
+    pub fn running_max(&self) -> Option<Fixed> {
+        self.running_max
+    }
+
+    /// The current renormalized running sum.
+    #[must_use]
+    pub fn running_sum(&self) -> Fixed {
+        self.running_sum
+    }
+
+    /// Absorbs values, chunking them into hardware slices of the
+    /// configured `slice_width`.
+    pub fn extend<I: IntoIterator<Item = Fixed>>(&mut self, values: I) {
+        let width = self.sm.config.slice_width;
+        let mut buf = Vec::with_capacity(width);
+        for v in values {
+            buf.push(v);
+            if buf.len() == width {
+                self.push_slice(&buf);
+                buf.clear();
+            }
+        }
+        if !buf.is_empty() {
+            self.push_slice(&buf);
+        }
+    }
+
+    /// Absorbs exactly one hardware slice (at most `slice_width` elements;
+    /// shorter slices model a row tail).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is empty or longer than the configured width.
+    pub fn push_slice(&mut self, slice: &[Fixed]) {
+        assert!(!slice.is_empty(), "hardware slice cannot be empty");
+        assert!(
+            slice.len() <= self.sm.config.slice_width,
+            "slice of {} exceeds configured width {}",
+            slice.len(),
+            self.sm.config.slice_width
+        );
+        let cfg = &self.sm.config;
+
+        // Stage 0: optional base-e pre-scale, then clamp into input format.
+        let xs: Vec<Fixed> = slice.iter().map(|&x| self.sm.prescale(x)).collect();
+
+        // Stage 1 — IntMax unit: elementwise ceil, then the slice max.
+        let local_max = xs
+            .iter()
+            .map(|&x| self.sm.max_candidate(x))
+            .max()
+            .expect("slice is non-empty");
+
+        // Stage 2 — Power-of-Two unit: u_i = 2^(x_i - local_max).
+        // The subtraction happens in the max format (both operands live
+        // there), and the result is never positive.
+        let mut local_sum_wide = Fixed::zero(wide_sum_format(cfg.unnormed_format));
+        let mut slice_entries = Vec::with_capacity(xs.len());
+        for &x in &xs {
+            let xm = x.requantize(cfg.max_format, Rounding::Nearest);
+            let diff = xm
+                .saturating_sub(local_max)
+                .expect("max-format subtraction");
+            let u = self.sm.pow2.eval(diff);
+            local_sum_wide = local_sum_wide
+                .saturating_add(u.requantize(local_sum_wide.format(), Rounding::Floor))
+                .expect("wide accumulator addition");
+            slice_entries.push((u, local_max));
+        }
+        let local_sum = local_sum_wide.requantize(cfg.pow_sum_format, Rounding::Nearest);
+
+        // Stage 3 — Reduction unit: merge with the running row state,
+        // renormalizing whichever side has the smaller max.
+        match self.running_max {
+            None => {
+                self.running_max = Some(local_max);
+                self.running_sum = local_sum;
+            }
+            Some(prev_max) => {
+                let new_max = prev_max.max(local_max);
+                let d_prev = new_max
+                    .saturating_sub(prev_max)
+                    .expect("max-format subtraction");
+                let d_local = new_max
+                    .saturating_sub(local_max)
+                    .expect("max-format subtraction");
+                let prev_renorm = self.sm.renorm_down(self.running_sum, d_prev);
+                let local_renorm = self.sm.renorm_down(local_sum, d_local);
+                self.running_sum = prev_renorm
+                    .saturating_add(local_renorm)
+                    .expect("pow-sum addition");
+                self.running_max = Some(new_max);
+            }
+        }
+        self.entries.extend(slice_entries);
+    }
+
+    /// Runs the Normalization-unit pass: reciprocal of the accumulated sum,
+    /// per-element numerator renormalization (shift) and the final multiply.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SoftmaxError::EmptyInput`] if nothing was absorbed and
+    /// [`SoftmaxError::DivisionByZero`] if the power sum is zero.
+    pub fn finalize(self) -> Result<SoftermaxRowOutput> {
+        let cfg = &self.sm.config;
+        let global_max = self.running_max.ok_or(SoftmaxError::EmptyInput)?;
+        let recip = self.sm.recip.reciprocal(self.running_sum)?;
+        let mut probs = Vec::with_capacity(self.entries.len());
+        for (u, ref_max) in &self.entries {
+            let d = global_max
+                .saturating_sub(*ref_max)
+                .expect("max-format subtraction");
+            let numer = self.sm.renorm_down(*u, d);
+            probs.push(apply_reciprocal(numer, recip, cfg.output_format));
+        }
+        Ok(SoftermaxRowOutput {
+            probs,
+            global_max,
+            pow_sum: self.running_sum,
+            recip,
+        })
+    }
+}
+
+/// Wide intermediate format for the slice summation tree: enough integer
+/// headroom for 64 terms below 2.0 at the unnormed fraction width.
+fn wide_sum_format(unnormed: QFormat) -> QFormat {
+    QFormat::unsigned(8, unnormed.frac_bits().min(24))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use crate::reference;
+
+    fn paper_sm() -> Softermax {
+        Softermax::new(SoftermaxConfig::paper())
+    }
+
+    #[test]
+    fn empty_row_is_an_error() {
+        assert!(matches!(
+            paper_sm().forward(&[]),
+            Err(SoftmaxError::EmptyInput)
+        ));
+    }
+
+    #[test]
+    fn paper_worked_example_through_fixed_pipeline() {
+        // [2,1,3] in base 2: exact distribution [2/7, 1/7, 4/7], sum 1.75.
+        let sm = paper_sm();
+        let out = sm
+            .forward_fixed(&[
+                Fixed::from_f64(2.0, sm.config().input_format, Rounding::Nearest),
+                Fixed::from_f64(1.0, sm.config().input_format, Rounding::Nearest),
+                Fixed::from_f64(3.0, sm.config().input_format, Rounding::Nearest),
+            ])
+            .unwrap();
+        assert_eq!(out.pow_sum.to_f64(), 1.75);
+        assert_eq!(out.global_max.to_f64(), 3.0);
+        let p = out.probs_f64();
+        assert!((p[0] - 2.0 / 7.0).abs() < 0.02);
+        assert!((p[1] - 1.0 / 7.0).abs() < 0.02);
+        assert!((p[2] - 4.0 / 7.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn output_mass_is_close_to_one() {
+        let sm = paper_sm();
+        let rows: [&[f64]; 4] = [
+            &[0.0, 0.0, 0.0, 0.0],
+            &[5.0, -5.0, 2.5, 0.25],
+            &[1.0; 64],
+            &[-3.0, -2.75, -2.5, -31.0, 4.25],
+        ];
+        for row in rows {
+            let p = sm.forward(row).unwrap();
+            let mass: f64 = p.iter().sum();
+            assert!((mass - 1.0).abs() < 0.1, "row {row:?}: mass {mass}");
+        }
+    }
+
+    #[test]
+    fn tracks_reference_base2_distribution() {
+        let sm = paper_sm();
+        let row = [2.25, -1.5, 0.75, 3.5, 3.25, -7.0, 0.0, 1.25];
+        let got = sm.forward(&row).unwrap();
+        let want = reference::softmax_base2(&row).unwrap();
+        let err = metrics::max_abs_error(&got, &want);
+        assert!(err < 0.03, "max abs err {err}");
+    }
+
+    #[test]
+    fn slicing_does_not_change_the_result() {
+        // Streaming in 4-wide slices must equal one-shot processing: the
+        // online renormalization guarantees order independence of the sum.
+        let row: Vec<f64> = (0..40).map(|i| ((i * 37) % 23) as f64 / 4.0 - 2.0).collect();
+        let one_shot = Softermax::new(
+            SoftermaxConfig::builder()
+                .slice_width(64)
+                .build()
+                .unwrap(),
+        );
+        let sliced = Softermax::new(
+            SoftermaxConfig::builder()
+                .slice_width(4)
+                .build()
+                .unwrap(),
+        );
+        let a = one_shot.forward(&row).unwrap();
+        let b = sliced.forward(&row).unwrap();
+        // Not bit-identical in general (the running sum is rounded to
+        // Q(10,6) per slice) but extremely close.
+        assert!(metrics::max_abs_error(&a, &b) < 0.02);
+    }
+
+    #[test]
+    fn ascending_maxes_exercise_renormalization() {
+        // Every slice raises the max, forcing a running-sum shift each time.
+        let sm = Softermax::new(
+            SoftermaxConfig::builder()
+                .slice_width(2)
+                .build()
+                .unwrap(),
+        );
+        let row = [0.0, 1.0, 4.0, 5.0, 9.0, 10.0, 14.0, 15.0];
+        let got = sm.forward(&row).unwrap();
+        let want = reference::softmax_base2(&row).unwrap();
+        assert!(metrics::max_abs_error(&got, &want) < 0.03);
+    }
+
+    #[test]
+    fn descending_maxes_never_renormalize_but_still_work() {
+        let sm = Softermax::new(
+            SoftermaxConfig::builder()
+                .slice_width(2)
+                .build()
+                .unwrap(),
+        );
+        let row = [15.0, 14.0, 10.0, 9.0, 5.0, 4.0, 1.0, 0.0];
+        let got = sm.forward(&row).unwrap();
+        let want = reference::softmax_base2(&row).unwrap();
+        assert!(metrics::max_abs_error(&got, &want) < 0.03);
+    }
+
+    #[test]
+    fn saturated_low_scores_round_to_zero_probability() {
+        let sm = paper_sm();
+        let p = sm.forward(&[10.0, -31.0, -31.5]).unwrap();
+        assert!(p[0] > 0.95);
+        assert_eq!(p[1], 0.0);
+        assert_eq!(p[2], 0.0);
+    }
+
+    #[test]
+    fn global_max_is_integer_under_integer_mode() {
+        let sm = paper_sm();
+        let out = sm
+            .forward_fixed(&[
+                Fixed::from_f64(1.25, sm.config().input_format, Rounding::Nearest),
+                Fixed::from_f64(0.75, sm.config().input_format, Rounding::Nearest),
+            ])
+            .unwrap();
+        assert_eq!(out.global_max.to_f64().fract(), 0.0);
+        assert_eq!(out.global_max.to_f64(), 2.0);
+    }
+
+    #[test]
+    fn float_max_mode_matches_integer_mode_closely() {
+        let row = [0.3, 2.7, -1.2, 0.9, 2.65];
+        let int_sm = paper_sm();
+        let float_sm = Softermax::new(
+            SoftermaxConfig::builder()
+                .max_mode(MaxMode::Float)
+                .build()
+                .unwrap(),
+        );
+        let a = int_sm.forward(&row).unwrap();
+        let b = float_sm.forward(&row).unwrap();
+        assert!(metrics::max_abs_error(&a, &b) < 0.05);
+        // Both track the reference.
+        let want = reference::softmax_base2(
+            &row.iter()
+                .map(|&v| (v * 4.0).round() / 4.0)
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert!(metrics::max_abs_error(&b, &want) < 0.05);
+    }
+
+    #[test]
+    fn base_e_mode_tracks_natural_softmax() {
+        let sm = Softermax::new(SoftermaxConfig::builder().base(Base::E).build().unwrap());
+        let row = [1.0, 2.0, 3.0, 0.0];
+        let got = sm.forward(&row).unwrap();
+        let want = reference::softmax(&row).unwrap();
+        assert!(metrics::max_abs_error(&got, &want) < 0.05);
+    }
+
+    #[test]
+    fn accumulator_reports_state() {
+        let sm = paper_sm();
+        let mut acc = sm.accumulator();
+        assert!(acc.is_empty());
+        assert!(acc.running_max().is_none());
+        acc.extend([
+            Fixed::from_f64(1.0, sm.config().input_format, Rounding::Nearest),
+            Fixed::from_f64(2.0, sm.config().input_format, Rounding::Nearest),
+        ]);
+        assert_eq!(acc.len(), 2);
+        assert_eq!(acc.running_max().unwrap().to_f64(), 2.0);
+        assert!(acc.running_sum().to_f64() > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds configured width")]
+    fn oversized_slice_panics() {
+        let sm = Softermax::new(
+            SoftermaxConfig::builder()
+                .slice_width(2)
+                .build()
+                .unwrap(),
+        );
+        let x = Fixed::zero(sm.config().input_format);
+        sm.accumulator().push_slice(&[x, x, x]);
+    }
+
+    #[test]
+    fn long_row_keeps_mass_and_argmax() {
+        let sm = paper_sm();
+        let row: Vec<f64> = (0..384)
+            .map(|i| (f64::from(i as u32) * 0.618).sin() * 3.0)
+            .collect();
+        let out = sm.forward(&row).unwrap();
+        let mass: f64 = out.iter().sum();
+        assert!((mass - 1.0).abs() < 0.2, "mass {mass}");
+        // Compare against the reference on the same quantized grid the
+        // pipeline sees. This near-uniform row is the worst case for an
+        // 8-bit output (many elements share the top output level), so the
+        // meaningful check is that the true argmax sits at that top level.
+        let quantized: Vec<f64> = row.iter().map(|&v| (v * 4.0).round() / 4.0).collect();
+        let want = reference::softmax_base2(&quantized).unwrap();
+        let argmax_want = want
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let top_level = out.iter().copied().fold(0.0, f64::max);
+        assert!(top_level > 0.0);
+        assert_eq!(out[argmax_want], top_level);
+    }
+}

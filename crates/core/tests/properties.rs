@@ -1,0 +1,130 @@
+//! Property-based tests for the Softermax algorithms.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use softermax::online::OnlineNormalizer;
+use softermax::{metrics, reference, Softermax, SoftermaxConfig};
+
+fn arb_scores(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    vec(-30.0f64..30.0, 1..max_len)
+}
+
+proptest! {
+    /// Reference softmax always produces a probability simplex.
+    #[test]
+    fn reference_is_a_distribution(x in arb_scores(64)) {
+        let p = reference::softmax(&x).unwrap();
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    /// Stable softmax is invariant to a constant shift of all scores.
+    #[test]
+    fn reference_shift_invariant(x in arb_scores(32), c in -100.0f64..100.0) {
+        let shifted: Vec<f64> = x.iter().map(|v| v + c).collect();
+        let a = reference::softmax(&x).unwrap();
+        let b = reference::softmax(&shifted).unwrap();
+        prop_assert!(metrics::max_abs_error(&a, &b) < 1e-9);
+    }
+
+    /// The single-pass online normalizer matches the three-pass algorithm.
+    #[test]
+    fn online_equals_three_pass(x in arb_scores(64)) {
+        let online = softermax::online::online_softmax(&x).unwrap();
+        let three_pass = reference::softmax(&x).unwrap();
+        prop_assert!(metrics::max_abs_error(&online, &three_pass) < 1e-9);
+    }
+
+    /// Same property for base 2, and with the integer max.
+    #[test]
+    fn online_base2_and_intmax_equal_reference(x in arb_scores(64)) {
+        let want = reference::softmax_base2(&x).unwrap();
+        let online = softermax::online::online_softmax_base2(&x).unwrap();
+        let intmax = softermax::online::online_softmax_intmax(&x).unwrap();
+        prop_assert!(metrics::max_abs_error(&online, &want) < 1e-9);
+        prop_assert!(metrics::max_abs_error(&intmax, &want) < 1e-9);
+    }
+
+    /// Splitting the input at any point and merging normalizers gives the
+    /// same state as sequential processing.
+    #[test]
+    fn normalizer_merge_associative(x in arb_scores(48), split in 0usize..48) {
+        let split = split.min(x.len());
+        let mut seq = OnlineNormalizer::base2();
+        seq.extend(x.iter().copied());
+        let mut left = OnlineNormalizer::base2();
+        left.extend(x[..split].iter().copied());
+        let mut right = OnlineNormalizer::base2();
+        right.extend(x[split..].iter().copied());
+        left.merge(&right);
+        prop_assert!((left.normalizer() - seq.normalizer()).abs() < 1e-9 * seq.normalizer().max(1.0));
+        prop_assert_eq!(left.running_max(), seq.running_max());
+    }
+
+    /// The fixed-point pipeline outputs non-negative values with near-unit
+    /// mass and no NaNs, for any in-range input. Individual outputs may
+    /// exceed 1.0 by a few LSBs (the Q(10,6) power sum rounds down while
+    /// the LPW reciprocal can overshoot) — faithful hardware behaviour.
+    #[test]
+    fn softermax_outputs_are_probabilities(x in arb_scores(64)) {
+        let sm = Softermax::new(SoftermaxConfig::paper());
+        let p = sm.forward(&x).unwrap();
+        prop_assert!(p.iter().all(|&v| (0.0..=1.06).contains(&v)));
+        // Mass tolerance scales with row length (output LSB is 1/128).
+        let tol = 0.05 + x.len() as f64 / 128.0;
+        prop_assert!(metrics::mass_error(&p) < tol, "mass err {}", metrics::mass_error(&p));
+    }
+
+    /// The fixed-point pipeline tracks the exact base-2 softmax of the
+    /// quantized inputs within a few output LSBs.
+    #[test]
+    fn softermax_tracks_reference(x in vec(-8.0f64..8.0, 2..24)) {
+        let sm = Softermax::new(SoftermaxConfig::paper());
+        let got = sm.forward(&x).unwrap();
+        let quantized: Vec<f64> = x.iter().map(|&v| (v * 4.0).round() / 4.0).collect();
+        let want = reference::softmax_base2(&quantized).unwrap();
+        prop_assert!(metrics::max_abs_error(&got, &want) < 0.04,
+            "err {}", metrics::max_abs_error(&got, &want));
+    }
+
+    /// Slice width never changes the result materially (online invariance).
+    #[test]
+    fn softermax_slice_width_invariance(x in vec(-8.0f64..8.0, 2..48), w in 1usize..32) {
+        let wide = Softermax::new(SoftermaxConfig::builder().slice_width(64).build().unwrap());
+        let narrow = Softermax::new(SoftermaxConfig::builder().slice_width(w).build().unwrap());
+        let a = wide.forward(&x).unwrap();
+        let b = narrow.forward(&x).unwrap();
+        prop_assert!(metrics::max_abs_error(&a, &b) < 0.05);
+    }
+
+    /// Permuting the input permutes the output (up to slice-boundary
+    /// rounding of the running sum).
+    #[test]
+    fn softermax_permutation_equivariant(x in vec(-8.0f64..8.0, 2..32)) {
+        let sm = Softermax::new(SoftermaxConfig::builder().slice_width(64).build().unwrap());
+        let p = sm.forward(&x).unwrap();
+        let mut reversed = x.clone();
+        reversed.reverse();
+        let mut pr = sm.forward(&reversed).unwrap();
+        pr.reverse();
+        prop_assert!(metrics::max_abs_error(&p, &pr) < 0.05);
+    }
+
+    /// Monotonicity: a strictly larger score never gets a smaller output.
+    #[test]
+    fn softermax_order_preserving(x in vec(-8.0f64..8.0, 2..24)) {
+        let sm = Softermax::new(SoftermaxConfig::paper());
+        let p = sm.forward(&x).unwrap();
+        for i in 0..x.len() {
+            for j in 0..x.len() {
+                // Compare on the quantized grid the pipeline sees.
+                let qi = (x[i] * 4.0).round();
+                let qj = (x[j] * 4.0).round();
+                if qi > qj {
+                    prop_assert!(p[i] >= p[j],
+                        "x[{i}]={} > x[{j}]={} but p {} < {}", x[i], x[j], p[i], p[j]);
+                }
+            }
+        }
+    }
+}

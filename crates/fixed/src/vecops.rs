@@ -1,0 +1,64 @@
+//! Bulk slice conversions between real-valued and fixed-point domains.
+
+use crate::{Fixed, QFormat, Rounding};
+
+/// Quantizes every element of a slice into `format`, saturating.
+///
+/// # Example
+///
+/// ```
+/// use softermax_fixed::{quantize_slice, QFormat, Rounding};
+///
+/// let q = quantize_slice(&[0.1, 0.26, -7.3], QFormat::signed(6, 2), Rounding::Nearest);
+/// let back: Vec<f64> = q.iter().map(|x| x.to_f64()).collect();
+/// assert_eq!(back, vec![0.0, 0.25, -7.25]);
+/// ```
+#[must_use]
+pub fn quantize_slice(values: &[f64], format: QFormat, rounding: Rounding) -> Vec<Fixed> {
+    values
+        .iter()
+        .map(|&v| Fixed::from_f64(v, format, rounding))
+        .collect()
+}
+
+/// Converts a slice of fixed-point values back to reals.
+#[must_use]
+pub fn dequantize_slice(values: &[Fixed]) -> Vec<f64> {
+    values.iter().map(Fixed::to_f64).collect()
+}
+
+/// Re-encodes every element into a new format.
+#[must_use]
+pub fn requantize_slice(values: &[Fixed], format: QFormat, rounding: Rounding) -> Vec<Fixed> {
+    values
+        .iter()
+        .map(|v| v.requantize(format, rounding))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formats;
+
+    #[test]
+    fn quantize_dequantize_round_trip_on_grid() {
+        let vals = vec![0.25, -1.5, 31.75, -32.0];
+        let q = quantize_slice(&vals, formats::INPUT, Rounding::Nearest);
+        assert_eq!(dequantize_slice(&q), vals);
+    }
+
+    #[test]
+    fn requantize_slice_changes_format() {
+        let q = quantize_slice(&[0.5, 0.75], formats::UNNORMED, Rounding::Nearest);
+        let r = requantize_slice(&q, formats::OUTPUT, Rounding::Nearest);
+        assert!(r.iter().all(|x| x.format() == formats::OUTPUT));
+        assert_eq!(dequantize_slice(&r), vec![0.5, 0.75]);
+    }
+
+    #[test]
+    fn empty_slices_are_fine() {
+        assert!(quantize_slice(&[], formats::INPUT, Rounding::Nearest).is_empty());
+        assert!(dequantize_slice(&[]).is_empty());
+    }
+}

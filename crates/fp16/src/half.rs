@@ -1,0 +1,418 @@
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// An IEEE 754 binary16 value: 1 sign bit, 5 exponent bits (bias 15),
+/// 10 mantissa bits. Supports subnormals, infinities and NaN.
+///
+/// # Example
+///
+/// ```
+/// use softermax_fp16::Half;
+///
+/// assert_eq!(Half::from_f64(1.0).to_bits(), 0x3C00);
+/// assert_eq!(Half::from_f64(-2.0).to_bits(), 0xC000);
+/// assert_eq!(Half::MAX.to_f64(), 65504.0);
+/// assert!((Half::from_f64(0.1).to_f64() - 0.1).abs() < 1e-4);
+/// ```
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Half(u16);
+
+const EXP_BIAS: i32 = 15;
+const MANT_BITS: u32 = 10;
+
+impl Half {
+    /// Positive zero.
+    pub const ZERO: Half = Half(0x0000);
+    /// One.
+    pub const ONE: Half = Half(0x3C00);
+    /// Largest finite value, 65504.
+    pub const MAX: Half = Half(0x7BFF);
+    /// Smallest positive normal value, 2^-14.
+    pub const MIN_POSITIVE: Half = Half(0x0400);
+    /// Smallest positive subnormal value, 2^-24.
+    pub const MIN_SUBNORMAL: Half = Half(0x0001);
+    /// Positive infinity.
+    pub const INFINITY: Half = Half(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: Half = Half(0xFC00);
+    /// A quiet NaN.
+    pub const NAN: Half = Half(0x7E00);
+
+    /// Reinterprets raw bits as a binary16 value.
+    #[must_use]
+    pub const fn from_bits(bits: u16) -> Self {
+        Half(bits)
+    }
+
+    /// The raw bit pattern.
+    #[must_use]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts from `f64` with IEEE round-to-nearest-even, overflowing
+    /// to infinity and flushing tiny values to (signed) zero via the
+    /// subnormal range.
+    #[must_use]
+    pub fn from_f64(x: f64) -> Self {
+        if x.is_nan() {
+            return Half::NAN;
+        }
+        let sign = if x.is_sign_negative() { 0x8000u16 } else { 0 };
+        let mag = x.abs();
+        if mag == 0.0 {
+            return Half(sign);
+        }
+        // Overflow: anything that rounds to >= 2^16 becomes infinity. The
+        // rounding boundary is 65520 (halfway between 65504 and 65536;
+        // ties-to-even picks 65536 = inf).
+        if mag >= 65520.0 {
+            return Half(sign | 0x7C00);
+        }
+        if mag < 2f64.powi(-14) {
+            // Subnormal: value = q * 2^-24 with q in 0..1024.
+            let q = (mag * 2f64.powi(24)).round_ties_even() as u16;
+            if q >= 1024 {
+                return Half(sign | 0x0400); // rounded up to smallest normal
+            }
+            return Half(sign | q);
+        }
+        // Normal: find the exponent, quantize the mantissa.
+        let mut e = mag.log2().floor() as i32;
+        // log2 can be off by one at powers of two; correct it.
+        if mag < 2f64.powi(e) {
+            e -= 1;
+        } else if mag >= 2f64.powi(e + 1) {
+            e += 1;
+        }
+        let e = e.clamp(-14, 15);
+        let m = mag / 2f64.powi(e); // in [1, 2)
+        let mut frac = ((m - 1.0) * f64::from(1u32 << MANT_BITS)).round_ties_even() as u32;
+        let mut exp = e + EXP_BIAS;
+        if frac >= 1 << MANT_BITS {
+            // Mantissa rounded up to 2.0: carry into the exponent.
+            frac = 0;
+            exp += 1;
+            if exp >= 31 {
+                return Half(sign | 0x7C00);
+            }
+        }
+        Half(sign | ((exp as u16) << MANT_BITS) | frac as u16)
+    }
+
+    /// Converts from `f32` (via `f64`; exact since every `f32` is).
+    #[must_use]
+    pub fn from_f32(x: f32) -> Self {
+        Self::from_f64(f64::from(x))
+    }
+
+    /// Converts to `f64` exactly (every binary16 value is an `f64`).
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        let sign = if self.0 & 0x8000 != 0 { -1.0 } else { 1.0 };
+        let exp = ((self.0 >> MANT_BITS) & 0x1F) as i32;
+        let frac = (self.0 & 0x3FF) as f64;
+        match exp {
+            0 => sign * frac * 2f64.powi(-24),
+            31 => {
+                if frac == 0.0 {
+                    sign * f64::INFINITY
+                } else {
+                    f64::NAN
+                }
+            }
+            _ => sign * (1.0 + frac / 1024.0) * 2f64.powi(exp - EXP_BIAS),
+        }
+    }
+
+    /// Converts to `f32` exactly.
+    #[must_use]
+    pub fn to_f32(self) -> f32 {
+        self.to_f64() as f32
+    }
+
+    /// Whether this is a NaN.
+    #[must_use]
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x3FF) != 0
+    }
+
+    /// Whether this is ±infinity.
+    #[must_use]
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7C00
+    }
+
+    /// Whether this is finite (neither infinite nor NaN).
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        (self.0 & 0x7C00) != 0x7C00
+    }
+
+    /// Whether the sign bit is set.
+    #[must_use]
+    pub fn is_sign_negative(self) -> bool {
+        self.0 & 0x8000 != 0
+    }
+
+    /// IEEE maximum (NaN-propagating like the DesignWare max component).
+    #[must_use]
+    pub fn max(self, other: Half) -> Half {
+        if self.is_nan() || other.is_nan() {
+            return Half::NAN;
+        }
+        if self.to_f64() >= other.to_f64() {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// `e^self`, as an FP16 special-function unit computes it: a correctly
+    /// rounded result from a higher-precision internal evaluation.
+    #[must_use]
+    pub fn exp(self) -> Half {
+        Half::from_f64(self.to_f64().exp())
+    }
+
+    /// `2^self` (same SFU model).
+    #[must_use]
+    pub fn exp2(self) -> Half {
+        Half::from_f64(self.to_f64().exp2())
+    }
+
+    /// Reciprocal (divider model).
+    #[must_use]
+    pub fn recip(self) -> Half {
+        Half::from_f64(1.0 / self.to_f64())
+    }
+
+    /// The distance to the next representable value at this magnitude
+    /// (ULP), useful for rounding-error assertions in tests.
+    #[must_use]
+    pub fn ulp(self) -> f64 {
+        if !self.is_finite() {
+            return f64::NAN;
+        }
+        let mag = self.to_f64().abs();
+        if mag < 2f64.powi(-14) {
+            return 2f64.powi(-24);
+        }
+        let e = mag.log2().floor() as i32;
+        2f64.powi(e - MANT_BITS as i32)
+    }
+}
+
+impl Default for Half {
+    fn default() -> Self {
+        Half::ZERO
+    }
+}
+
+impl PartialEq for Half {
+    fn eq(&self, other: &Self) -> bool {
+        // IEEE semantics: NaN != NaN, +0 == -0.
+        if self.is_nan() || other.is_nan() {
+            return false;
+        }
+        self.to_f64() == other.to_f64()
+    }
+}
+
+impl PartialOrd for Half {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        if self.is_nan() || other.is_nan() {
+            return None;
+        }
+        self.to_f64().partial_cmp(&other.to_f64())
+    }
+}
+
+impl Add for Half {
+    type Output = Half;
+    fn add(self, rhs: Half) -> Half {
+        // Exact in f64 (both addends have <= 11 significant bits and
+        // bounded exponent range), then a single correct rounding.
+        Half::from_f64(self.to_f64() + rhs.to_f64())
+    }
+}
+
+impl Sub for Half {
+    type Output = Half;
+    fn sub(self, rhs: Half) -> Half {
+        Half::from_f64(self.to_f64() - rhs.to_f64())
+    }
+}
+
+impl Mul for Half {
+    type Output = Half;
+    fn mul(self, rhs: Half) -> Half {
+        // The exact product has <= 22 significant bits: exact in f64.
+        Half::from_f64(self.to_f64() * rhs.to_f64())
+    }
+}
+
+impl Div for Half {
+    type Output = Half;
+    fn div(self, rhs: Half) -> Half {
+        // f64 quotient then rounding: can double-round by <= 1 ULP in
+        // rare cases (documented crate-level caveat).
+        Half::from_f64(self.to_f64() / rhs.to_f64())
+    }
+}
+
+impl Neg for Half {
+    type Output = Half;
+    fn neg(self) -> Half {
+        Half(self.0 ^ 0x8000)
+    }
+}
+
+impl From<f32> for Half {
+    fn from(x: f32) -> Self {
+        Half::from_f32(x)
+    }
+}
+
+impl fmt::Display for Half {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+impl fmt::LowerHex for Half {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_bit_patterns() {
+        assert_eq!(Half::from_f64(0.0).to_bits(), 0x0000);
+        assert_eq!(Half::from_f64(-0.0).to_bits(), 0x8000);
+        assert_eq!(Half::from_f64(1.0).to_bits(), 0x3C00);
+        assert_eq!(Half::from_f64(-1.0).to_bits(), 0xBC00);
+        assert_eq!(Half::from_f64(2.0).to_bits(), 0x4000);
+        assert_eq!(Half::from_f64(0.5).to_bits(), 0x3800);
+        assert_eq!(Half::from_f64(65504.0).to_bits(), 0x7BFF);
+        assert_eq!(Half::from_f64(2f64.powi(-14)).to_bits(), 0x0400);
+        assert_eq!(Half::from_f64(2f64.powi(-24)).to_bits(), 0x0001);
+        // 1/3 rounds to 0x3555 (0.333251953125).
+        assert_eq!(Half::from_f64(1.0 / 3.0).to_bits(), 0x3555);
+    }
+
+    #[test]
+    fn round_trip_is_exact_for_all_finite_bit_patterns() {
+        for bits in 0..=0xFFFFu16 {
+            let h = Half::from_bits(bits);
+            if h.is_nan() {
+                assert!(Half::from_f64(h.to_f64()).is_nan());
+                continue;
+            }
+            let back = Half::from_f64(h.to_f64());
+            assert_eq!(back.to_bits(), bits, "bits {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn overflow_goes_to_infinity() {
+        assert_eq!(Half::from_f64(65520.0), Half::INFINITY);
+        assert_eq!(Half::from_f64(1e9), Half::INFINITY);
+        assert_eq!(Half::from_f64(-1e9), Half::NEG_INFINITY);
+        // Just below the rounding boundary stays finite.
+        assert_eq!(Half::from_f64(65519.0), Half::MAX);
+    }
+
+    #[test]
+    fn subnormals_round_correctly() {
+        let tiny = 2f64.powi(-25); // halfway to the smallest subnormal
+        assert_eq!(Half::from_f64(tiny).to_bits(), 0x0000); // ties to even
+        let x = 3.0 * 2f64.powi(-25); // 1.5 subnormal steps -> 2 steps
+        assert_eq!(Half::from_f64(x).to_bits(), 0x0002);
+        assert_eq!(Half::from_f64(2f64.powi(-24) * 1023.0).to_bits(), 0x03FF);
+    }
+
+    #[test]
+    fn rounding_is_ties_to_even() {
+        // 1 + 2^-11 is exactly between 1.0 and 1+2^-10: rounds to 1.0.
+        assert_eq!(Half::from_f64(1.0 + 2f64.powi(-11)).to_bits(), 0x3C00);
+        // 1 + 3*2^-11 is between 1+2^-10 and 1+2^-9: ties to even (0x3C02).
+        assert_eq!(Half::from_f64(1.0 + 3.0 * 2f64.powi(-11)).to_bits(), 0x3C02);
+    }
+
+    #[test]
+    fn arithmetic_rounds_once() {
+        let a = Half::from_f64(1.0);
+        let b = Half::from_f64(2f64.powi(-11)); // representable as subnormal-scale value
+        // 1 + tiny rounds back to 1 in fp16.
+        assert_eq!((a + b).to_bits(), 0x3C00);
+        let c = Half::from_f64(1.5);
+        assert_eq!((c * c).to_f64(), 2.25);
+        assert_eq!((c / Half::from_f64(2.0)).to_f64(), 0.75);
+        assert_eq!((c - c).to_f64(), 0.0);
+    }
+
+    #[test]
+    fn nan_and_infinity_semantics() {
+        assert!(Half::NAN.is_nan());
+        assert!(Half::NAN != Half::NAN);
+        assert!(Half::INFINITY.is_infinite());
+        assert!(!Half::INFINITY.is_finite());
+        assert!((Half::INFINITY + Half::ONE).is_infinite());
+        assert!((Half::INFINITY - Half::INFINITY).is_nan());
+        assert!((Half::ZERO / Half::ZERO).is_nan());
+        assert_eq!(Half::ONE / Half::ZERO, Half::INFINITY);
+    }
+
+    #[test]
+    fn negation_flips_sign_bit_only() {
+        let x = Half::from_f64(1.25);
+        assert_eq!((-x).to_f64(), -1.25);
+        assert_eq!((-(-x)).to_bits(), x.to_bits());
+        assert!((-Half::NAN).is_nan());
+    }
+
+    #[test]
+    fn max_is_nan_propagating() {
+        let a = Half::from_f64(1.0);
+        let b = Half::from_f64(2.0);
+        assert_eq!(a.max(b), b);
+        assert!(a.max(Half::NAN).is_nan());
+    }
+
+    #[test]
+    fn sfu_helpers_are_correctly_rounded() {
+        let x = Half::from_f64(1.0);
+        assert_eq!(x.exp().to_f64(), Half::from_f64(std::f64::consts::E).to_f64());
+        assert_eq!(Half::from_f64(3.0).exp2().to_f64(), 8.0);
+        assert_eq!(Half::from_f64(4.0).recip().to_f64(), 0.25);
+        // exp of a large value overflows to infinity, as the SFU would.
+        assert!(Half::from_f64(12.0).exp().is_infinite());
+    }
+
+    #[test]
+    fn ulp_matches_magnitude() {
+        assert_eq!(Half::ONE.ulp(), 2f64.powi(-10));
+        assert_eq!(Half::from_f64(2048.0).ulp(), 2.0);
+        assert_eq!(Half::MIN_SUBNORMAL.ulp(), 2f64.powi(-24));
+    }
+
+    #[test]
+    fn ordering_matches_reals() {
+        let vals = [-2.0, -0.5, 0.0, 0.25, 1.0, 100.0];
+        for &a in &vals {
+            for &b in &vals {
+                let ha = Half::from_f64(a);
+                let hb = Half::from_f64(b);
+                assert_eq!(ha.partial_cmp(&hb), a.partial_cmp(&b));
+            }
+        }
+    }
+}

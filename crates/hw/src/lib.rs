@@ -1,0 +1,49 @@
+//! Analytical hardware cost model for the Softermax reproduction.
+//!
+//! The paper evaluates its proposal with an EDA flow we cannot run
+//! (Catapult HLS → Design Compiler → PT-PX on TSMC 7nm). This crate
+//! substitutes an analytical model with the same *structure*:
+//!
+//! * [`tech`] — 7nm-class area/energy constants for datapath primitives
+//!   and DesignWare-class FP16 macro blocks, with documented provenance;
+//! * [`component`] — costed component inventories;
+//! * [`units`] — the Softermax Unnormed Softmax and Normalization units
+//!   (paper Figure 4) and their DesignWare FP16 baseline equivalents,
+//!   assembled from those components;
+//! * [`pe`] — a MAGNet-style PE (Table II) hosting a softmax unit in its
+//!   post-processing stage;
+//! * [`accel`] — the multi-PE accelerator with shared Normalization units,
+//!   producing the energy and runtime numbers behind Table IV, Figure 1
+//!   and Figure 5;
+//! * [`workload`] — Transformer layer op counts;
+//! * [`report`] — comparison/breakdown structs used by the harness.
+//!
+//! Because both datapaths are priced from the same primitive constants,
+//! the Softermax-vs-baseline *ratios* reflect genuine structural
+//! differences (shifter vs multiplier, 4-entry LUT vs iterative FP16
+//! exponential, one input pass vs two), which is what the paper's
+//! conclusions rest on.
+//!
+//! # Example
+//!
+//! ```
+//! use softermax_hw::accel::Accelerator;
+//! use softermax_hw::pe::PeConfig;
+//! use softermax_hw::workload::AttentionShape;
+//!
+//! let ours = Accelerator::softermax_default(PeConfig::paper_32(), 16);
+//! let base = Accelerator::baseline_default(PeConfig::paper_32(), 16);
+//! let shape = AttentionShape::bert_large().with_seq_len(384);
+//! let improvement = base.self_softmax_energy(&shape).total_pj()
+//!     / ours.self_softmax_energy(&shape).total_pj();
+//! assert!(improvement > 1.0); // Softermax wins on energy
+//! ```
+
+pub mod accel;
+pub mod component;
+pub mod pe;
+pub mod report;
+pub mod sim;
+pub mod tech;
+pub mod units;
+pub mod workload;

@@ -1,0 +1,379 @@
+//! Functional datapath simulation of the Softermax units.
+//!
+//! [`crate::units`] prices the datapaths; this module *executes* them: a
+//! cycle-per-slice functional model of the Unnormed Softmax unit and the
+//! Normalization unit operating on real [`Fixed`] data, recording a
+//! per-slice trace and per-component event counts.
+//!
+//! Two things fall out of this that the closed-form cost model cannot
+//! give:
+//!
+//! 1. **Bit-accuracy cross-checks** — integration tests assert the sim's
+//!    outputs equal `softermax::SoftermaxAccumulator`'s bit for bit, so
+//!    the costed hardware and the evaluated algorithm are provably the
+//!    same machine.
+//! 2. **Data-dependent energy** — the running-sum renormalization shifter
+//!    only fires when a slice actually raises the row maximum. The
+//!    closed-form model charges it every slice (worst case);
+//!    [`UnnormedSim::renorm_events`] counts real occurrences, enabling an
+//!    activity-based energy refinement.
+
+use serde::{Deserialize, Serialize};
+use softermax::pow2::Pow2Unit;
+use softermax::recip::{apply_reciprocal, RecipUnit};
+use softermax::{Result, SoftermaxConfig, SoftmaxError};
+use softermax_fixed::{Fixed, Rounding};
+
+/// Per-slice architectural trace of the Unnormed Softmax unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SliceTrace {
+    /// Cycle index (one slice per cycle).
+    pub cycle: u64,
+    /// The IntMax unit's output for this slice.
+    pub local_max: Fixed,
+    /// The slice-local sum leaving the summation tree (pow-sum format).
+    pub local_sum: Fixed,
+    /// Running maximum after the merge.
+    pub running_max: Fixed,
+    /// Running sum after the merge.
+    pub running_sum: Fixed,
+    /// Whether this slice raised the row maximum (renorm shifter fired).
+    pub renormalized: bool,
+    /// The shift applied to the stale running sum (0 when not renormalized).
+    pub renorm_shift: u32,
+}
+
+/// Event counters for activity-based energy accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct UnnormedEvents {
+    /// Elements processed (ceil + subtract + pow2 lane each).
+    pub elements: u64,
+    /// Slices processed (comparator tree + summation tree + merge each).
+    pub slices: u64,
+    /// Renormalization shifts that actually fired.
+    pub renorm_shifts: u64,
+}
+
+/// Functional model of the Unnormed Softmax unit (paper Figure 4a).
+#[derive(Debug, Clone)]
+pub struct UnnormedSim {
+    cfg: SoftermaxConfig,
+    pow2: Pow2Unit,
+    running_max: Option<Fixed>,
+    running_sum: Fixed,
+    stored: Vec<(Fixed, Fixed)>,
+    trace: Vec<SliceTrace>,
+    events: UnnormedEvents,
+}
+
+impl UnnormedSim {
+    /// Builds the simulator for a pipeline configuration.
+    ///
+    /// Only the base-2, integer-max configuration is synthesizable as the
+    /// paper's unit; the simulator enforces that.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` uses the float-max or base-e ablations (those need
+    /// extra hardware the Figure-4 datapath does not have).
+    #[must_use]
+    pub fn new(cfg: SoftermaxConfig) -> Self {
+        assert_eq!(
+            cfg.max_mode,
+            softermax::MaxMode::Integer,
+            "the Figure-4 datapath implements the integer max only"
+        );
+        assert_eq!(
+            cfg.base,
+            softermax::Base::Two,
+            "the Figure-4 datapath implements base 2 only"
+        );
+        let pow2 = Pow2Unit::new(cfg.pow2_segments, cfg.unnormed_format);
+        let running_sum = Fixed::zero(cfg.pow_sum_format);
+        Self {
+            cfg,
+            pow2,
+            running_max: None,
+            running_sum,
+            stored: Vec::new(),
+            trace: Vec::new(),
+            events: UnnormedEvents::default(),
+        }
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &SoftermaxConfig {
+        &self.cfg
+    }
+
+    /// The per-slice trace so far.
+    #[must_use]
+    pub fn trace(&self) -> &[SliceTrace] {
+        &self.trace
+    }
+
+    /// Event counters so far.
+    #[must_use]
+    pub fn events(&self) -> UnnormedEvents {
+        self.events
+    }
+
+    /// Number of renormalization shifter firings so far.
+    #[must_use]
+    pub fn renorm_events(&self) -> u64 {
+        self.events.renorm_shifts
+    }
+
+    /// Executes one cycle: absorbs one slice of at most the configured
+    /// width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty or wider than the datapath.
+    pub fn step_slice(&mut self, xs: &[Fixed]) {
+        assert!(!xs.is_empty(), "empty slice");
+        assert!(
+            xs.len() <= self.cfg.slice_width,
+            "slice wider than the datapath"
+        );
+
+        // IntMax unit: parallel ceil, comparator tree.
+        let local_max = xs
+            .iter()
+            .map(|x| {
+                x.requantize(self.cfg.max_format, Rounding::Nearest).ceil()
+            })
+            .max()
+            .expect("non-empty slice");
+
+        // Power-of-two lanes + summation tree (wide, then pow-sum format).
+        let wide_fmt = softermax_fixed::QFormat::unsigned(
+            8,
+            self.cfg.unnormed_format.frac_bits().min(24),
+        );
+        let mut local_sum_wide = Fixed::zero(wide_fmt);
+        for &x in xs {
+            let xm = x.requantize(self.cfg.max_format, Rounding::Nearest);
+            let diff = xm.saturating_sub(local_max).expect("same format");
+            let u = self.pow2.eval(diff);
+            local_sum_wide = local_sum_wide
+                .saturating_add(u.requantize(wide_fmt, Rounding::Floor))
+                .expect("wide sum");
+            self.stored.push((u, local_max));
+        }
+        let local_sum = local_sum_wide.requantize(self.cfg.pow_sum_format, Rounding::Nearest);
+
+        // Reduction unit: compare with the row max, renormalize via shift.
+        let (renormalized, shift, new_max, new_sum) = match self.running_max {
+            None => (false, 0u32, local_max, local_sum),
+            Some(prev) => {
+                if local_max > prev {
+                    // Stale running sum shifts right by the integer delta.
+                    let delta = local_max
+                        .saturating_sub(prev)
+                        .expect("same format")
+                        .floor_int() as u32;
+                    let renormed = self.running_sum.shr(delta, Rounding::Floor);
+                    let merged = renormed.saturating_add(local_sum).expect("pow sum");
+                    (true, delta, local_max, merged)
+                } else {
+                    // Local sum shifts instead (no row-state renorm event).
+                    let delta = prev
+                        .saturating_sub(local_max)
+                        .expect("same format")
+                        .floor_int() as u32;
+                    let local_renormed = local_sum.shr(delta, Rounding::Floor);
+                    let merged = self
+                        .running_sum
+                        .saturating_add(local_renormed)
+                        .expect("pow sum");
+                    (false, 0, prev, merged)
+                }
+            }
+        };
+        self.running_max = Some(new_max);
+        self.running_sum = new_sum;
+
+        self.events.elements += xs.len() as u64;
+        self.events.slices += 1;
+        self.events.renorm_shifts += u64::from(renormalized);
+        self.trace.push(SliceTrace {
+            cycle: self.events.slices - 1,
+            local_max,
+            local_sum,
+            running_max: new_max,
+            running_sum: new_sum,
+            renormalized,
+            renorm_shift: shift,
+        });
+    }
+
+    /// Streams a full row through the datapath, one slice per cycle.
+    pub fn run_row(&mut self, row: &[Fixed]) {
+        for chunk in row.chunks(self.cfg.slice_width) {
+            self.step_slice(chunk);
+        }
+    }
+
+    /// Hands the stored unnormed values to the Normalization unit and
+    /// produces the final probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SoftmaxError::EmptyInput`] if nothing was streamed and
+    /// [`SoftmaxError::DivisionByZero`] if the power sum is zero.
+    pub fn normalize(self) -> Result<NormalizationResult> {
+        let global_max = self.running_max.ok_or(SoftmaxError::EmptyInput)?;
+        let recip_unit = RecipUnit::new(self.cfg.recip_segments, self.cfg.recip_format);
+        let recip = recip_unit.reciprocal(self.running_sum)?;
+        let mut probs = Vec::with_capacity(self.stored.len());
+        let mut numerator_shifts = 0u64;
+        for (u, ref_max) in &self.stored {
+            let delta = global_max
+                .saturating_sub(*ref_max)
+                .expect("same format")
+                .floor_int() as u32;
+            numerator_shifts += u64::from(delta > 0);
+            let numer = u.shr(delta, Rounding::Floor);
+            probs.push(apply_reciprocal(numer, recip, self.cfg.output_format));
+        }
+        Ok(NormalizationResult {
+            probs,
+            pow_sum: self.running_sum,
+            global_max,
+            events: self.events,
+            numerator_shifts,
+        })
+    }
+}
+
+/// Output of the Normalization unit plus the whole row's event record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct NormalizationResult {
+    /// Final probabilities in the output format.
+    pub probs: Vec<Fixed>,
+    /// The accumulated power sum.
+    pub pow_sum: Fixed,
+    /// The row's global integer maximum.
+    pub global_max: Fixed,
+    /// Unnormed-unit event counters.
+    pub events: UnnormedEvents,
+    /// How many numerators actually needed a renormalization shift.
+    pub numerator_shifts: u64,
+}
+
+impl NormalizationResult {
+    /// Probabilities as real numbers.
+    #[must_use]
+    pub fn probs_f64(&self) -> Vec<f64> {
+        self.probs.iter().map(Fixed::to_f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softermax::Softermax;
+
+    fn quantize_row(row: &[f64], cfg: &SoftermaxConfig) -> Vec<Fixed> {
+        row.iter()
+            .map(|&v| Fixed::from_f64(v, cfg.input_format, Rounding::Nearest))
+            .collect()
+    }
+
+    #[test]
+    fn sim_matches_algorithm_bit_for_bit() {
+        let cfg = SoftermaxConfig::paper();
+        let sm = Softermax::new(cfg.clone());
+        let rows: [&[f64]; 4] = [
+            &[2.0, 1.0, 3.0],
+            &[0.25, -3.5, 7.75, 7.5, -0.25, 1.0],
+            &[-1.0; 40],
+            &[5.0, 4.75, 4.5, 4.25, 4.0, 3.75, 3.5, 3.25, 3.0, 10.0],
+        ];
+        for row in rows {
+            let q = quantize_row(row, &cfg);
+            let want = sm.forward_fixed(&q).expect("valid row");
+            let mut sim = UnnormedSim::new(cfg.clone());
+            sim.run_row(&q);
+            let got = sim.normalize().expect("valid row");
+            assert_eq!(got.pow_sum.raw(), want.pow_sum.raw(), "pow sum, row {row:?}");
+            assert_eq!(
+                got.global_max.raw(),
+                want.global_max.raw(),
+                "global max, row {row:?}"
+            );
+            for (i, (a, b)) in got.probs.iter().zip(&want.probs).enumerate() {
+                assert_eq!(a.raw(), b.raw(), "prob {i}, row {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn renorm_fires_only_when_max_rises() {
+        let cfg = SoftermaxConfig::builder()
+            .slice_width(2)
+            .build()
+            .expect("valid config");
+        // Ascending slices: every slice after the first raises the max.
+        let row = [0.0, 1.0, 4.0, 5.0, 9.0, 10.0];
+        let mut sim = UnnormedSim::new(cfg.clone());
+        sim.run_row(&quantize_row(&row, &cfg));
+        assert_eq!(sim.renorm_events(), 2);
+
+        // Descending slices: the max never rises after slice 0.
+        let row = [10.0, 9.0, 5.0, 4.0, 1.0, 0.0];
+        let mut sim = UnnormedSim::new(cfg.clone());
+        sim.run_row(&quantize_row(&row, &cfg));
+        assert_eq!(sim.renorm_events(), 0);
+    }
+
+    #[test]
+    fn trace_records_shift_amounts() {
+        let cfg = SoftermaxConfig::builder()
+            .slice_width(2)
+            .build()
+            .expect("valid config");
+        let row = [0.0, 0.0, 3.0, 3.0]; // second slice raises max 0 -> 3
+        let mut sim = UnnormedSim::new(cfg.clone());
+        sim.run_row(&quantize_row(&row, &cfg));
+        let t = sim.trace();
+        assert_eq!(t.len(), 2);
+        assert!(!t[0].renormalized);
+        assert!(t[1].renormalized);
+        assert_eq!(t[1].renorm_shift, 3);
+        assert_eq!(t[1].running_max.to_f64(), 3.0);
+    }
+
+    #[test]
+    fn event_counts_are_exact() {
+        let cfg = SoftermaxConfig::builder()
+            .slice_width(16)
+            .build()
+            .expect("valid config");
+        let row = vec![1.0; 50];
+        let mut sim = UnnormedSim::new(cfg.clone());
+        sim.run_row(&quantize_row(&row, &cfg));
+        let e = sim.events();
+        assert_eq!(e.elements, 50);
+        assert_eq!(e.slices, 4); // 16+16+16+2
+    }
+
+    #[test]
+    fn empty_sim_cannot_normalize() {
+        let sim = UnnormedSim::new(SoftermaxConfig::paper());
+        assert!(matches!(sim.normalize(), Err(SoftmaxError::EmptyInput)));
+    }
+
+    #[test]
+    #[should_panic(expected = "integer max")]
+    fn float_max_ablation_is_rejected() {
+        let cfg = SoftermaxConfig::builder()
+            .max_mode(softermax::MaxMode::Float)
+            .build()
+            .expect("valid config");
+        let _ = UnnormedSim::new(cfg);
+    }
+}

@@ -1,0 +1,22 @@
+//! Datapath models of the paper's compute units (Figure 4) and of the
+//! DesignWare FP16 baseline they are compared against.
+//!
+//! Each unit is an inventory of costed [`crate::component::Component`]s
+//! plus energy accounting methods expressed per processed element, per
+//! hardware slice, or per softmax row, so the same models serve the
+//! unit-level comparison (Table IV), the PE integration (Table IV bottom
+//! row) and the sequence-length sweep (Figure 5).
+
+mod baseline;
+mod intmax;
+mod normalization;
+mod pow2;
+mod reduction;
+mod unnormed;
+
+pub use baseline::{BaselineNormalizationUnit, BaselineUnnormedUnit};
+pub use intmax::IntMaxUnit;
+pub use normalization::NormalizationUnit;
+pub use pow2::Pow2UnitHw;
+pub use reduction::ReductionUnit;
+pub use unnormed::UnnormedSoftmaxUnit;

@@ -1,0 +1,121 @@
+//! Property-based tests for the hardware cost model: monotonicity,
+//! scaling laws and structural invariants that must hold for any
+//! configuration, not just the paper's.
+
+use proptest::prelude::*;
+use softermax::SoftermaxConfig;
+use softermax_hw::accel::Accelerator;
+use softermax_hw::component::ComponentKind;
+use softermax_hw::pe::PeConfig;
+use softermax_hw::tech::TechParams;
+use softermax_hw::units::{
+    BaselineNormalizationUnit, BaselineUnnormedUnit, NormalizationUnit, UnnormedSoftmaxUnit,
+};
+use softermax_hw::workload::AttentionShape;
+
+fn arb_width() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(4usize), Just(8), Just(16), Just(32), Just(64)]
+}
+
+proptest! {
+    /// Unit energy is monotone non-decreasing in sequence length.
+    #[test]
+    fn unnormed_energy_monotone_in_seq_len(width in arb_width(), a in 1usize..2000, b in 1usize..2000) {
+        let tech = TechParams::tsmc7_067v();
+        let u = UnnormedSoftmaxUnit::new(&tech, width, &SoftermaxConfig::paper());
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(u.energy_per_row_pj(lo) <= u.energy_per_row_pj(hi) + 1e-9);
+    }
+
+    /// Softermax wins on unit area and energy at every width.
+    #[test]
+    fn softermax_unit_always_wins(width in arb_width(), seq in 16usize..2048) {
+        let tech = TechParams::tsmc7_067v();
+        let ours = UnnormedSoftmaxUnit::new(&tech, width, &SoftermaxConfig::paper());
+        let theirs = BaselineUnnormedUnit::new(&tech, width);
+        prop_assert!(ours.area_um2() < theirs.area_um2());
+        prop_assert!(ours.energy_per_row_pj(seq) < theirs.energy_per_row_pj(seq));
+    }
+
+    /// The Softermax normalization path never contains FP dividers or FP
+    /// exponentials, whatever the pipeline configuration.
+    #[test]
+    fn softermax_units_are_integer_only(segs in prop_oneof![Just(2usize), Just(4), Just(8), Just(16)]) {
+        let tech = TechParams::tsmc7_067v();
+        let cfg = SoftermaxConfig::builder()
+            .pow2_segments(segs)
+            .recip_segments(segs)
+            .build()
+            .expect("valid config");
+        let unnormed = UnnormedSoftmaxUnit::new(&tech, 16, &cfg);
+        let norm = NormalizationUnit::new(&tech, &cfg);
+        for c in unnormed.components().iter().chain(norm.components()) {
+            prop_assert!(!c.kind.is_floating_point(), "found {:?} in Softermax unit", c.kind);
+        }
+    }
+
+    /// The baseline always contains at least one FP special-function unit.
+    #[test]
+    fn baseline_units_contain_fp_sfus(width in arb_width()) {
+        let tech = TechParams::tsmc7_067v();
+        let u = BaselineUnnormedUnit::new(&tech, width);
+        prop_assert!(u.components().iter().any(|c| c.kind == ComponentKind::FpExp));
+        let n = BaselineNormalizationUnit::new(&tech);
+        prop_assert!(n.components().iter().any(|c| c.kind == ComponentKind::FpDivider));
+    }
+
+    /// Doubling the sequence length roughly quadruples the SELF+Softmax
+    /// energy (the workload is O(n²)).
+    #[test]
+    fn self_softmax_energy_scales_quadratically(n in 64usize..1024) {
+        let accel = Accelerator::softermax_default(PeConfig::paper_32(), 1);
+        let e1 = accel
+            .self_softmax_energy(&AttentionShape::bert_large().with_seq_len(n))
+            .total_pj();
+        let e2 = accel
+            .self_softmax_energy(&AttentionShape::bert_large().with_seq_len(2 * n))
+            .total_pj();
+        let ratio = e2 / e1;
+        prop_assert!((3.5..4.5).contains(&ratio), "scaling ratio {ratio}");
+    }
+
+    /// Cycle counts are consistent: a row never takes fewer cycles than
+    /// seq_len / width, and the baseline is never faster than Softermax.
+    #[test]
+    fn cycle_accounting_consistent(width in arb_width(), seq in 1usize..4096) {
+        let tech = TechParams::tsmc7_067v();
+        let ours = UnnormedSoftmaxUnit::new(&tech, width, &SoftermaxConfig::paper());
+        let theirs = BaselineUnnormedUnit::new(&tech, width);
+        let min_cycles = (seq as u64).div_ceil(width as u64);
+        prop_assert_eq!(ours.cycles_per_row(seq), min_cycles);
+        prop_assert!(theirs.cycles_per_row(seq, &tech) >= 2 * min_cycles);
+    }
+
+    /// PE area ratio stays below 1 and above the bare-MAC lower bound for
+    /// any paper-style configuration.
+    #[test]
+    fn pe_area_ratio_bounded(wide in any::<bool>()) {
+        let pe = if wide { PeConfig::paper_32() } else { PeConfig::paper_16() };
+        let ours = Accelerator::softermax_default(pe.clone(), 1);
+        let theirs = Accelerator::baseline_default(pe, 1);
+        let ratio = ours.pe().area_um2() / theirs.pe().area_um2();
+        prop_assert!((0.5..1.0).contains(&ratio), "area ratio {ratio}");
+    }
+
+    /// Energy breakdowns have no negative components.
+    #[test]
+    fn energy_breakdown_nonnegative(n in 16usize..2048, wide in any::<bool>()) {
+        let pe = if wide { PeConfig::paper_32() } else { PeConfig::paper_16() };
+        for accel in [
+            Accelerator::softermax_default(pe.clone(), 1),
+            Accelerator::baseline_default(pe.clone(), 1),
+        ] {
+            let e = accel.self_softmax_energy(&AttentionShape::bert_base().with_seq_len(n));
+            prop_assert!(e.mac_pj >= 0.0);
+            prop_assert!(e.softmax_pj > 0.0);
+            prop_assert!(e.normalization_pj > 0.0);
+            prop_assert!(e.writeback_pj > 0.0);
+            prop_assert!((0.0..1.0).contains(&e.softmax_fraction()));
+        }
+    }
+}

@@ -1,0 +1,482 @@
+//! Multi-head self-attention with a pluggable softmax backend.
+//!
+//! The backend abstraction is the point of this crate: the same model can
+//! run with the exact base-e softmax (pre-training), the exact base-2
+//! softmax, or the full fixed-point Softermax pipeline (Softermax-aware
+//! fine-tuning and inference). Backward passes use the analytic softmax
+//! Jacobian with a straight-through estimator across the fixed-point
+//! quantization, exactly as in the paper's fine-tuning setup.
+
+use std::fmt;
+use std::sync::Arc;
+
+use rand::Rng;
+use softermax::{reference, Softermax, SoftermaxConfig};
+
+use crate::nn::Linear;
+use crate::tensor::Matrix;
+
+/// A row-wise softmax implementation for attention scores.
+///
+/// Implementations must be usable behind `Arc` so one backend instance can
+/// be shared by every layer of a model.
+pub trait AttentionSoftmax: fmt::Debug + Send + Sync {
+    /// Backend name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// Row-wise softmax of a score matrix.
+    fn forward(&self, scores: &Matrix) -> Matrix;
+
+    /// Scale factor of the softmax Jacobian: `1` for base-e, `ln 2` for
+    /// base-2 (since `d b^x/dx = ln(b)·b^x`).
+    fn grad_scale(&self) -> f32 {
+        1.0
+    }
+
+    /// Row-wise softmax backward: given the forward output `probs` and
+    /// `dL/dprobs`, returns `dL/dscores` using the analytic Jacobian
+    /// `dS = scale · P ⊙ (dP − (dP·P))` (straight-through across any
+    /// quantization the forward applied).
+    fn backward(&self, probs: &Matrix, grad_probs: &Matrix) -> Matrix {
+        let mut grad = Matrix::zeros(probs.rows(), probs.cols());
+        for r in 0..probs.rows() {
+            let p = probs.row(r);
+            let gp = grad_probs.row(r);
+            let dot: f32 = p.iter().zip(gp).map(|(&a, &b)| a * b).sum();
+            for c in 0..probs.cols() {
+                grad.set(r, c, self.grad_scale() * p[c] * (gp[c] - dot));
+            }
+        }
+        grad
+    }
+}
+
+/// Exact base-e softmax (the pre-training configuration).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactSoftmax;
+
+impl AttentionSoftmax for ExactSoftmax {
+    fn name(&self) -> &'static str {
+        "exact-base-e"
+    }
+
+    fn forward(&self, scores: &Matrix) -> Matrix {
+        rowwise(scores, |row| {
+            reference::softmax(row).expect("non-empty attention row")
+        })
+    }
+}
+
+/// Exact base-2 softmax (the base-replacement ablation, full precision).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Base2Softmax;
+
+impl AttentionSoftmax for Base2Softmax {
+    fn name(&self) -> &'static str {
+        "exact-base-2"
+    }
+
+    fn forward(&self, scores: &Matrix) -> Matrix {
+        rowwise(scores, |row| {
+            reference::softmax_base2(row).expect("non-empty attention row")
+        })
+    }
+
+    fn grad_scale(&self) -> f32 {
+        std::f32::consts::LN_2
+    }
+}
+
+/// The full fixed-point Softermax pipeline as an attention backend.
+#[derive(Debug)]
+pub struct SoftermaxAttention {
+    softermax: Softermax,
+}
+
+impl SoftermaxAttention {
+    /// Wraps a configured [`Softermax`] operator.
+    #[must_use]
+    pub fn new(config: SoftermaxConfig) -> Self {
+        Self {
+            softermax: Softermax::new(config),
+        }
+    }
+
+    /// The paper configuration.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::new(SoftermaxConfig::paper())
+    }
+}
+
+impl AttentionSoftmax for SoftermaxAttention {
+    fn name(&self) -> &'static str {
+        "softermax-fixed-point"
+    }
+
+    fn forward(&self, scores: &Matrix) -> Matrix {
+        rowwise(scores, |row| {
+            self.softermax
+                .forward(row)
+                .expect("non-empty attention row")
+        })
+    }
+
+    fn grad_scale(&self) -> f32 {
+        std::f32::consts::LN_2
+    }
+}
+
+fn rowwise(scores: &Matrix, f: impl Fn(&[f64]) -> Vec<f64>) -> Matrix {
+    let mut out = Matrix::zeros(scores.rows(), scores.cols());
+    for r in 0..scores.rows() {
+        let row: Vec<f64> = scores.row(r).iter().map(|&v| f64::from(v)).collect();
+        let probs = f(&row);
+        for (c, &p) in probs.iter().enumerate() {
+            out.set(r, c, p as f32);
+        }
+    }
+    out
+}
+
+struct HeadCache {
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    probs: Matrix,
+}
+
+/// Multi-head self-attention with residual-free core (the encoder layer
+/// adds residuals and normalization around it).
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    n_heads: usize,
+    d_head: usize,
+    softmax: Arc<dyn AttentionSoftmax>,
+    cache: Vec<HeadCache>,
+}
+
+impl fmt::Debug for MultiHeadAttention {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MultiHeadAttention")
+            .field("n_heads", &self.n_heads)
+            .field("d_head", &self.d_head)
+            .field("softmax", &self.softmax.name())
+            .finish()
+    }
+}
+
+impl MultiHeadAttention {
+    /// Builds an MHA block of `n_heads` heads over model dimension `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is not divisible by `n_heads`.
+    #[must_use]
+    pub fn new<R: Rng>(
+        d: usize,
+        n_heads: usize,
+        softmax: Arc<dyn AttentionSoftmax>,
+        rng: &mut R,
+    ) -> Self {
+        assert!(d.is_multiple_of(n_heads), "d_model must divide by n_heads");
+        Self {
+            wq: Linear::new(d, d, rng),
+            wk: Linear::new(d, d, rng),
+            wv: Linear::new(d, d, rng),
+            wo: Linear::new(d, d, rng),
+            n_heads,
+            d_head: d / n_heads,
+            softmax,
+            cache: Vec::new(),
+        }
+    }
+
+    /// Swaps the softmax backend (e.g. exact → Softermax for fine-tuning).
+    pub fn set_softmax(&mut self, softmax: Arc<dyn AttentionSoftmax>) {
+        self.softmax = softmax;
+    }
+
+    /// The active softmax backend's name.
+    #[must_use]
+    pub fn softmax_name(&self) -> &'static str {
+        self.softmax.name()
+    }
+
+    /// Forward pass over a sequence `x` of shape `n × d`.
+    #[must_use]
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let q = self.wq.forward(x);
+        let k = self.wk.forward(x);
+        let v = self.wv.forward(x);
+        let inv_sqrt = 1.0 / (self.d_head as f32).sqrt();
+
+        self.cache.clear();
+        let mut head_outputs = Vec::with_capacity(self.n_heads);
+        for h in 0..self.n_heads {
+            let qh = q.col_slice(h * self.d_head, self.d_head);
+            let kh = k.col_slice(h * self.d_head, self.d_head);
+            let vh = v.col_slice(h * self.d_head, self.d_head);
+            let scores = qh.matmul_nt(&kh).scale(inv_sqrt);
+            let probs = self.softmax.forward(&scores);
+            head_outputs.push(probs.matmul(&vh));
+            self.cache.push(HeadCache {
+                q: qh,
+                k: kh,
+                v: vh,
+                probs,
+            });
+        }
+        let concat = Matrix::hcat(&head_outputs.iter().collect::<Vec<_>>());
+        self.wo.forward(&concat)
+    }
+
+    /// Backward pass; returns `dL/dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    #[must_use]
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        assert!(!self.cache.is_empty(), "backward before forward");
+        let inv_sqrt = 1.0 / (self.d_head as f32).sqrt();
+        let g_concat = self.wo.backward(grad_out);
+
+        let mut dq_parts = Vec::with_capacity(self.n_heads);
+        let mut dk_parts = Vec::with_capacity(self.n_heads);
+        let mut dv_parts = Vec::with_capacity(self.n_heads);
+        for (h, cache) in self.cache.iter().enumerate() {
+            let gh = g_concat.col_slice(h * self.d_head, self.d_head);
+            // O = P·V
+            let d_probs = gh.matmul_nt(&cache.v);
+            let dv = cache.probs.matmul_tn(&gh);
+            // P = softmax(S)
+            let d_scores = self.softmax.backward(&cache.probs, &d_probs);
+            // S = Q·K^T · inv_sqrt
+            let dq = d_scores.matmul(&cache.k).scale(inv_sqrt);
+            let dk = d_scores.matmul_tn(&cache.q).scale(inv_sqrt);
+            dq_parts.push(dq);
+            dk_parts.push(dk);
+            dv_parts.push(dv);
+        }
+        let dq = Matrix::hcat(&dq_parts.iter().collect::<Vec<_>>());
+        let dk = Matrix::hcat(&dk_parts.iter().collect::<Vec<_>>());
+        let dv = Matrix::hcat(&dv_parts.iter().collect::<Vec<_>>());
+
+        let mut dx = self.wq.backward(&dq);
+        dx.add_scaled(&self.wk.backward(&dk), 1.0);
+        dx.add_scaled(&self.wv.backward(&dv), 1.0);
+        dx
+    }
+
+    /// Parameter/gradient pairs for the optimizer.
+    pub fn params_mut(&mut self) -> Vec<(&mut Matrix, &mut Matrix)> {
+        let mut p = self.wq.params_mut();
+        p.extend(self.wk.params_mut());
+        p.extend(self.wv.params_mut());
+        p.extend(self.wo.params_mut());
+        p
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.wq.zero_grad();
+        self.wk.zero_grad();
+        self.wv.zero_grad();
+        self.wo.zero_grad();
+    }
+
+    /// Enables int8 fake-quantization on all four projections.
+    pub fn enable_quantization(&mut self, quant: &crate::quant::FakeQuant) {
+        self.wq.enable_quantization(quant.clone());
+        self.wk.enable_quantization(quant.clone());
+        self.wv.enable_quantization(quant.clone());
+        self.wo.enable_quantization(quant.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::cross_entropy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_softmax_rows_sum_to_one() {
+        let s = ExactSoftmax;
+        let scores = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-1.0, 0.0, 1.0]]);
+        let p = s.forward(&scores);
+        for r in 0..2 {
+            let sum: f32 = p.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_differences_base_e() {
+        // Check the Jacobian formula numerically through a scalar loss
+        // L = Σ w_ij · P_ij.
+        let s = ExactSoftmax;
+        let mut scores = Matrix::from_rows(&[&[0.3, -0.7, 1.2]]);
+        let w = Matrix::from_rows(&[&[0.5, -1.0, 2.0]]);
+        let p = s.forward(&scores);
+        let analytic = s.backward(&p, &w);
+        let eps = 1e-3;
+        for c in 0..3 {
+            let orig = scores.get(0, c);
+            scores.set(0, c, orig + eps);
+            let lp: f32 = s
+                .forward(&scores)
+                .row(0)
+                .iter()
+                .zip(w.row(0))
+                .map(|(&a, &b)| a * b)
+                .sum();
+            scores.set(0, c, orig - eps);
+            let lm: f32 = s
+                .forward(&scores)
+                .row(0)
+                .iter()
+                .zip(w.row(0))
+                .map(|(&a, &b)| a * b)
+                .sum();
+            scores.set(0, c, orig);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic.get(0, c)).abs() < 1e-3,
+                "col {c}: numeric {numeric} vs analytic {}",
+                analytic.get(0, c)
+            );
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_differences_base_2() {
+        let s = Base2Softmax;
+        let mut scores = Matrix::from_rows(&[&[0.3, -0.7, 1.2]]);
+        let w = Matrix::from_rows(&[&[0.5, -1.0, 2.0]]);
+        let p = s.forward(&scores);
+        let analytic = s.backward(&p, &w);
+        let eps = 1e-3;
+        for c in 0..3 {
+            let orig = scores.get(0, c);
+            scores.set(0, c, orig + eps);
+            let lp: f32 = s
+                .forward(&scores)
+                .row(0)
+                .iter()
+                .zip(w.row(0))
+                .map(|(&a, &b)| a * b)
+                .sum();
+            scores.set(0, c, orig - eps);
+            let lm: f32 = s
+                .forward(&scores)
+                .row(0)
+                .iter()
+                .zip(w.row(0))
+                .map(|(&a, &b)| a * b)
+                .sum();
+            scores.set(0, c, orig);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic.get(0, c)).abs() < 1e-3,
+                "col {c}: numeric {numeric} vs analytic {}",
+                analytic.get(0, c)
+            );
+        }
+    }
+
+    #[test]
+    fn softermax_backend_close_to_base2() {
+        let fixed = SoftermaxAttention::paper();
+        let exact = Base2Softmax;
+        let scores = Matrix::from_rows(&[&[1.5, -0.5, 2.25, 0.0]]);
+        let pf = fixed.forward(&scores);
+        let pe = exact.forward(&scores);
+        for c in 0..4 {
+            assert!(
+                (pf.get(0, c) - pe.get(0, c)).abs() < 0.03,
+                "col {c}: {} vs {}",
+                pf.get(0, c),
+                pe.get(0, c)
+            );
+        }
+    }
+
+    #[test]
+    fn mha_shapes_are_preserved() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut mha = MultiHeadAttention::new(8, 2, Arc::new(ExactSoftmax), &mut rng);
+        let x = Matrix::xavier(5, 8, &mut rng);
+        let y = mha.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (5, 8));
+        let dx = mha.backward(&Matrix::zeros(5, 8).map(|_| 0.1));
+        assert_eq!((dx.rows(), dx.cols()), (5, 8));
+    }
+
+    #[test]
+    fn mha_end_to_end_gradient_check() {
+        // Finite-difference check of dL/dx through the whole MHA block.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut mha = MultiHeadAttention::new(4, 2, Arc::new(ExactSoftmax), &mut rng);
+        let mut head = Linear::new(4, 2, &mut rng);
+        let mut x = Matrix::xavier(3, 4, &mut rng);
+        let labels = vec![0usize];
+
+        let loss_of = |mha: &mut MultiHeadAttention, head: &mut Linear, x: &Matrix| {
+            let y = mha.forward(x);
+            let pooled = y.mean_rows();
+            let logits = head.forward(&pooled);
+            cross_entropy(&logits, &labels).0
+        };
+
+        mha.zero_grad();
+        head.zero_grad();
+        let y = mha.forward(&x);
+        let pooled = y.mean_rows();
+        let logits = head.forward(&pooled);
+        let (_, gl) = cross_entropy(&logits, &labels);
+        let gp = head.backward(&gl);
+        // Broadcast pooled gradient back over rows.
+        let mut gy = Matrix::zeros(3, 4);
+        for r in 0..3 {
+            for c in 0..4 {
+                gy.set(r, c, gp.get(0, c) / 3.0);
+            }
+        }
+        let gx = mha.backward(&gy);
+
+        let eps = 1e-2;
+        for (r, c) in [(0, 0), (1, 2), (2, 3)] {
+            let orig = x.get(r, c);
+            x.set(r, c, orig + eps);
+            let lp = loss_of(&mut mha, &mut head, &x);
+            x.set(r, c, orig - eps);
+            let lm = loss_of(&mut mha, &mut head, &x);
+            x.set(r, c, orig);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - gx.get(r, c)).abs() < 2e-2,
+                "x[{r}][{c}]: numeric {numeric} vs analytic {}",
+                gx.get(r, c)
+            );
+        }
+    }
+
+    #[test]
+    fn swapping_backend_changes_name_not_shape() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut mha = MultiHeadAttention::new(8, 2, Arc::new(ExactSoftmax), &mut rng);
+        assert_eq!(mha.softmax_name(), "exact-base-e");
+        let x = Matrix::xavier(4, 8, &mut rng);
+        let y1 = mha.forward(&x);
+        mha.set_softmax(Arc::new(SoftermaxAttention::paper()));
+        assert_eq!(mha.softmax_name(), "softermax-fixed-point");
+        let y2 = mha.forward(&x);
+        assert_eq!((y1.rows(), y1.cols()), (y2.rows(), y2.cols()));
+    }
+}

@@ -1,0 +1,64 @@
+//! Hardware design-space exploration with the cost model: sweep PE width
+//! and LPW segment count, and print area/energy for the Softermax units
+//! against the DesignWare baseline.
+//!
+//! Run with: `cargo run --example hw_design_space`
+
+use softermax::SoftermaxConfig;
+use softermax_hw::accel::Accelerator;
+use softermax_hw::pe::{PeConfig, SoftmaxImpl};
+use softermax_hw::tech::TechParams;
+use softermax_hw::units::{BaselineUnnormedUnit, UnnormedSoftmaxUnit};
+use softermax_hw::workload::AttentionShape;
+
+fn main() {
+    let tech = TechParams::tsmc7_067v();
+    const SEQ: usize = 384;
+
+    println!("== Unnormed Softmax unit: width sweep (seq len {SEQ}) ==");
+    println!("{:<8} {:>14} {:>14} {:>12} {:>12}", "width", "SM area um2", "DW area um2", "SM pJ/row", "DW pJ/row");
+    for width in [8usize, 16, 32, 64] {
+        let ours = UnnormedSoftmaxUnit::new(&tech, width, &SoftermaxConfig::paper());
+        let theirs = BaselineUnnormedUnit::new(&tech, width);
+        println!(
+            "{:<8} {:>14.1} {:>14.1} {:>12.1} {:>12.1}",
+            width,
+            ours.area_um2(),
+            theirs.area_um2(),
+            ours.energy_per_row_pj(SEQ),
+            theirs.energy_per_row_pj(SEQ)
+        );
+    }
+
+    println!("\n== LPW segment sweep: unit area vs operator error ==");
+    println!("{:<10} {:>14} {:>16}", "segments", "unit area um2", "pow2 max err");
+    for segs in [2usize, 4, 8, 16, 64] {
+        let cfg = SoftermaxConfig::builder()
+            .pow2_segments(segs)
+            .build()
+            .expect("valid config");
+        let unit = UnnormedSoftmaxUnit::new(&tech, 32, &cfg);
+        let sw = softermax::pow2::Pow2Unit::new(segs, cfg.unnormed_format);
+        println!(
+            "{:<10} {:>14.1} {:>16.5}",
+            segs,
+            unit.area_um2(),
+            sw.max_abs_error(cfg.input_format, -8.0)
+        );
+    }
+
+    println!("\n== PE-level energy for SELF+Softmax, both widths (BERT-Large) ==");
+    println!("{:<8} {:>16} {:>16} {:>10}", "config", "Softermax uJ", "DesignWare uJ", "improv");
+    for (name, pe) in [("16-wide", PeConfig::paper_16()), ("32-wide", PeConfig::paper_32())] {
+        let ours = Accelerator::paper(
+            pe.clone(),
+            SoftmaxImpl::Softermax(SoftermaxConfig::paper()),
+            1,
+        );
+        let theirs = Accelerator::paper(pe, SoftmaxImpl::BaselineFp16, 1);
+        let shape = AttentionShape::bert_large().with_seq_len(SEQ);
+        let a = ours.self_softmax_energy(&shape).total_uj();
+        let b = theirs.self_softmax_energy(&shape).total_uj();
+        println!("{name:<8} {a:>16.2} {b:>16.2} {:>9.2}x", b / a);
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: the three softmax algorithms of the paper's Figure 3 on
+//! the worked example from §III-C, plus the fixed-point pipeline's
+//! intermediate values.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use softermax::online::OnlineNormalizer;
+use softermax::{reference, Softermax, SoftermaxConfig};
+use softermax_fixed::{Fixed, Rounding};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scores = [2.0, 1.0, 3.0]; // the paper's worked example
+
+    // 1. Classic three-pass numerically-stable softmax (base 2).
+    let stable = reference::softmax_base2(&scores)?;
+    println!("three-pass stable softmax (base 2): {stable:?}");
+
+    // 2. Single-pass online normalizer: same result, one fewer pass.
+    let mut online = OnlineNormalizer::base2();
+    online.extend(scores.iter().copied());
+    println!(
+        "online normalizer: running max {}, denominator {} (paper says 1.75)",
+        online.running_max(),
+        online.normalizer()
+    );
+    let online_probs = online.finalize(&scores)?;
+    println!("online softmax: {online_probs:?}");
+
+    // 3. The full fixed-point Softermax pipeline (Table I bitwidths).
+    let sm = Softermax::new(SoftermaxConfig::paper());
+    let cfg = sm.config();
+    let quantized: Vec<Fixed> = scores
+        .iter()
+        .map(|&v| Fixed::from_f64(v, cfg.input_format, Rounding::Nearest))
+        .collect();
+    let out = sm.forward_fixed(&quantized)?;
+    println!(
+        "softermax fixed point: probs {:?}, pow_sum {}, global_max {}, recip {:.4}",
+        out.probs_f64(),
+        out.pow_sum,
+        out.global_max,
+        out.recip.to_f64(),
+    );
+    println!("total probability mass: {:.4}", out.total_mass());
+
+    // The three agree to within the 8-bit output resolution.
+    for (i, (a, b)) in stable.iter().zip(out.probs_f64()).enumerate() {
+        assert!(
+            (a - b).abs() < 0.02,
+            "element {i} diverged: exact {a} vs fixed {b}"
+        );
+    }
+    println!("all three algorithms agree within 8-bit output resolution ✓");
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! End-to-end accuracy integration test: the paper's pretrain → QAT →
+//! Softermax-aware fine-tuning pipeline, shrunk to test size.
+//!
+//! The Table III claim at miniature scale: a model fine-tuned with the
+//! fixed-point Softermax performs comparably to the int8 baseline.
+
+use std::sync::Arc;
+
+use softermax_transformer::attention::SoftermaxAttention;
+use softermax_transformer::model::{ModelConfig, TransformerClassifier};
+use softermax_transformer::tasks::{train_test_split, Task};
+use softermax_transformer::train::{evaluate, finetune_with_softmax, train, TrainConfig};
+
+#[test]
+fn softermax_finetuning_matches_quantized_baseline() {
+    let task = Task::PatternMatch;
+    let seq_len = 8;
+    let data = task.generate(240, seq_len, 555);
+    let (train_set, test_set) = train_test_split(data, 0.8);
+    let cfg = ModelConfig::tiny(task.vocab_size(), seq_len, task.n_classes());
+
+    let pretrain = TrainConfig {
+        lr: 0.08,
+        epochs: 12,
+        grad_clip: 1.0,
+    };
+    let finetune = TrainConfig {
+        lr: 0.02,
+        epochs: 3,
+        grad_clip: 1.0,
+    };
+
+    // Baseline: pretrain exact, QAT fine-tune with exact softmax.
+    let mut baseline = TransformerClassifier::new(cfg.clone(), 11);
+    train(&mut baseline, &train_set, &pretrain);
+    baseline.enable_quantization();
+    train(&mut baseline, &train_set, &finetune);
+    let baseline_acc = evaluate(&mut baseline, &test_set);
+
+    // Softermax: identical pretraining, Softermax-aware QAT.
+    let mut softer = TransformerClassifier::new(cfg, 11);
+    train(&mut softer, &train_set, &pretrain);
+    finetune_with_softmax(
+        &mut softer,
+        Arc::new(SoftermaxAttention::paper()),
+        &train_set,
+        &finetune,
+    );
+    let softer_acc = evaluate(&mut softer, &test_set);
+
+    // Both must have learned the task...
+    assert!(baseline_acc > 0.6, "baseline failed to learn: {baseline_acc}");
+    assert!(softer_acc > 0.6, "softermax failed to learn: {softer_acc}");
+    // ...and Softermax must be within a few points of the baseline
+    // (the paper reports no average loss; at this miniature scale we
+    // allow a 15-point band to keep the test robust to SGD noise).
+    assert!(
+        softer_acc >= baseline_acc - 0.15,
+        "softermax {softer_acc} vs baseline {baseline_acc}"
+    );
+}
+
+#[test]
+fn pretrained_model_survives_backend_swap_without_finetuning() {
+    // Even before fine-tuning, swapping in Softermax should not destroy a
+    // pretrained model: base-2 vs base-e is a temperature change, and the
+    // fixed-point error is small. (Fine-tuning then recovers the rest.)
+    let task = Task::PatternMatch;
+    let seq_len = 8;
+    let data = task.generate(160, seq_len, 777);
+    let (train_set, test_set) = train_test_split(data, 0.75);
+    let cfg = ModelConfig::tiny(task.vocab_size(), seq_len, task.n_classes());
+
+    let mut model = TransformerClassifier::new(cfg, 13);
+    let pretrain = TrainConfig {
+        lr: 0.08,
+        epochs: 8,
+        grad_clip: 1.0,
+    };
+    train(&mut model, &train_set, &pretrain);
+    let acc_exact = evaluate(&mut model, &test_set);
+
+    model.set_softmax(Arc::new(SoftermaxAttention::paper()));
+    let acc_swapped = evaluate(&mut model, &test_set);
+
+    assert!(acc_exact > 0.6, "model failed to learn: {acc_exact}");
+    assert!(
+        acc_swapped >= acc_exact - 0.3,
+        "swap destroyed the model: {acc_exact} -> {acc_swapped}"
+    );
+}
