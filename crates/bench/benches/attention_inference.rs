@@ -6,28 +6,27 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use softermax_transformer::attention::{
-    AttentionSoftmax, Base2Softmax, ExactSoftmax, MultiHeadAttention, SoftermaxAttention,
-};
+use softermax_transformer::attention::{AttentionSoftmax, KernelSoftmax, MultiHeadAttention};
 use softermax_transformer::tensor::Matrix;
 
 fn bench_attention_backends(c: &mut Criterion) {
     let mut group = c.benchmark_group("mha_forward");
-    let backends: Vec<(&str, Arc<dyn AttentionSoftmax>)> = vec![
-        ("exact_base_e", Arc::new(ExactSoftmax)),
-        ("exact_base_2", Arc::new(Base2Softmax)),
-        ("softermax_fixed", Arc::new(SoftermaxAttention::paper())),
-    ];
+    let backends: Vec<(&str, Arc<dyn AttentionSoftmax>)> =
+        ["reference-e", "reference-2", "softermax"]
+            .iter()
+            .map(|name| {
+                let backend = KernelSoftmax::by_name(name).expect("built-in kernel");
+                (*name, Arc::new(backend) as Arc<dyn AttentionSoftmax>)
+            })
+            .collect();
     for (name, backend) in backends {
         for &seq in &[16usize, 64] {
             let mut rng = StdRng::seed_from_u64(3);
             let mut mha = MultiHeadAttention::new(32, 4, Arc::clone(&backend), &mut rng);
             let x = Matrix::xavier(seq, 32, &mut rng);
-            group.bench_with_input(
-                BenchmarkId::new(name, seq),
-                &x,
-                |b, x| b.iter(|| mha.forward(x)),
-            );
+            group.bench_with_input(BenchmarkId::new(name, seq), &x, |b, x| {
+                b.iter(|| mha.forward(x))
+            });
         }
     }
     group.finish();

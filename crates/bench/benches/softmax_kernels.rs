@@ -1,33 +1,26 @@
-//! Criterion throughput benches for the software softmax kernels:
-//! three-pass reference (base-e and base-2), single-pass online, and the
-//! full fixed-point Softermax pipeline, across the sequence lengths the
-//! paper sweeps. These quantify the *software-model* cost; the hardware
-//! energy/area story lives in the `table4`/`fig5` harness binaries.
+//! Criterion throughput benches for the software softmax kernels, driven
+//! entirely by the [`softermax::kernel::KernelRegistry`]: every
+//! registered backend is benchmarked across the sequence lengths the
+//! paper sweeps, so new backends show up here with no bench changes.
+//! These quantify the *software-model* cost; the hardware energy/area
+//! story lives in the `table4`/`fig5` harness binaries.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use softermax::online::online_softmax_base2;
-use softermax::reference::{softmax, softmax_base2};
-use softermax::{Softermax, SoftermaxConfig};
-use softermax_bench::attention_scores;
+use softermax::kernel::SoftermaxFixedKernel;
+use softermax::{SoftermaxConfig, SoftmaxKernel};
+use softermax_bench::{attention_scores, registry};
 
 fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("softmax_row");
-    let softermax = Softermax::new(SoftermaxConfig::paper());
+    let registry = registry();
     for &len in &[64usize, 384, 2048] {
         let row = attention_scores(len, 2.5, 42);
         group.throughput(Throughput::Elements(len as u64));
-        group.bench_with_input(BenchmarkId::new("reference_base_e", len), &row, |b, r| {
-            b.iter(|| softmax(r).expect("non-empty"));
-        });
-        group.bench_with_input(BenchmarkId::new("reference_base_2", len), &row, |b, r| {
-            b.iter(|| softmax_base2(r).expect("non-empty"));
-        });
-        group.bench_with_input(BenchmarkId::new("online_base_2", len), &row, |b, r| {
-            b.iter(|| online_softmax_base2(r).expect("non-empty"));
-        });
-        group.bench_with_input(BenchmarkId::new("softermax_fixed", len), &row, |b, r| {
-            b.iter(|| softermax.forward(r).expect("non-empty"));
-        });
+        for kernel in &registry {
+            group.bench_with_input(BenchmarkId::new(kernel.name(), len), &row, |b, r| {
+                b.iter(|| kernel.forward(r).expect("non-empty"));
+            });
+        }
     }
     group.finish();
 }
@@ -36,14 +29,14 @@ fn bench_slice_widths(c: &mut Criterion) {
     let mut group = c.benchmark_group("softermax_slice_width");
     let row = attention_scores(384, 2.5, 43);
     for &w in &[8usize, 16, 32] {
-        let sm = Softermax::new(
+        let kernel = SoftermaxFixedKernel::with_config(
             SoftermaxConfig::builder()
                 .slice_width(w)
                 .build()
                 .expect("valid config"),
         );
         group.bench_with_input(BenchmarkId::from_parameter(w), &row, |b, r| {
-            b.iter(|| sm.forward(r).expect("non-empty"));
+            b.iter(|| kernel.forward(r).expect("non-empty"));
         });
     }
     group.finish();

@@ -7,25 +7,21 @@
 //! 4. bitwidth sweep around Table I (output format precision);
 //! 5. online (1-pass) vs explicit-max (2-pass) input traffic.
 
-use softermax::{metrics, reference, Base, MaxMode, Softermax, SoftermaxConfig};
-use softermax_bench::{attention_scores, print_header};
+use softermax::kernel::SoftermaxFixedKernel;
+use softermax::{Base, MaxMode, SoftermaxConfig};
+use softermax_bench::{measure_fidelity, print_header, registry};
 use softermax_fixed::QFormat;
 use softermax_hw::pe::PeConfig;
 use softermax_hw::tech::TechParams;
 use softermax_hw::units::{BaselineUnnormedUnit, Pow2UnitHw, UnnormedSoftmaxUnit};
 
-fn operator_error(sm: &Softermax, rows: usize, len: usize) -> (f64, f64) {
-    let mut max_err: f64 = 0.0;
-    let mut kl = 0.0;
-    for r in 0..rows {
-        let scores = attention_scores(len, 2.5, 9000 + r as u64);
-        let got = sm.forward(&scores).expect("non-empty");
-        let quantized: Vec<f64> = scores.iter().map(|v| (v * 4.0).round() / 4.0).collect();
-        let want = reference::softmax_base2(&quantized).expect("non-empty");
-        max_err = max_err.max(metrics::max_abs_error(&got, &want));
-        kl += metrics::kl_divergence_smoothed(&want, &got, 1.0 / 256.0);
-    }
-    (max_err, kl / rows as f64)
+/// Fidelity of one Softermax pipeline configuration, measured through
+/// the `SoftmaxKernel` surface against the reference of its base family
+/// on the paper's 0.25 input grid.
+fn operator_error(cfg: SoftermaxConfig, rows: usize, len: usize, seed0: u64) -> (f64, f64, f64) {
+    let kernel = SoftermaxFixedKernel::with_config(cfg);
+    let f = measure_fidelity(&kernel, &registry(), rows, len, seed0, Some(0.25));
+    (f.max_err, f.kl, f.mass_err)
 }
 
 fn main() {
@@ -41,8 +37,7 @@ fn main() {
             .recip_segments(segs.min(16))
             .build()
             .expect("valid config");
-        let sm = Softermax::new(cfg.clone());
-        let (err, kl) = operator_error(&sm, 30, 128);
+        let (err, kl, _) = operator_error(cfg.clone(), 30, 128, 9000);
         let hw = Pow2UnitHw::new(&tech, cfg.input_format, cfg.unnormed_format, segs);
         println!("| {segs} | {err:.4} | {kl:.4} | {:.2} |", hw.area_um2());
     }
@@ -58,42 +53,49 @@ fn main() {
     print_header(&["MaxMode", "MaxAbsErr", "KL", "Renorm hardware"]);
     for (mode, name, hw_note) in [
         (MaxMode::Integer, "Integer (Softermax)", "barrel shifter"),
-        (MaxMode::Float, "Float (online softmax)", "shifter + LPW pow2 + multiplier"),
+        (
+            MaxMode::Float,
+            "Float (online softmax)",
+            "shifter + LPW pow2 + multiplier",
+        ),
     ] {
-        let sm = Softermax::new(
-            SoftermaxConfig::builder().max_mode(mode).build().expect("valid config"),
-        );
-        let (err, kl) = operator_error(&sm, 30, 128);
+        let cfg = SoftermaxConfig::builder()
+            .max_mode(mode)
+            .build()
+            .expect("valid config");
+        let (err, kl, _) = operator_error(cfg, 30, 128, 9000);
         println!("| {name} | {err:.4} | {kl:.4} | {hw_note} |");
     }
     let shifter = tech.shifter_energy_pj(16, 32);
     let mult = tech.int_mul_energy_pj(16, 16);
     println!("\nPer-renormalization energy: shifter {shifter:.4} pJ vs multiplier {mult:.4} pJ ");
-    println!("({:.1}x saved per event by the integer-max co-design)\n", mult / shifter);
+    println!(
+        "({:.1}x saved per event by the integer-max co-design)\n",
+        mult / shifter
+    );
 
     // ---- 3. Base-2 vs base-e ---------------------------------------------
     println!("# Ablation 3: base-2 vs base-e\n");
-    print_header(&["Base", "MaxAbsErr vs own reference", "Input pre-scale hardware"]);
+    print_header(&[
+        "Base",
+        "MaxAbsErr vs own reference",
+        "Input pre-scale hardware",
+    ]);
     for (base, name, hw_note) in [
         (Base::Two, "2 (Softermax)", "none"),
-        (Base::E, "e (conventional)", "log2(e) multiplier per element"),
+        (
+            Base::E,
+            "e (conventional)",
+            "log2(e) multiplier per element",
+        ),
     ] {
-        let sm = Softermax::new(
-            SoftermaxConfig::builder().base(base).build().expect("valid config"),
-        );
-        let mut max_err: f64 = 0.0;
-        for r in 0..30 {
-            let scores = attention_scores(64, 2.5, 11_000 + r);
-            let got = sm.forward(&scores).expect("non-empty");
-            let want = match base {
-                Base::Two => {
-                    let q: Vec<f64> = scores.iter().map(|v| (v * 4.0).round() / 4.0).collect();
-                    reference::softmax_base2(&q).expect("non-empty")
-                }
-                Base::E => reference::softmax(&scores).expect("non-empty"),
-            };
-            max_err = max_err.max(metrics::max_abs_error(&got, &want));
-        }
+        let cfg = SoftermaxConfig::builder()
+            .base(base)
+            .build()
+            .expect("valid config");
+        // measure_fidelity picks the reference of the kernel's own base
+        // family from the descriptor, so both rows are apples-to-apples.
+        let (max_err, _, _) = operator_error(cfg, 30, 64, 11_000);
         println!("| {name} | {max_err:.4} | {hw_note} |");
     }
     println!();
@@ -107,24 +109,19 @@ fn main() {
             .recip_format(QFormat::unsigned(1, frac))
             .build()
             .expect("valid config");
-        let sm = Softermax::new(cfg);
-        let mut max_err: f64 = 0.0;
-        let mut mass = 0.0;
-        for r in 0..30 {
-            let scores = attention_scores(64, 2.5, 13_000 + r);
-            let got = sm.forward(&scores).expect("non-empty");
-            let q: Vec<f64> = scores.iter().map(|v| (v * 4.0).round() / 4.0).collect();
-            let want = reference::softmax_base2(&q).expect("non-empty");
-            max_err = max_err.max(metrics::max_abs_error(&got, &want));
-            mass += metrics::mass_error(&got);
-        }
-        println!("| UQ(1,{frac}) | {max_err:.4} | {:.4} |", mass / 30.0);
+        let (max_err, _, mass) = operator_error(cfg, 30, 64, 13_000);
+        println!("| UQ(1,{frac}) | {max_err:.4} | {mass:.4} |");
     }
     println!("\nPaper choice: UQ(1,7) — 8-bit outputs slot into int8 MAC datapaths.\n");
 
     // ---- 5. One-pass vs two-pass input traffic ----------------------------
     println!("# Ablation 5: online (1-pass) vs explicit-max (2-pass) buffer traffic\n");
-    print_header(&["Design", "Passes", "Input reads/row (seq=384)", "Read energy/row (pJ)"]);
+    print_header(&[
+        "Design",
+        "Passes",
+        "Input reads/row (seq=384)",
+        "Read energy/row (pJ)",
+    ]);
     let ours = UnnormedSoftmaxUnit::new(&tech, width, &SoftermaxConfig::paper());
     let theirs = BaselineUnnormedUnit::new(&tech, width);
     for (name, passes) in [

@@ -1,90 +1,65 @@
 //! Cross-implementation fidelity comparison (extends the paper's §II-C
-//! related-work discussion with measurements): exact softmax, the
-//! DesignWare FP16 baseline (functional, via `softermax-fp16`), a
-//! 256-entry software-only int-LUT softmax (the Prato/Lin class), and
-//! the fixed-point Softermax pipeline — error against the exact softmax
-//! of the same quantized inputs, plus each scheme's hardware posture.
+//! related-work discussion with measurements), driven by the
+//! [`softermax::kernel::KernelRegistry`]: every registered backend is
+//! measured against the full-precision reference of its own base family
+//! on the same quantized inputs, then annotated with its hardware
+//! posture from the kernel descriptor.
 
-use softermax::baselines::LutSoftmax;
-use softermax::{metrics, reference, Softermax, SoftermaxConfig};
-use softermax_bench::{attention_scores, print_header};
-use softermax_fp16::softmax::softmax_fp16;
+use softermax::kernel::NormalizationKind;
+use softermax_bench::{measure_fidelity, print_header, registry};
 
 const ROWS: usize = 60;
 const LEN: usize = 128;
-
-struct Fidelity {
-    max_err: f64,
-    kl: f64,
-    mass_err: f64,
-    top1: usize,
-}
-
-fn measure(f: impl Fn(&[f64]) -> Vec<f64>, base2_reference: bool) -> Fidelity {
-    let mut out = Fidelity {
-        max_err: 0.0,
-        kl: 0.0,
-        mass_err: 0.0,
-        top1: 0,
-    };
-    for r in 0..ROWS {
-        let scores = attention_scores(LEN, 2.5, 21_000 + r as u64);
-        let quantized: Vec<f64> = scores.iter().map(|v| (v * 4.0).round() / 4.0).collect();
-        let got = f(&quantized);
-        let want = if base2_reference {
-            reference::softmax_base2(&quantized).expect("non-empty")
-        } else {
-            reference::softmax(&quantized).expect("non-empty")
-        };
-        out.max_err = out.max_err.max(metrics::max_abs_error(&got, &want));
-        out.kl += metrics::kl_divergence_smoothed(&want, &got, 1.0 / 256.0) / ROWS as f64;
-        out.mass_err += metrics::mass_error(&got) / ROWS as f64;
-        out.top1 += usize::from(metrics::top1_agree(&got, &want));
-    }
-    out
-}
+/// Input quantization grid (the paper's Q(6,2) step).
+const STEP: f64 = 0.25;
 
 fn main() {
     println!("# Softmax implementation fidelity ({ROWS} calibrated rows of length {LEN})\n");
+    println!("Inputs snapped to the {STEP} grid; error measured against the exact");
+    println!("softmax (same base) of the same quantized inputs.\n");
     print_header(&[
-        "Implementation",
+        "Kernel",
+        "Base",
+        "Bits",
         "MaxAbsErr",
         "KL (smoothed)",
         "MassErr",
         "Top-1",
         "Input passes",
-        "Hardware posture",
+        "Renormalization",
     ]);
 
-    let fp16 = measure(|row| softmax_fp16(row).expect("non-empty"), false);
-    println!(
-        "| FP16 3-pass (DesignWare, functional) | {:.4} | {:.4} | {:.4} | {}/{ROWS} | 2 | FP16 exp SFU + divider |",
-        fp16.max_err, fp16.kl, fp16.mass_err, fp16.top1
-    );
-
-    let lut = LutSoftmax::new(0.25).expect("valid step");
-    let lut_f = measure(|row| lut.forward(row).expect("non-empty"), false);
-    println!(
-        "| int8 LUT softmax (software-only, 256 entries) | {:.4} | {:.4} | {:.4} | {}/{ROWS} | {} | no HW gain (paper §II-C) |",
-        lut_f.max_err,
-        lut_f.kl,
-        lut_f.mass_err,
-        lut_f.top1,
-        lut.input_passes()
-    );
-
-    let sm = Softermax::new(SoftermaxConfig::paper());
-    let sm_f = measure(|row| sm.forward(row).expect("non-empty"), true);
-    println!(
-        "| Softermax fixed-point (this paper) | {:.4} | {:.4} | {:.4} | {}/{ROWS} | 1 | 4-entry LUT + shifters |",
-        sm_f.max_err, sm_f.kl, sm_f.mass_err, sm_f.top1
-    );
+    let registry = registry();
+    for kernel in &registry {
+        let d = kernel.descriptor();
+        let f = measure_fidelity(kernel.as_ref(), &registry, ROWS, LEN, 21_000, Some(STEP));
+        let renorm = match d.normalization {
+            NormalizationKind::ThreePass => "n/a (explicit max)",
+            NormalizationKind::Online => "multiplier",
+            NormalizationKind::OnlineIntegerMax => "bare shift",
+        };
+        println!(
+            "| {} | {} | {} | {:.4} | {:.4} | {:.4} | {}/{ROWS} | {} | {renorm} |",
+            d.name,
+            match d.base {
+                softermax::kernel::BaseKind::E => "e",
+                softermax::kernel::BaseKind::Two => "2",
+            },
+            d.bitwidth
+                .map_or_else(|| "f64".to_string(), |b| b.to_string()),
+            f.max_err,
+            f.kl,
+            f.mass_err,
+            f.top1,
+            d.input_passes,
+        );
+    }
 
     println!();
-    println!("Reading: all three approximations keep top-1 agreement and small");
-    println!("elementwise error — accuracy does not separate them (which is why the");
-    println!("paper fine-tunes through its scheme and wins on hardware instead).");
-    println!("Only Softermax does it in one input pass with shift-only");
-    println!("renormalization; the LUT scheme still needs the explicit max pass and");
-    println!("a {}-entry table vs Softermax's 4+4 entries.", lut.entries());
+    println!("Reading: all of the low-precision approximations keep top-1 agreement");
+    println!("and small elementwise error — accuracy does not separate them (which is");
+    println!("why the paper fine-tunes through its scheme and wins on hardware");
+    println!("instead). Only Softermax combines one input pass with shift-only");
+    println!("renormalization; the 256-entry LUT scheme still needs the explicit max");
+    println!("pass, and the FP16 baseline needs FP exp/divide units.");
 }

@@ -22,7 +22,12 @@ fn main() {
     println!("(unsigned stages are printed with a UQ prefix here; the paper's");
     println!("notation leaves signedness implicit)");
 
-    println!("\nLPW segments: pow2 = {} (paper: 4), recip = {}", cfg.pow2_segments, cfg.recip_segments);
-    println!("Total pow2 LUT storage: {} bits (vs 64-128 *entries* in general-purpose hardware)",
-        softermax::pow2::Pow2Unit::paper().table().storage_bits());
+    println!(
+        "\nLPW segments: pow2 = {} (paper: 4), recip = {}",
+        cfg.pow2_segments, cfg.recip_segments
+    );
+    println!(
+        "Total pow2 LUT storage: {} bits (vs 64-128 *entries* in general-purpose hardware)",
+        softermax::pow2::Pow2Unit::paper().table().storage_bits()
+    );
 }

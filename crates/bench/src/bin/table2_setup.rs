@@ -51,8 +51,14 @@ fn main() {
     }
     println!("\n## Technology (cost-model substitution for the paper's EDA flow)\n");
     println!("Node: {} @ {} V", tech.node, tech.supply_v);
-    println!("NAND2 gate equivalent: {} um2, {} pJ/toggle", tech.ge_area_um2, tech.ge_energy_pj);
-    println!("SRAM: {} um2/bit, {} pJ/bit read", tech.sram_area_um2_per_bit, tech.sram_read_pj_per_bit);
+    println!(
+        "NAND2 gate equivalent: {} um2, {} pJ/toggle",
+        tech.ge_area_um2, tech.ge_energy_pj
+    );
+    println!(
+        "SRAM: {} um2/bit, {} pJ/bit read",
+        tech.sram_area_um2_per_bit, tech.sram_read_pj_per_bit
+    );
     println!("\nThe paper used Catapult HLS + Design Compiler + PT-PX on TSMC 7nm;");
     println!("this reproduction prices both datapaths from the primitive constants");
     println!("above (see crates/hw/src/tech.rs for provenance).");

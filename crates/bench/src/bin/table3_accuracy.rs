@@ -14,9 +14,8 @@
 
 use std::sync::Arc;
 
-use softermax::{metrics, reference, Softermax, SoftermaxConfig};
-use softermax_bench::{attention_scores, print_header};
-use softermax_transformer::attention::SoftermaxAttention;
+use softermax_bench::{measure_fidelity, print_header, registry};
+use softermax_transformer::attention::KernelSoftmax;
 use softermax_transformer::model::{ModelConfig, TransformerClassifier};
 use softermax_transformer::tasks::{train_test_split, Task};
 use softermax_transformer::train::{evaluate, finetune_with_softmax, train, TrainConfig};
@@ -68,7 +67,7 @@ fn run_task_once(task: Task, model_cfg: &ModelConfig, seed: u64) -> (f64, f64) {
     train(&mut softer, &train_set, &pretrain_cfg);
     finetune_with_softmax(
         &mut softer,
-        Arc::new(SoftermaxAttention::paper()),
+        Arc::new(KernelSoftmax::softermax_paper()),
         &train_set,
         &finetune_cfg,
     );
@@ -84,8 +83,14 @@ fn main() {
 
     let mut records = Vec::new();
     for (model_name, make_cfg) in [
-        ("base", ModelConfig::tiny as fn(usize, usize, usize) -> ModelConfig),
-        ("large", ModelConfig::small as fn(usize, usize, usize) -> ModelConfig),
+        (
+            "base",
+            ModelConfig::tiny as fn(usize, usize, usize) -> ModelConfig,
+        ),
+        (
+            "large",
+            ModelConfig::small as fn(usize, usize, usize) -> ModelConfig,
+        ),
     ] {
         println!("## Mini-Transformer ({model_name})\n");
         print_header(&["Task", "Baseline acc", "Softermax acc", "Delta"]);
@@ -115,30 +120,21 @@ fn main() {
 
     // ---- Operator-level fidelity ---------------------------------------
     println!("## Softermax operator fidelity on calibrated attention rows\n");
-    print_header(&["RowLen", "KL (nats, smoothed)", "MaxAbsErr", "Top-1 agree", "MassErr"]);
-    let sm = Softermax::new(SoftermaxConfig::paper());
+    print_header(&[
+        "RowLen",
+        "KL (nats, smoothed)",
+        "MaxAbsErr",
+        "Top-1 agree",
+        "MassErr",
+    ]);
+    let reg = registry();
+    let kernel = reg.get("softermax").expect("built-in");
     for &len in &[16usize, 64, 128, 384] {
-        let mut kl = 0.0;
-        let mut max_err: f64 = 0.0;
-        let mut agree = 0usize;
-        let mut mass = 0.0;
         const ROWS: usize = 50;
-        for r in 0..ROWS {
-            let scores = attention_scores(len, 2.5, 7000 + r as u64);
-            let got = sm.forward(&scores).expect("non-empty row");
-            let quantized: Vec<f64> = scores.iter().map(|v| (v * 4.0).round() / 4.0).collect();
-            let want = reference::softmax_base2(&quantized).expect("non-empty row");
-            kl += metrics::kl_divergence_smoothed(&want, &got, 1.0 / 256.0);
-            max_err = max_err.max(metrics::max_abs_error(&got, &want));
-            agree += usize::from(metrics::top1_agree(&got, &want));
-            mass += metrics::mass_error(&got);
-        }
+        let f = measure_fidelity(kernel.as_ref(), &reg, ROWS, len, 7000, Some(0.25));
         println!(
             "| {len} | {:.4} | {:.4} | {}/{ROWS} | {:.3} |",
-            kl / ROWS as f64,
-            max_err,
-            agree,
-            mass / ROWS as f64
+            f.kl, f.max_err, f.top1, f.mass_err
         );
     }
     println!(

@@ -17,6 +17,8 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use softermax::kernel::{BaseKind, KernelRegistry, SoftmaxKernel};
+use softermax::metrics;
 
 /// Generates a realistic attention-score row: calibrated-range Gaussian
 /// scores (most mass in [-8, 8], as produced by scaled dot-product
@@ -43,6 +45,81 @@ pub fn attention_scores(len: usize, std_dev: f64, seed: u64) -> Vec<f64> {
         .collect()
 }
 
+/// The softmax backend registry every harness binary dispatches through
+/// (a cheap clone of the shared instance: kernels are `Arc`-shared).
+#[must_use]
+pub fn registry() -> KernelRegistry {
+    KernelRegistry::global().clone()
+}
+
+/// Distribution-fidelity measurements of one kernel against the
+/// full-precision reference of its own base family.
+#[derive(Debug, Clone, Copy)]
+pub struct Fidelity {
+    /// Worst elementwise absolute error across all rows.
+    pub max_err: f64,
+    /// Mean smoothed KL divergence (nats).
+    pub kl: f64,
+    /// Mean `|Σp - 1|`.
+    pub mass_err: f64,
+    /// Rows where the kernel's argmax matches the reference's.
+    pub top1: usize,
+    /// Number of rows measured.
+    pub rows: usize,
+}
+
+/// Measures `kernel` on `rows` calibrated attention rows of length `len`
+/// against the reference kernel of its own base family (taken from
+/// `registry`).
+///
+/// When `quantize_step` is set, inputs are snapped to that grid first, so
+/// low-precision kernels are compared against the reference *of the same
+/// quantized inputs* (the paper's accuracy-measurement convention).
+///
+/// # Panics
+///
+/// Panics if `registry` lacks the reference kernels (the built-in
+/// registry always has them).
+#[must_use]
+pub fn measure_fidelity(
+    kernel: &dyn SoftmaxKernel,
+    registry: &KernelRegistry,
+    rows: usize,
+    len: usize,
+    seed0: u64,
+    quantize_step: Option<f64>,
+) -> Fidelity {
+    let reference_name = match kernel.descriptor().base {
+        BaseKind::E => "reference-e",
+        BaseKind::Two => "reference-2",
+    };
+    let reference = registry
+        .get(reference_name)
+        .expect("reference kernels are registered");
+    let mut out = Fidelity {
+        max_err: 0.0,
+        kl: 0.0,
+        mass_err: 0.0,
+        top1: 0,
+        rows,
+    };
+    for r in 0..rows {
+        let mut scores = attention_scores(len, 2.5, seed0 + r as u64);
+        if let Some(step) = quantize_step {
+            for v in &mut scores {
+                *v = (*v / step).round() * step;
+            }
+        }
+        let got = kernel.forward(&scores).expect("non-empty row");
+        let want = reference.forward(&scores).expect("non-empty row");
+        out.max_err = out.max_err.max(metrics::max_abs_error(&got, &want));
+        out.kl += metrics::kl_divergence_smoothed(&want, &got, 1.0 / 256.0) / rows as f64;
+        out.mass_err += metrics::mass_error(&got) / rows as f64;
+        out.top1 += usize::from(metrics::top1_agree(&got, &want));
+    }
+    out
+}
+
 /// Prints a markdown-style table row.
 pub fn print_row(cells: &[String]) {
     println!("| {} |", cells.join(" | "));
@@ -51,7 +128,10 @@ pub fn print_row(cells: &[String]) {
 /// Prints a markdown-style table header with separator.
 pub fn print_header(cells: &[&str]) {
     println!("| {} |", cells.join(" | "));
-    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 /// Formats a ratio as the paper does ("0.25x").
@@ -85,5 +165,27 @@ mod tests {
     fn ratio_formatting() {
         assert_eq!(fmt_ratio(0.25), "0.25x");
         assert_eq!(fmt_ratio(2.349), "2.35x");
+    }
+
+    #[test]
+    fn fidelity_of_reference_against_itself_is_exact() {
+        let registry = registry();
+        let k = registry.get("reference-2").unwrap();
+        let f = measure_fidelity(k.as_ref(), &registry, 5, 32, 42, None);
+        assert!(f.max_err < 1e-12);
+        assert_eq!(f.top1, 5);
+    }
+
+    #[test]
+    fn fidelity_of_softermax_is_within_documented_tolerance() {
+        let registry = registry();
+        let k = registry.get("softermax").unwrap();
+        let f = measure_fidelity(k.as_ref(), &registry, 10, 64, 42, Some(0.25));
+        assert!(f.max_err < 0.04, "max err {}", f.max_err);
+        assert!(
+            f.mass_err < k.descriptor().mass_tolerance(64),
+            "mass {}",
+            f.mass_err
+        );
     }
 }

@@ -1,8 +1,12 @@
 //! Command parsing and dispatch for the `softermax` CLI.
+//!
+//! Backend selection goes exclusively through the
+//! [`softermax::kernel::KernelRegistry`]: the CLI has no knowledge of
+//! individual softmax implementations, so newly registered kernels show
+//! up in `softmax`, `compare` and `kernels` automatically.
 
-use softermax::baselines::LutSoftmax;
-use softermax::{metrics, online, reference, Softermax, SoftermaxConfig};
-use softermax_fp16::softmax::softmax_fp16;
+use softermax::kernel::{BaseKind, KernelRegistry};
+use softermax::{metrics, SoftermaxConfig};
 use softermax_hw::accel::Accelerator;
 use softermax_hw::pe::PeConfig;
 use softermax_hw::workload::AttentionShape;
@@ -11,10 +15,13 @@ use softermax_hw::workload::AttentionShape;
 pub const USAGE: &str = "usage:
   softermax softmax [--backend <name>] <score>...   compute one softmax row
   softermax compare <score>...                      all backends side by side
+  softermax kernels                                 list registered backends
   softermax hw [--width 16|32] [--seq N]            hardware comparison report
   softermax config                                  print the paper configuration
 
-backends: exact | base2 | online | intmax | fp16 | lut | softermax (default)";
+backends: every name/alias in `softermax kernels`, e.g.
+  reference-e (exact) | reference-2 (base2) | online-2 (online) |
+  online-intmax (intmax) | fp16 | lut8 (lut) | softermax (default)";
 
 /// Parses and executes one CLI invocation.
 ///
@@ -26,6 +33,10 @@ pub fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("softmax") => cmd_softmax(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
+        Some("kernels") => {
+            cmd_kernels();
+            Ok(())
+        }
         Some("hw") => cmd_hw(&args[1..]),
         Some("config") => {
             cmd_config();
@@ -49,22 +60,10 @@ fn parse_scores(args: &[String]) -> Result<Vec<f64>, String> {
 }
 
 fn eval_backend(name: &str, scores: &[f64]) -> Result<Vec<f64>, String> {
-    let err = |e: softermax::SoftmaxError| e.to_string();
-    match name {
-        "exact" => reference::softmax(scores).map_err(err),
-        "base2" => reference::softmax_base2(scores).map_err(err),
-        "online" => online::online_softmax_base2(scores).map_err(err),
-        "intmax" => online::online_softmax_intmax(scores).map_err(err),
-        "fp16" => softmax_fp16(scores).ok_or_else(|| "empty input".to_string()),
-        "lut" => LutSoftmax::new(0.25)
-            .map_err(err)?
-            .forward(scores)
-            .map_err(err),
-        "softermax" => Softermax::new(SoftermaxConfig::paper())
-            .forward(scores)
-            .map_err(err),
-        other => Err(format!("unknown backend '{other}'")),
-    }
+    let kernel = KernelRegistry::global()
+        .get(name)
+        .ok_or_else(|| format!("unknown backend '{name}' (see `softermax kernels`)"))?;
+    kernel.forward(scores).map_err(|e| e.to_string())
 }
 
 fn cmd_softmax(args: &[String]) -> Result<(), String> {
@@ -88,23 +87,62 @@ fn cmd_softmax(args: &[String]) -> Result<(), String> {
 
 fn cmd_compare(args: &[String]) -> Result<(), String> {
     let scores = parse_scores(args)?;
-    let reference = reference::softmax_base2(&scores).map_err(|e| e.to_string())?;
-    println!("{:<12} {}", "backend", "probabilities");
-    for backend in ["exact", "base2", "online", "intmax", "fp16", "lut", "softermax"] {
-        let probs = eval_backend(backend, &scores)?;
-        let tag = if backend == "exact" || backend == "fp16" || backend == "lut" {
-            // These use base e; compare against their own family below.
-            String::new()
-        } else {
-            format!(
-                "  (max |Δ| vs base-2 reference: {:.4})",
-                metrics::max_abs_error(&probs, &reference)
-            )
+    let registry = KernelRegistry::global();
+    // Per-family ground truths, looked up from the registry itself.
+    let reference_of = |base: BaseKind| {
+        let name = match base {
+            BaseKind::E => "reference-e",
+            BaseKind::Two => "reference-2",
+        };
+        registry
+            .get(name)
+            .expect("reference kernels are always registered")
+            .forward(&scores)
+            .map_err(|e| e.to_string())
+    };
+    let want_e = reference_of(BaseKind::E)?;
+    let want_2 = reference_of(BaseKind::Two)?;
+    println!("{:<16} probabilities", "backend");
+    for kernel in registry {
+        let probs = kernel.forward(&scores).map_err(|e| e.to_string())?;
+        let desc = kernel.descriptor();
+        let (want, family) = match desc.base {
+            BaseKind::E => (&want_e, "e"),
+            BaseKind::Two => (&want_2, "2"),
         };
         let rendered: Vec<String> = probs.iter().map(|p| format!("{p:.4}")).collect();
-        println!("{backend:<12} [{}]{tag}", rendered.join(", "));
+        println!(
+            "{:<16} [{}]  (max |Δ| vs base-{family} reference: {:.4})",
+            kernel.name(),
+            rendered.join(", "),
+            metrics::max_abs_error(&probs, want),
+        );
     }
     Ok(())
+}
+
+fn cmd_kernels() {
+    let registry = KernelRegistry::global();
+    println!(
+        "{:<16} {:<8} {:<18} {:<8} {:<7} aliases",
+        "name", "base", "normalization", "bits", "passes"
+    );
+    for kernel in registry {
+        let d = kernel.descriptor();
+        println!(
+            "{:<16} {:<8} {:<18} {:<8} {:<7} {}",
+            d.name,
+            match d.base {
+                BaseKind::E => "e",
+                BaseKind::Two => "2",
+            },
+            format!("{:?}", d.normalization),
+            d.bitwidth
+                .map_or_else(|| "f64".to_string(), |b| b.to_string()),
+            d.input_passes,
+            d.aliases.join(", "),
+        );
+    }
 }
 
 fn cmd_hw(args: &[String]) -> Result<(), String> {
@@ -193,8 +231,35 @@ mod tests {
     }
 
     #[test]
-    fn softmax_all_backends_work() {
-        for b in ["exact", "base2", "online", "intmax", "fp16", "lut", "softermax"] {
+    fn softmax_all_canonical_names_work() {
+        for kernel in &KernelRegistry::with_builtins() {
+            assert!(
+                run(&s(&[
+                    "softmax",
+                    "--backend",
+                    kernel.name(),
+                    "1.5",
+                    "-0.5",
+                    "0.25"
+                ]))
+                .is_ok(),
+                "backend {}",
+                kernel.name()
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_historical_aliases_still_work() {
+        for b in [
+            "exact",
+            "base2",
+            "online",
+            "intmax",
+            "fp16",
+            "lut",
+            "softermax",
+        ] {
             assert!(
                 run(&s(&["softmax", "--backend", b, "1.5", "-0.5", "0.25"])).is_ok(),
                 "backend {b}"
@@ -213,6 +278,11 @@ mod tests {
     #[test]
     fn compare_works() {
         assert!(run(&s(&["compare", "2", "1", "3"])).is_ok());
+    }
+
+    #[test]
+    fn kernels_lists_the_registry() {
+        assert!(run(&s(&["kernels"])).is_ok());
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! `softermax` — command-line interface to the reproduction.
 //!
 //! ```text
-//! softermax softmax  [--backend exact|base2|online|fp16|lut|softermax] 2 1 3
-//! softermax compare  2 1 3            # all backends side by side
+//! softermax softmax  [--backend <kernel-name>] 2 1 3
+//! softermax compare  2 1 3            # every registered backend side by side
+//! softermax kernels                   # list the SoftmaxKernel registry
 //! softermax hw       [--width 16|32] [--seq 384]
 //! softermax config                    # print the paper configuration
 //! ```

@@ -285,7 +285,10 @@ mod tests {
     #[test]
     fn validation_rejects_bad_segments() {
         assert!(SoftermaxConfig::builder().pow2_segments(3).build().is_err());
-        assert!(SoftermaxConfig::builder().recip_segments(0).build().is_err());
+        assert!(SoftermaxConfig::builder()
+            .recip_segments(0)
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -31,7 +31,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert_eq!(SoftmaxError::EmptyInput.to_string(), "softmax input is empty");
+        assert_eq!(
+            SoftmaxError::EmptyInput.to_string(),
+            "softmax input is empty"
+        );
         assert!(SoftmaxError::InvalidConfig("slice width 0".into())
             .to_string()
             .contains("slice width 0"));

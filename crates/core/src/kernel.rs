@@ -1,0 +1,885 @@
+//! The unified softmax backend surface: [`SoftmaxKernel`] + [`KernelRegistry`].
+//!
+//! The paper is an ablation study by construction — base replacement,
+//! low-precision fixed-point computation, and online normalization are
+//! evaluated independently against fp32/fp16/LUT baselines. Every one of
+//! those variants is therefore a *backend* of the same operation, and
+//! everything downstream (the CLI, the bench harness, the transformer's
+//! attention) selects backends through this trait instead of calling
+//! `reference::softmax` / `softmax_fp16` / `LutSoftmax::forward` /
+//! `Softermax::forward` directly.
+//!
+//! * [`SoftmaxKernel::forward`] — one-shot row softmax;
+//! * [`SoftmaxKernel::begin_row`] — a streaming accumulator handle,
+//!   mirroring the hardware's slice-at-a-time operation (genuinely
+//!   streaming for the Softermax pipeline and the online normalizer,
+//!   buffering for the inherently multi-pass backends);
+//! * [`KernelDescriptor`] — machine-readable metadata (base, bitwidth,
+//!   normalization strategy, pass count, documented mass tolerance) so
+//!   harnesses can group/compare backends without name matching;
+//! * [`KernelRegistry`] — enumerates all built-in variants by name (with
+//!   the historical CLI aliases) and accepts custom registrations, e.g.
+//!   ablation configurations.
+//!
+//! # Example
+//!
+//! ```
+//! use softermax::kernel::KernelRegistry;
+//!
+//! let registry = KernelRegistry::with_builtins();
+//! assert!(registry.len() >= 5);
+//!
+//! let kernel = registry.get("softermax").expect("built-in");
+//! let probs = kernel.forward(&[2.0, 1.0, 3.0])?;
+//! assert!((probs.iter().sum::<f64>() - 1.0).abs() < 0.05);
+//!
+//! // Streaming, slice by slice, gives the same answer.
+//! let mut row = kernel.begin_row();
+//! row.extend(&[2.0, 1.0]);
+//! row.extend(&[3.0]);
+//! assert_eq!(row.finish()?, probs);
+//! # Ok::<(), softermax::SoftmaxError>(())
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+
+use softermax_fixed::{Fixed, Rounding};
+use softermax_fp16::softmax::softmax_fp16;
+
+use crate::baselines::LutSoftmax;
+use crate::config::{Base, MaxMode};
+use crate::online::OnlineNormalizer;
+use crate::reference;
+use crate::{Result, Softermax, SoftermaxConfig, SoftmaxError};
+
+/// Which exponential base a kernel normalizes with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaseKind {
+    /// Natural base (`e^x`).
+    E,
+    /// Base replacement (`2^x`), the Softermax co-design choice.
+    Two,
+}
+
+impl BaseKind {
+    /// Jacobian scale of the softmax under this base (`d b^x/dx = ln b · b^x`):
+    /// 1 for base *e*, `ln 2` for base 2. Used by training code.
+    #[must_use]
+    pub fn grad_scale(self) -> f64 {
+        match self {
+            BaseKind::E => 1.0,
+            BaseKind::Two => std::f64::consts::LN_2,
+        }
+    }
+}
+
+/// How a kernel computes the stabilizing maximum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NormalizationKind {
+    /// Classic three-pass: explicit max pass, exponential/sum pass,
+    /// division pass.
+    ThreePass,
+    /// Online (Milakov–Gimelshein): running max and renormalized running
+    /// sum fused into one input pass.
+    Online,
+    /// Online with the Softermax integer max: renormalization exponents
+    /// are integral, so hardware renormalizes with a bare shift.
+    OnlineIntegerMax,
+}
+
+/// Machine-readable description of a softmax backend.
+#[derive(Debug, Clone)]
+pub struct KernelDescriptor {
+    /// Canonical registry name.
+    pub name: String,
+    /// Alternative lookup names (the historical CLI spellings).
+    pub aliases: Vec<String>,
+    /// Exponential base.
+    pub base: BaseKind,
+    /// Max/normalization strategy.
+    pub normalization: NormalizationKind,
+    /// Dominant datapath width in bits; `None` means full-precision `f64`
+    /// software arithmetic.
+    pub bitwidth: Option<u32>,
+    /// Passes over the input row (1 = online, 2 = explicit max).
+    pub input_passes: u32,
+    /// Documented bound on `|Σp - 1|` for a row of length 1.
+    pub mass_tol_abs: f64,
+    /// Additional mass-error allowance per row element (low-precision
+    /// outputs accumulate rounding per element).
+    pub mass_tol_per_element: f64,
+}
+
+impl KernelDescriptor {
+    /// Documented bound on `|Σ probs - 1|` for a row of `len` elements.
+    #[must_use]
+    pub fn mass_tolerance(&self, len: usize) -> f64 {
+        self.mass_tol_abs + self.mass_tol_per_element * len as f64
+    }
+
+    /// Whether `name` matches the canonical name or an alias.
+    #[must_use]
+    pub fn answers_to(&self, name: &str) -> bool {
+        self.name == name || self.aliases.iter().any(|a| a == name)
+    }
+}
+
+/// A row-wise softmax backend.
+///
+/// Implementations are `Send + Sync` so a single instance can be shared
+/// across threads (e.g. one kernel behind an `Arc` serving every layer
+/// of a model).
+pub trait SoftmaxKernel: fmt::Debug + Send + Sync {
+    /// The backend's metadata.
+    fn descriptor(&self) -> &KernelDescriptor;
+
+    /// Canonical backend name.
+    fn name(&self) -> &str {
+        &self.descriptor().name
+    }
+
+    /// One-shot softmax over a row of real-valued scores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SoftmaxError::EmptyInput`] for an empty row, or a
+    /// backend-specific error (e.g. [`SoftmaxError::DivisionByZero`]).
+    fn forward(&self, row: &[f64]) -> Result<Vec<f64>>;
+
+    /// Starts a streaming accumulation of one row.
+    ///
+    /// The default contract: pushing the elements of `row` in order and
+    /// calling [`RowAccumulator::finish`] produces exactly
+    /// `self.forward(row)`.
+    fn begin_row(&self) -> Box<dyn RowAccumulator + '_>;
+}
+
+/// Streaming state for one softmax row (see [`SoftmaxKernel::begin_row`]).
+pub trait RowAccumulator {
+    /// Absorbs one score.
+    fn push(&mut self, x: f64);
+
+    /// Absorbs a slice of scores.
+    fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Number of scores absorbed so far.
+    fn len(&self) -> usize;
+
+    /// Whether no score has been absorbed yet.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Completes the row and returns the probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SoftmaxError::EmptyInput`] if nothing was absorbed.
+    fn finish(self: Box<Self>) -> Result<Vec<f64>>;
+}
+
+/// Buffering accumulator for backends that are inherently multi-pass
+/// (three-pass reference, fp16 baseline, LUT baseline): scores are
+/// collected and the kernel's `forward` runs at `finish`.
+struct BufferedRow<'k> {
+    kernel: &'k dyn SoftmaxKernel,
+    buf: Vec<f64>,
+}
+
+impl RowAccumulator for BufferedRow<'_> {
+    fn push(&mut self, x: f64) {
+        self.buf.push(x);
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn finish(self: Box<Self>) -> Result<Vec<f64>> {
+        self.kernel.forward(&self.buf)
+    }
+}
+
+// --- full-precision reference kernels --------------------------------------
+
+/// Three-pass numerically-stable reference softmax in `f64`.
+#[derive(Debug, Clone)]
+pub struct ReferenceKernel {
+    descriptor: KernelDescriptor,
+    base: f64,
+}
+
+impl ReferenceKernel {
+    /// The base-*e* ground truth (`reference-e`).
+    #[must_use]
+    pub fn base_e() -> Self {
+        Self {
+            descriptor: KernelDescriptor {
+                name: "reference-e".to_string(),
+                aliases: vec!["exact".to_string(), "reference".to_string()],
+                base: BaseKind::E,
+                normalization: NormalizationKind::ThreePass,
+                bitwidth: None,
+                input_passes: 2,
+                mass_tol_abs: 1e-9,
+                mass_tol_per_element: 0.0,
+            },
+            base: std::f64::consts::E,
+        }
+    }
+
+    /// The base-2 ground truth (`reference-2`), the base-replacement
+    /// ablation at full precision.
+    #[must_use]
+    pub fn base_2() -> Self {
+        Self {
+            descriptor: KernelDescriptor {
+                name: "reference-2".to_string(),
+                aliases: vec!["base2".to_string()],
+                base: BaseKind::Two,
+                normalization: NormalizationKind::ThreePass,
+                bitwidth: None,
+                input_passes: 2,
+                mass_tol_abs: 1e-9,
+                mass_tol_per_element: 0.0,
+            },
+            base: 2.0,
+        }
+    }
+}
+
+impl SoftmaxKernel for ReferenceKernel {
+    fn descriptor(&self) -> &KernelDescriptor {
+        &self.descriptor
+    }
+
+    fn forward(&self, row: &[f64]) -> Result<Vec<f64>> {
+        reference::softmax_with_base(row, self.base)
+    }
+
+    fn begin_row(&self) -> Box<dyn RowAccumulator + '_> {
+        Box::new(BufferedRow {
+            kernel: self,
+            buf: Vec::new(),
+        })
+    }
+}
+
+// --- online-normalizer kernels ---------------------------------------------
+
+/// Single-input-pass online softmax in `f64` (Milakov–Gimelshein), with
+/// the optional Softermax integer max.
+#[derive(Debug, Clone)]
+pub struct OnlineKernel {
+    descriptor: KernelDescriptor,
+    base: f64,
+    integer_max: bool,
+}
+
+impl OnlineKernel {
+    /// Online normalization, base *e* (`online-e`).
+    #[must_use]
+    pub fn base_e() -> Self {
+        Self {
+            descriptor: KernelDescriptor {
+                name: "online-e".to_string(),
+                aliases: vec![],
+                base: BaseKind::E,
+                normalization: NormalizationKind::Online,
+                bitwidth: None,
+                input_passes: 1,
+                mass_tol_abs: 1e-9,
+                mass_tol_per_element: 0.0,
+            },
+            base: std::f64::consts::E,
+            integer_max: false,
+        }
+    }
+
+    /// Online normalization, base 2 (`online-2`).
+    #[must_use]
+    pub fn base_2() -> Self {
+        Self {
+            descriptor: KernelDescriptor {
+                name: "online-2".to_string(),
+                aliases: vec!["online".to_string()],
+                base: BaseKind::Two,
+                normalization: NormalizationKind::Online,
+                bitwidth: None,
+                input_passes: 1,
+                mass_tol_abs: 1e-9,
+                mass_tol_per_element: 0.0,
+            },
+            base: 2.0,
+            integer_max: false,
+        }
+    }
+
+    /// Online normalization, base 2, integer max (`online-intmax`) — the
+    /// right-hand algorithm of the paper's Figure 3 in full precision.
+    #[must_use]
+    pub fn intmax() -> Self {
+        Self {
+            descriptor: KernelDescriptor {
+                name: "online-intmax".to_string(),
+                aliases: vec!["intmax".to_string()],
+                base: BaseKind::Two,
+                normalization: NormalizationKind::OnlineIntegerMax,
+                bitwidth: None,
+                input_passes: 1,
+                mass_tol_abs: 1e-9,
+                mass_tol_per_element: 0.0,
+            },
+            base: 2.0,
+            integer_max: true,
+        }
+    }
+
+    fn normalizer(&self) -> OnlineNormalizer {
+        let n = OnlineNormalizer::with_base(self.base);
+        if self.integer_max {
+            n.with_integer_max()
+        } else {
+            n
+        }
+    }
+}
+
+impl SoftmaxKernel for OnlineKernel {
+    fn descriptor(&self) -> &KernelDescriptor {
+        &self.descriptor
+    }
+
+    fn forward(&self, row: &[f64]) -> Result<Vec<f64>> {
+        let mut n = self.normalizer();
+        n.extend(row.iter().copied());
+        n.finalize(row)
+    }
+
+    fn begin_row(&self) -> Box<dyn RowAccumulator + '_> {
+        Box::new(OnlineRow {
+            normalizer: self.normalizer(),
+            inputs: Vec::new(),
+        })
+    }
+}
+
+/// Streaming state for [`OnlineKernel`]: the running max/sum pair is
+/// maintained online; inputs are retained only for the final division
+/// pass (as the hardware retains unnormed numerators).
+struct OnlineRow {
+    normalizer: OnlineNormalizer,
+    inputs: Vec<f64>,
+}
+
+impl RowAccumulator for OnlineRow {
+    fn push(&mut self, x: f64) {
+        self.normalizer.push(x);
+        self.inputs.push(x);
+    }
+
+    fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    fn finish(self: Box<Self>) -> Result<Vec<f64>> {
+        self.normalizer.finalize(&self.inputs)
+    }
+}
+
+// --- low-precision baseline kernels ----------------------------------------
+
+/// The DesignWare-class FP16 baseline: three-pass softmax computed
+/// entirely in binary16 (`fp16`).
+#[derive(Debug, Clone)]
+pub struct Fp16Kernel {
+    descriptor: KernelDescriptor,
+}
+
+impl Fp16Kernel {
+    /// Builds the fp16 baseline kernel.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            descriptor: KernelDescriptor {
+                name: "fp16".to_string(),
+                aliases: vec!["designware".to_string()],
+                base: BaseKind::E,
+                normalization: NormalizationKind::ThreePass,
+                bitwidth: Some(16),
+                input_passes: 2,
+                // FP16 rounding of each output plus accumulation error;
+                // grows with row length (the sum sticks once its ULP
+                // exceeds the addends).
+                mass_tol_abs: 0.01,
+                mass_tol_per_element: 5e-4,
+            },
+        }
+    }
+}
+
+impl Default for Fp16Kernel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SoftmaxKernel for Fp16Kernel {
+    fn descriptor(&self) -> &KernelDescriptor {
+        &self.descriptor
+    }
+
+    fn forward(&self, row: &[f64]) -> Result<Vec<f64>> {
+        softmax_fp16(row).ok_or(SoftmaxError::EmptyInput)
+    }
+
+    fn begin_row(&self) -> Box<dyn RowAccumulator + '_> {
+        Box::new(BufferedRow {
+            kernel: self,
+            buf: Vec::new(),
+        })
+    }
+}
+
+/// The software-only 256-entry integer LUT baseline (`lut8`), the
+/// Prato/Lin class of scheme the paper's §II-C surveys.
+#[derive(Debug, Clone)]
+pub struct LutKernel {
+    descriptor: KernelDescriptor,
+    lut: LutSoftmax,
+}
+
+impl LutKernel {
+    /// Builds the LUT baseline with the paper-matched 0.25 input step.
+    ///
+    /// # Panics
+    ///
+    /// Never: the fixed step is valid.
+    #[must_use]
+    pub fn paper_step() -> Self {
+        Self::with_step(0.25).expect("0.25 is a valid LUT step")
+    }
+
+    /// Builds the LUT baseline with a custom input quantization step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SoftmaxError::InvalidConfig`] for a non-positive step.
+    pub fn with_step(step: f64) -> Result<Self> {
+        Ok(Self {
+            descriptor: KernelDescriptor {
+                name: "lut8".to_string(),
+                aliases: vec!["lut".to_string()],
+                base: BaseKind::E,
+                normalization: NormalizationKind::ThreePass,
+                bitwidth: Some(8),
+                input_passes: 2,
+                mass_tol_abs: 0.01,
+                mass_tol_per_element: 1e-4,
+            },
+            lut: LutSoftmax::new(step)?,
+        })
+    }
+
+    /// The underlying LUT operator.
+    #[must_use]
+    pub fn lut(&self) -> &LutSoftmax {
+        &self.lut
+    }
+}
+
+impl SoftmaxKernel for LutKernel {
+    fn descriptor(&self) -> &KernelDescriptor {
+        &self.descriptor
+    }
+
+    fn forward(&self, row: &[f64]) -> Result<Vec<f64>> {
+        self.lut.forward(row)
+    }
+
+    fn begin_row(&self) -> Box<dyn RowAccumulator + '_> {
+        Box::new(BufferedRow {
+            kernel: self,
+            buf: Vec::new(),
+        })
+    }
+}
+
+// --- the Softermax fixed-point kernel --------------------------------------
+
+/// The full fixed-point Softermax pipeline as a kernel (`softermax`).
+#[derive(Debug, Clone)]
+pub struct SoftermaxFixedKernel {
+    descriptor: KernelDescriptor,
+    sm: Softermax,
+}
+
+impl SoftermaxFixedKernel {
+    /// The paper's Table I configuration.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::with_config_named(SoftermaxConfig::paper(), "softermax")
+    }
+
+    /// A custom pipeline configuration under the default name
+    /// (`softermax`). Use [`with_config_named`](Self::with_config_named)
+    /// to register several variants side by side.
+    #[must_use]
+    pub fn with_config(config: SoftermaxConfig) -> Self {
+        Self::with_config_named(config, "softermax")
+    }
+
+    /// A custom pipeline configuration under a custom registry name
+    /// (ablation sweeps register e.g. `softermax/pow2-segs-16`).
+    #[must_use]
+    pub fn with_config_named(config: SoftermaxConfig, name: &str) -> Self {
+        let base = match config.base {
+            Base::Two => BaseKind::Two,
+            Base::E => BaseKind::E,
+        };
+        let normalization = match config.max_mode {
+            MaxMode::Integer => NormalizationKind::OnlineIntegerMax,
+            MaxMode::Float => NormalizationKind::Online,
+        };
+        let bitwidth = Some(config.output_format.total_bits());
+        let aliases = if name == "softermax" {
+            vec!["softermax-fixed-point".to_string(), "fixed".to_string()]
+        } else {
+            vec![]
+        };
+        // Output LSB is 2^-frac_bits; each element can mis-round by one
+        // LSB, and the reciprocal path contributes a few LSBs of bias.
+        let lsb = config.output_format.resolution();
+        Self {
+            descriptor: KernelDescriptor {
+                name: name.to_string(),
+                aliases,
+                base,
+                normalization,
+                bitwidth,
+                input_passes: 1,
+                mass_tol_abs: 0.05,
+                mass_tol_per_element: lsb,
+            },
+            sm: Softermax::new(config),
+        }
+    }
+
+    /// The underlying operator.
+    #[must_use]
+    pub fn operator(&self) -> &Softermax {
+        &self.sm
+    }
+}
+
+impl SoftmaxKernel for SoftermaxFixedKernel {
+    fn descriptor(&self) -> &KernelDescriptor {
+        &self.descriptor
+    }
+
+    fn forward(&self, row: &[f64]) -> Result<Vec<f64>> {
+        self.sm.forward(row)
+    }
+
+    fn begin_row(&self) -> Box<dyn RowAccumulator + '_> {
+        Box::new(SoftermaxRow {
+            sm: &self.sm,
+            acc: self.sm.accumulator(),
+            slice: Vec::with_capacity(self.sm.config().slice_width),
+            count: 0,
+        })
+    }
+}
+
+/// Streaming state for [`SoftermaxFixedKernel`]: scores are quantized to
+/// the input format and fed to the genuinely streaming fixed-point
+/// accumulator (running integer max, shift-renormalized running sum).
+/// Elements are grouped into full hardware slices before they hit the
+/// accumulator, so the running sum is requantized on exactly the same
+/// slice boundaries as [`Softermax::forward`] — streaming and one-shot
+/// results are bit-identical.
+struct SoftermaxRow<'k> {
+    sm: &'k Softermax,
+    acc: crate::SoftermaxAccumulator<'k>,
+    slice: Vec<Fixed>,
+    count: usize,
+}
+
+impl RowAccumulator for SoftermaxRow<'_> {
+    fn push(&mut self, x: f64) {
+        let q = Fixed::from_f64(x, self.sm.config().input_format, Rounding::Nearest);
+        self.slice.push(q);
+        self.count += 1;
+        if self.slice.len() == self.sm.config().slice_width {
+            self.acc.push_slice(&self.slice);
+            self.slice.clear();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.count
+    }
+
+    fn finish(mut self: Box<Self>) -> Result<Vec<f64>> {
+        if !self.slice.is_empty() {
+            self.acc.push_slice(&self.slice);
+        }
+        Ok(self.acc.finalize()?.probs_f64())
+    }
+}
+
+// --- the registry ----------------------------------------------------------
+
+/// An ordered, name-addressable collection of softmax backends.
+#[derive(Debug, Clone, Default)]
+pub struct KernelRegistry {
+    kernels: Vec<Arc<dyn SoftmaxKernel>>,
+}
+
+impl KernelRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A shared, lazily-initialized instance of the built-in registry.
+    ///
+    /// Kernel construction is not free (the LUT baseline builds its
+    /// 256-entry table, the Softermax pipeline its LPW units), so
+    /// lookups that only need one backend should go through this
+    /// instead of building a fresh registry.
+    #[must_use]
+    pub fn global() -> &'static KernelRegistry {
+        static REGISTRY: std::sync::OnceLock<KernelRegistry> = std::sync::OnceLock::new();
+        REGISTRY.get_or_init(KernelRegistry::with_builtins)
+    }
+
+    /// The registry of all built-in backends, in comparison order:
+    /// full-precision references first, then the online variants, then
+    /// the low-precision baselines, then Softermax itself.
+    #[must_use]
+    pub fn with_builtins() -> Self {
+        let mut r = Self::new();
+        r.register(Arc::new(ReferenceKernel::base_e()));
+        r.register(Arc::new(ReferenceKernel::base_2()));
+        r.register(Arc::new(OnlineKernel::base_e()));
+        r.register(Arc::new(OnlineKernel::base_2()));
+        r.register(Arc::new(OnlineKernel::intmax()));
+        r.register(Arc::new(Fp16Kernel::new()));
+        r.register(Arc::new(LutKernel::paper_step()));
+        r.register(Arc::new(SoftermaxFixedKernel::paper()));
+        r
+    }
+
+    /// Adds a kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel's name or an alias collides with an existing
+    /// entry — a registry with ambiguous lookups is a bug at
+    /// construction time, not at use time.
+    pub fn register(&mut self, kernel: Arc<dyn SoftmaxKernel>) {
+        let desc = kernel.descriptor();
+        for existing in &self.kernels {
+            let e = existing.descriptor();
+            let clash = e.answers_to(&desc.name) || desc.aliases.iter().any(|a| e.answers_to(a));
+            assert!(
+                !clash,
+                "kernel '{}' collides with registered kernel '{}'",
+                desc.name, e.name
+            );
+        }
+        self.kernels.push(kernel);
+    }
+
+    /// Looks up a kernel by canonical name or alias.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<Arc<dyn SoftmaxKernel>> {
+        self.kernels
+            .iter()
+            .find(|k| k.descriptor().answers_to(name))
+            .cloned()
+    }
+
+    /// All kernels, in registration order.
+    #[must_use]
+    pub fn kernels(&self) -> &[Arc<dyn SoftmaxKernel>] {
+        &self.kernels
+    }
+
+    /// Canonical names, in registration order.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        self.kernels
+            .iter()
+            .map(|k| k.descriptor().name.clone())
+            .collect()
+    }
+
+    /// Number of registered kernels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+
+    /// Iterates over the kernels.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<dyn SoftmaxKernel>> {
+        self.kernels.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a KernelRegistry {
+    type Item = &'a Arc<dyn SoftmaxKernel>;
+    type IntoIter = std::slice::Iter<'a, Arc<dyn SoftmaxKernel>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.kernels.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    #[test]
+    fn builtins_cover_the_papers_comparison_set() {
+        let r = KernelRegistry::with_builtins();
+        assert!(r.len() >= 5, "only {} kernels registered", r.len());
+        for name in [
+            "reference-e",
+            "reference-2",
+            "online-2",
+            "online-intmax",
+            "fp16",
+            "lut8",
+            "softermax",
+        ] {
+            assert!(r.get(name).is_some(), "missing builtin '{name}'");
+        }
+    }
+
+    #[test]
+    fn historical_cli_aliases_resolve() {
+        let r = KernelRegistry::with_builtins();
+        for (alias, canonical) in [
+            ("exact", "reference-e"),
+            ("base2", "reference-2"),
+            ("online", "online-2"),
+            ("intmax", "online-intmax"),
+            ("lut", "lut8"),
+            ("softermax-fixed-point", "softermax"),
+        ] {
+            assert_eq!(r.get(alias).expect("alias resolves").name(), canonical);
+        }
+        assert!(r.get("no-such-backend").is_none());
+    }
+
+    #[test]
+    fn worked_example_agrees_across_base2_kernels() {
+        let r = KernelRegistry::with_builtins();
+        let want = r
+            .get("reference-2")
+            .unwrap()
+            .forward(&[2.0, 1.0, 3.0])
+            .unwrap();
+        for k in &r {
+            if k.descriptor().base == BaseKind::Two {
+                let got = k.forward(&[2.0, 1.0, 3.0]).unwrap();
+                assert!(
+                    metrics::max_abs_error(&got, &want) < 0.02,
+                    "{} diverged from reference-2",
+                    k.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_matches_one_shot_for_every_builtin() {
+        let row = [1.5, -2.25, 0.5, 3.0, 2.75, -0.25, 0.0];
+        for k in &KernelRegistry::with_builtins() {
+            let one_shot = k.forward(&row).unwrap();
+            let mut acc = k.begin_row();
+            assert!(acc.is_empty());
+            acc.extend(&row[..3]);
+            acc.push(row[3]);
+            acc.extend(&row[4..]);
+            assert_eq!(acc.len(), row.len());
+            let streamed = acc.finish().unwrap();
+            assert_eq!(streamed, one_shot, "{} streaming diverged", k.name());
+        }
+    }
+
+    #[test]
+    fn empty_rows_error_for_every_builtin() {
+        for k in &KernelRegistry::with_builtins() {
+            assert!(k.forward(&[]).is_err(), "{} accepted empty row", k.name());
+            assert!(
+                k.begin_row().finish().is_err(),
+                "{} accumulator accepted empty row",
+                k.name()
+            );
+        }
+    }
+
+    #[test]
+    fn descriptors_are_internally_consistent() {
+        for k in &KernelRegistry::with_builtins() {
+            let d = k.descriptor();
+            match d.normalization {
+                NormalizationKind::ThreePass => assert_eq!(d.input_passes, 2, "{}", d.name),
+                NormalizationKind::Online | NormalizationKind::OnlineIntegerMax => {
+                    assert_eq!(d.input_passes, 1, "{}", d.name);
+                }
+            }
+            assert!(d.mass_tolerance(64) >= d.mass_tolerance(1), "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn custom_softermax_variants_can_register_under_distinct_names() {
+        let mut r = KernelRegistry::with_builtins();
+        let cfg = SoftermaxConfig::builder()
+            .max_mode(MaxMode::Float)
+            .build()
+            .unwrap();
+        r.register(Arc::new(SoftermaxFixedKernel::with_config_named(
+            cfg,
+            "softermax/float-max",
+        )));
+        assert!(r.get("softermax/float-max").is_some());
+        assert_eq!(
+            r.get("softermax/float-max")
+                .unwrap()
+                .descriptor()
+                .normalization,
+            NormalizationKind::Online
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "collides")]
+    fn duplicate_names_are_rejected() {
+        let mut r = KernelRegistry::with_builtins();
+        r.register(Arc::new(Fp16Kernel::new()));
+    }
+
+    #[test]
+    fn grad_scale_follows_base() {
+        assert_eq!(BaseKind::E.grad_scale(), 1.0);
+        assert_eq!(BaseKind::Two.grad_scale(), std::f64::consts::LN_2);
+    }
+}

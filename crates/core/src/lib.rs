@@ -20,6 +20,12 @@
 //! [`SoftermaxConfig`] so the ablation benches can toggle each co-design
 //! choice independently.
 //!
+//! Every backend — the fp32 references, the online variants, the
+//! fp16/LUT baselines, and Softermax itself — implements the unified
+//! [`SoftmaxKernel`] trait and is enumerated by name in the
+//! [`KernelRegistry`] ([`kernel`] module); the CLI, the bench harness
+//! and the transformer's attention all dispatch through it.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -38,6 +44,7 @@ mod error;
 
 pub mod baselines;
 pub mod calibrate;
+pub mod kernel;
 pub mod lpw;
 pub mod metrics;
 pub mod online;
@@ -48,6 +55,7 @@ pub mod softermax;
 
 pub use config::{Base, MaxMode, SoftermaxConfig, SoftermaxConfigBuilder};
 pub use error::SoftmaxError;
+pub use kernel::{KernelDescriptor, KernelRegistry, RowAccumulator, SoftmaxKernel};
 pub use softermax::{Softermax, SoftermaxAccumulator, SoftermaxRowOutput};
 
 /// Result alias for fallible softmax operations.

@@ -155,7 +155,8 @@ pub fn apply_reciprocal(num: Fixed, r: Reciprocal, out_format: QFormat) -> Fixed
         num.format().frac_bits() + r.mantissa.format().frac_bits(),
     );
     let prod = num.mul_into(r.mantissa, wide, Rounding::Floor);
-    prod.shift(-r.exponent).requantize(out_format, Rounding::Nearest)
+    prod.shift(-r.exponent)
+        .requantize(out_format, Rounding::Nearest)
 }
 
 #[cfg(test)]

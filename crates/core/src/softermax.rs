@@ -420,19 +420,11 @@ mod tests {
     fn slicing_does_not_change_the_result() {
         // Streaming in 4-wide slices must equal one-shot processing: the
         // online renormalization guarantees order independence of the sum.
-        let row: Vec<f64> = (0..40).map(|i| ((i * 37) % 23) as f64 / 4.0 - 2.0).collect();
-        let one_shot = Softermax::new(
-            SoftermaxConfig::builder()
-                .slice_width(64)
-                .build()
-                .unwrap(),
-        );
-        let sliced = Softermax::new(
-            SoftermaxConfig::builder()
-                .slice_width(4)
-                .build()
-                .unwrap(),
-        );
+        let row: Vec<f64> = (0..40)
+            .map(|i| ((i * 37) % 23) as f64 / 4.0 - 2.0)
+            .collect();
+        let one_shot = Softermax::new(SoftermaxConfig::builder().slice_width(64).build().unwrap());
+        let sliced = Softermax::new(SoftermaxConfig::builder().slice_width(4).build().unwrap());
         let a = one_shot.forward(&row).unwrap();
         let b = sliced.forward(&row).unwrap();
         // Not bit-identical in general (the running sum is rounded to
@@ -443,12 +435,7 @@ mod tests {
     #[test]
     fn ascending_maxes_exercise_renormalization() {
         // Every slice raises the max, forcing a running-sum shift each time.
-        let sm = Softermax::new(
-            SoftermaxConfig::builder()
-                .slice_width(2)
-                .build()
-                .unwrap(),
-        );
+        let sm = Softermax::new(SoftermaxConfig::builder().slice_width(2).build().unwrap());
         let row = [0.0, 1.0, 4.0, 5.0, 9.0, 10.0, 14.0, 15.0];
         let got = sm.forward(&row).unwrap();
         let want = reference::softmax_base2(&row).unwrap();
@@ -457,12 +444,7 @@ mod tests {
 
     #[test]
     fn descending_maxes_never_renormalize_but_still_work() {
-        let sm = Softermax::new(
-            SoftermaxConfig::builder()
-                .slice_width(2)
-                .build()
-                .unwrap(),
-        );
+        let sm = Softermax::new(SoftermaxConfig::builder().slice_width(2).build().unwrap());
         let row = [15.0, 14.0, 10.0, 9.0, 5.0, 4.0, 1.0, 0.0];
         let got = sm.forward(&row).unwrap();
         let want = reference::softmax_base2(&row).unwrap();
@@ -541,12 +523,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceeds configured width")]
     fn oversized_slice_panics() {
-        let sm = Softermax::new(
-            SoftermaxConfig::builder()
-                .slice_width(2)
-                .build()
-                .unwrap(),
-        );
+        let sm = Softermax::new(SoftermaxConfig::builder().slice_width(2).build().unwrap());
         let x = Fixed::zero(sm.config().input_format);
         sm.accumulator().push_slice(&[x, x, x]);
     }

@@ -1,0 +1,119 @@
+//! Conformance property tests for every registered [`SoftmaxKernel`]:
+//! whatever the backend — full-precision reference, online, fp16, LUT,
+//! or the fixed-point Softermax pipeline — its output must be a
+//! (tolerance-qualified) probability distribution, its streaming
+//! accumulator must agree with its one-shot path, and its descriptor's
+//! documented mass tolerance must actually hold.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use softermax::kernel::KernelRegistry;
+
+/// Scores within the Q(6,2) representable range (so the fixed-point
+/// kernels see in-range inputs, as the paper's calibration guarantees).
+fn arb_scores(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    vec(-20.0f64..20.0, 1..max_len)
+}
+
+proptest! {
+    /// Every kernel produces finite, non-negative probabilities whose
+    /// mass is 1 within the kernel's *documented* tolerance.
+    #[test]
+    fn all_kernels_produce_distributions(x in arb_scores(48)) {
+        for kernel in &KernelRegistry::with_builtins() {
+            let p = kernel.forward(&x).expect("non-empty row");
+            prop_assert_eq!(p.len(), x.len());
+            for &v in &p {
+                prop_assert!(v.is_finite(), "{}: non-finite output {v}", kernel.name());
+                // A few output LSBs of overshoot above 1.0 are documented
+                // hardware behaviour for the fixed-point pipeline.
+                prop_assert!((-1e-12..=1.1).contains(&v), "{}: {v} out of range", kernel.name());
+            }
+            let mass: f64 = p.iter().sum();
+            let tol = kernel.descriptor().mass_tolerance(x.len());
+            prop_assert!(
+                (mass - 1.0).abs() <= tol,
+                "{}: mass {mass} outside documented tolerance {tol} for len {}",
+                kernel.name(), x.len()
+            );
+        }
+    }
+
+    /// Streaming accumulation (arbitrary split point) gives exactly the
+    /// one-shot result for every kernel.
+    #[test]
+    fn streaming_equals_one_shot(x in arb_scores(48), split in 0usize..48) {
+        let split = split.min(x.len());
+        for kernel in &KernelRegistry::with_builtins() {
+            let one_shot = kernel.forward(&x).expect("non-empty row");
+            let mut acc = kernel.begin_row();
+            acc.extend(&x[..split]);
+            for &v in &x[split..] {
+                acc.push(v);
+            }
+            prop_assert_eq!(acc.len(), x.len());
+            let streamed = acc.finish().expect("non-empty row");
+            prop_assert_eq!(streamed, one_shot, "{} streaming diverged", kernel.name());
+        }
+    }
+
+    /// Kernels preserve the order of sufficiently separated scores: a
+    /// score at least one input LSB (0.25) above another never gets a
+    /// smaller probability.
+    #[test]
+    fn all_kernels_are_order_preserving(x in arb_scores(24)) {
+        for kernel in &KernelRegistry::with_builtins() {
+            let p = kernel.forward(&x).expect("non-empty row");
+            for i in 0..x.len() {
+                for j in 0..x.len() {
+                    if x[i] >= x[j] + 0.25 {
+                        prop_assert!(
+                            p[i] >= p[j],
+                            "{}: x[{i}]={} > x[{j}]={} but p {} < {}",
+                            kernel.name(), x[i], x[j], p[i], p[j]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Shift invariance holds for the full-precision kernels (the
+    /// low-precision ones legitimately break it — that is the fp16
+    /// input-format story the paper tells).
+    #[test]
+    fn full_precision_kernels_are_shift_invariant(x in arb_scores(32), c in -50.0f64..50.0) {
+        let shifted: Vec<f64> = x.iter().map(|v| v + c).collect();
+        for kernel in &KernelRegistry::with_builtins() {
+            if kernel.descriptor().bitwidth.is_some() {
+                continue;
+            }
+            let a = kernel.forward(&x).expect("non-empty row");
+            let b = kernel.forward(&shifted).expect("non-empty row");
+            for (pa, pb) in a.iter().zip(&b) {
+                prop_assert!((pa - pb).abs() < 1e-9, "{}: {pa} vs {pb}", kernel.name());
+            }
+        }
+    }
+}
+
+/// The registry itself satisfies the acceptance contract: at least five
+/// backends, covering the paper's comparison set, all reachable by name.
+#[test]
+fn registry_meets_acceptance_contract() {
+    let registry = KernelRegistry::with_builtins();
+    assert!(
+        registry.len() >= 5,
+        "registry has {} kernels",
+        registry.len()
+    );
+    for required in ["reference-e", "reference-2", "fp16", "lut8", "softermax"] {
+        let kernel = registry.get(required).expect(required);
+        assert_eq!(kernel.name(), required);
+    }
+    // Canonical names and aliases are collision-free by construction;
+    // double-check lookups are unambiguous.
+    let names = registry.names();
+    let unique: std::collections::HashSet<_> = names.iter().collect();
+    assert_eq!(unique.len(), names.len(), "duplicate kernel names");
+}

@@ -430,8 +430,14 @@ mod tests {
     #[test]
     fn from_f64_saturates() {
         assert_eq!(Fixed::from_f64(1e9, Q62, Rounding::Nearest).to_f64(), 31.75);
-        assert_eq!(Fixed::from_f64(-1e9, Q62, Rounding::Nearest).to_f64(), -32.0);
-        assert_eq!(Fixed::from_f64(-0.5, UQ115, Rounding::Nearest).to_f64(), 0.0);
+        assert_eq!(
+            Fixed::from_f64(-1e9, Q62, Rounding::Nearest).to_f64(),
+            -32.0
+        );
+        assert_eq!(
+            Fixed::from_f64(-0.5, UQ115, Rounding::Nearest).to_f64(),
+            0.0
+        );
     }
 
     #[test]

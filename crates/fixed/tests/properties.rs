@@ -4,9 +4,8 @@ use proptest::prelude::*;
 use softermax_fixed::{formats, Fixed, QFormat, Rounding};
 
 fn arb_format() -> impl Strategy<Value = QFormat> {
-    (1u32..=16, 0u32..=16, any::<bool>()).prop_filter_map("valid width", |(i, f, s)| {
-        QFormat::try_new(i, f, s).ok()
-    })
+    (1u32..=16, 0u32..=16, any::<bool>())
+        .prop_filter_map("valid width", |(i, f, s)| QFormat::try_new(i, f, s).ok())
 }
 
 fn arb_rounding() -> impl Strategy<Value = Rounding> {

@@ -351,7 +351,7 @@ mod tests {
     fn arithmetic_rounds_once() {
         let a = Half::from_f64(1.0);
         let b = Half::from_f64(2f64.powi(-11)); // representable as subnormal-scale value
-        // 1 + tiny rounds back to 1 in fp16.
+                                                // 1 + tiny rounds back to 1 in fp16.
         assert_eq!((a + b).to_bits(), 0x3C00);
         let c = Half::from_f64(1.5);
         assert_eq!((c * c).to_f64(), 2.25);
@@ -390,7 +390,10 @@ mod tests {
     #[test]
     fn sfu_helpers_are_correctly_rounded() {
         let x = Half::from_f64(1.0);
-        assert_eq!(x.exp().to_f64(), Half::from_f64(std::f64::consts::E).to_f64());
+        assert_eq!(
+            x.exp().to_f64(),
+            Half::from_f64(std::f64::consts::E).to_f64()
+        );
         assert_eq!(Half::from_f64(3.0).exp2().to_f64(), 8.0);
         assert_eq!(Half::from_f64(4.0).recip().to_f64(), 0.25);
         // exp of a large value overflows to infinity, as the SFU would.

@@ -131,8 +131,7 @@ impl Accelerator {
         // (8-bit Q(1,7) for Softermax, FP16 for the baseline — the halved
         // writeback is a real co-design benefit).
         let norm_read_pj = tech.sram_read_energy_pj(16 * shape.softmax_elements());
-        let normalization_pj =
-            self.normalization_row_energy_pj(seq) * rows as f64 + norm_read_pj;
+        let normalization_pj = self.normalization_row_energy_pj(seq) * rows as f64 + norm_read_pj;
         let writeback_pj = tech.gbuf_energy_pj(self.output_bits * shape.softmax_elements());
 
         EnergyBreakdown {

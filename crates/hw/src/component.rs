@@ -300,8 +300,6 @@ mod tests {
     fn fp_divider_bigger_than_int_shifter() {
         let t = lib_fixture();
         let lib = ComponentLib::new(&t);
-        assert!(
-            lib.fp16_divider("div", 1).area_um2 > 10.0 * lib.shifter("sh", 16, 16, 1).area_um2
-        );
+        assert!(lib.fp16_divider("div", 1).area_um2 > 10.0 * lib.shifter("sh", 16, 16, 1).area_um2);
     }
 }

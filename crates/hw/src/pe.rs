@@ -166,7 +166,9 @@ impl Pe {
         let macs = self.config.macs_per_cycle() as f64;
         let mac_array_um2 = self.tech.ge_to_um2(self.tech.mac8_ge()) * macs;
         let buffers_um2 = self.tech.sram_area_um2(
-            self.config.input_buf_bytes + self.config.weight_buf_bytes + self.config.accum_buf_bytes,
+            self.config.input_buf_bytes
+                + self.config.weight_buf_bytes
+                + self.config.accum_buf_bytes,
         );
         let softmax_unit_um2 = self.softmax_unit_area_um2();
         // Control/NoC overhead: ~8% of datapath+buffers, a typical figure

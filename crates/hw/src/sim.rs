@@ -141,17 +141,13 @@ impl UnnormedSim {
         // IntMax unit: parallel ceil, comparator tree.
         let local_max = xs
             .iter()
-            .map(|x| {
-                x.requantize(self.cfg.max_format, Rounding::Nearest).ceil()
-            })
+            .map(|x| x.requantize(self.cfg.max_format, Rounding::Nearest).ceil())
             .max()
             .expect("non-empty slice");
 
         // Power-of-two lanes + summation tree (wide, then pow-sum format).
-        let wide_fmt = softermax_fixed::QFormat::unsigned(
-            8,
-            self.cfg.unnormed_format.frac_bits().min(24),
-        );
+        let wide_fmt =
+            softermax_fixed::QFormat::unsigned(8, self.cfg.unnormed_format.frac_bits().min(24));
         let mut local_sum_wide = Fixed::zero(wide_fmt);
         for &x in xs {
             let xm = x.requantize(self.cfg.max_format, Rounding::Nearest);
@@ -299,7 +295,11 @@ mod tests {
             let mut sim = UnnormedSim::new(cfg.clone());
             sim.run_row(&q);
             let got = sim.normalize().expect("valid row");
-            assert_eq!(got.pow_sum.raw(), want.pow_sum.raw(), "pow sum, row {row:?}");
+            assert_eq!(
+                got.pow_sum.raw(),
+                want.pow_sum.raw(),
+                "pow sum, row {row:?}"
+            );
             assert_eq!(
                 got.global_max.raw(),
                 want.global_max.raw(),

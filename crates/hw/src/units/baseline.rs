@@ -207,10 +207,7 @@ mod tests {
         let theirs = BaselineNormalizationUnit::new(&tech);
         let area_ratio = ours.area_um2() / theirs.area_um2();
         let energy_ratio = ours.energy_per_row_pj(384) / theirs.energy_per_row_pj(384);
-        assert!(
-            (0.2..=1.0).contains(&area_ratio),
-            "area ratio {area_ratio}"
-        );
+        assert!((0.2..=1.0).contains(&area_ratio), "area ratio {area_ratio}");
         assert!(
             (0.05..=0.8).contains(&energy_ratio),
             "energy ratio {energy_ratio}"
@@ -233,7 +230,10 @@ mod tests {
     #[test]
     fn zero_rows_are_free() {
         let tech = t();
-        assert_eq!(BaselineUnnormedUnit::new(&tech, 16).energy_per_row_pj(0), 0.0);
+        assert_eq!(
+            BaselineUnnormedUnit::new(&tech, 16).energy_per_row_pj(0),
+            0.0
+        );
         assert_eq!(
             BaselineNormalizationUnit::new(&tech).energy_per_row_pj(0),
             0.0

@@ -54,7 +54,16 @@ impl NormalizationUnit {
             + round.energy_per_op_pj;
 
         let components = vec![
-            lod, m_lut, c_lut, lpw_mul, lpw_add, renorm_shift, final_mul, exp_shift, round, regs,
+            lod,
+            m_lut,
+            c_lut,
+            lpw_mul,
+            lpw_add,
+            renorm_shift,
+            final_mul,
+            exp_shift,
+            round,
+            regs,
         ];
         Self {
             components,

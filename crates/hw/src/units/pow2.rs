@@ -50,7 +50,10 @@ impl Pow2UnitHw {
         output_format: QFormat,
         segments: usize,
     ) -> Self {
-        assert!(segments.is_power_of_two(), "segments must be a power of two");
+        assert!(
+            segments.is_power_of_two(),
+            "segments must be a power of two"
+        );
         let lib = ComponentLib::new(tech);
         let in_bits = input_format.total_bits();
         let out_bits = output_format.total_bits();
@@ -148,7 +151,10 @@ mod tests {
     fn paper_config_has_no_multiplier() {
         let u = paper_unit();
         assert!(!u.has_multiplier());
-        assert!(u.components().iter().all(|c| !c.name.contains("multiplier")));
+        assert!(u
+            .components()
+            .iter()
+            .all(|c| !c.name.contains("multiplier")));
         assert!(u.components().iter().all(|c| !c.name.contains("m-LUT")));
     }
 

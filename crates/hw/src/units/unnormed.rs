@@ -43,7 +43,12 @@ impl UnnormedSoftmaxUnit {
             cfg.input_format.total_bits(),
             cfg.input_format.frac_bits(),
         );
-        let pow2_lane = Pow2UnitHw::new(tech, cfg.input_format, cfg.unnormed_format, cfg.pow2_segments);
+        let pow2_lane = Pow2UnitHw::new(
+            tech,
+            cfg.input_format,
+            cfg.unnormed_format,
+            cfg.pow2_segments,
+        );
         let reduction = ReductionUnit::new(
             tech,
             width,
@@ -156,11 +161,7 @@ mod tests {
     use super::*;
 
     fn unit(width: usize) -> UnnormedSoftmaxUnit {
-        UnnormedSoftmaxUnit::new(
-            &TechParams::tsmc7_067v(),
-            width,
-            &SoftermaxConfig::paper(),
-        )
+        UnnormedSoftmaxUnit::new(&TechParams::tsmc7_067v(), width, &SoftermaxConfig::paper())
     }
 
     #[test]

@@ -3,15 +3,19 @@
 //! The backend abstraction is the point of this crate: the same model can
 //! run with the exact base-e softmax (pre-training), the exact base-2
 //! softmax, or the full fixed-point Softermax pipeline (Softermax-aware
-//! fine-tuning and inference). Backward passes use the analytic softmax
-//! Jacobian with a straight-through estimator across the fixed-point
-//! quantization, exactly as in the paper's fine-tuning setup.
+//! fine-tuning and inference). All of those come from the unified
+//! [`softermax::kernel`] registry — [`KernelSoftmax`] adapts any
+//! [`SoftmaxKernel`] into an attention backend, so this crate contains no
+//! backend-specific softmax calls. Backward passes use the analytic
+//! softmax Jacobian with a straight-through estimator across the
+//! fixed-point quantization, exactly as in the paper's fine-tuning setup.
 
 use std::fmt;
 use std::sync::Arc;
 
 use rand::Rng;
-use softermax::{reference, Softermax, SoftermaxConfig};
+use softermax::kernel::SoftmaxKernel;
+use softermax::{KernelRegistry, SoftermaxConfig};
 
 use crate::nn::Linear;
 use crate::tensor::Matrix;
@@ -22,7 +26,7 @@ use crate::tensor::Matrix;
 /// be shared by every layer of a model.
 pub trait AttentionSoftmax: fmt::Debug + Send + Sync {
     /// Backend name (for reports).
-    fn name(&self) -> &'static str;
+    fn name(&self) -> &str;
 
     /// Row-wise softmax of a score matrix.
     fn forward(&self, scores: &Matrix) -> Matrix;
@@ -51,79 +55,96 @@ pub trait AttentionSoftmax: fmt::Debug + Send + Sync {
     }
 }
 
-/// Exact base-e softmax (the pre-training configuration).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct ExactSoftmax;
+/// Adapter from any [`SoftmaxKernel`] to an attention backend: the one
+/// path every model configuration goes through. The gradient scale is
+/// derived from the kernel's descriptor (its exponential base), and the
+/// forward pass dispatches row-wise through the trait.
+///
+/// # Example
+///
+/// ```
+/// use softermax_transformer::attention::KernelSoftmax;
+///
+/// let backend = KernelSoftmax::by_name("softermax").expect("built-in");
+/// assert_eq!(backend.grad_scale(), std::f32::consts::LN_2);
+/// # use softermax_transformer::attention::AttentionSoftmax;
+/// # let _ = backend.name();
+/// ```
+#[derive(Clone)]
+pub struct KernelSoftmax {
+    kernel: Arc<dyn SoftmaxKernel>,
+}
 
-impl AttentionSoftmax for ExactSoftmax {
-    fn name(&self) -> &'static str {
-        "exact-base-e"
-    }
-
-    fn forward(&self, scores: &Matrix) -> Matrix {
-        rowwise(scores, |row| {
-            reference::softmax(row).expect("non-empty attention row")
-        })
+impl fmt::Debug for KernelSoftmax {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KernelSoftmax")
+            .field("kernel", &self.kernel.name())
+            .finish()
     }
 }
 
-/// Exact base-2 softmax (the base-replacement ablation, full precision).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Base2Softmax;
+impl KernelSoftmax {
+    /// Wraps an explicit kernel instance.
+    #[must_use]
+    pub fn from_kernel(kernel: Arc<dyn SoftmaxKernel>) -> Self {
+        Self { kernel }
+    }
 
-impl AttentionSoftmax for Base2Softmax {
-    fn name(&self) -> &'static str {
-        "exact-base-2"
+    /// Looks a backend up in the shared built-in [`KernelRegistry`] by
+    /// name or alias (`"reference-e"`, `"base2"`, `"fp16"`,
+    /// `"softermax"`, ...).
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Self> {
+        KernelRegistry::global().get(name).map(Self::from_kernel)
+    }
+
+    /// The exact base-e reference (the pre-training configuration).
+    #[must_use]
+    pub fn exact() -> Self {
+        Self::by_name("reference-e").expect("reference-e is always registered")
+    }
+
+    /// The exact base-2 reference (the base-replacement ablation).
+    #[must_use]
+    pub fn base2() -> Self {
+        Self::by_name("reference-2").expect("reference-2 is always registered")
+    }
+
+    /// The fixed-point Softermax pipeline with the paper configuration.
+    #[must_use]
+    pub fn softermax_paper() -> Self {
+        Self::by_name("softermax").expect("softermax is always registered")
+    }
+
+    /// A fixed-point Softermax pipeline with a custom configuration
+    /// (ablation fine-tuning).
+    #[must_use]
+    pub fn softermax_with_config(config: SoftermaxConfig) -> Self {
+        Self::from_kernel(Arc::new(
+            softermax::kernel::SoftermaxFixedKernel::with_config(config),
+        ))
+    }
+
+    /// The wrapped kernel.
+    #[must_use]
+    pub fn kernel(&self) -> &Arc<dyn SoftmaxKernel> {
+        &self.kernel
+    }
+}
+
+impl AttentionSoftmax for KernelSoftmax {
+    fn name(&self) -> &str {
+        self.kernel.name()
     }
 
     fn forward(&self, scores: &Matrix) -> Matrix {
         rowwise(scores, |row| {
-            reference::softmax_base2(row).expect("non-empty attention row")
+            self.kernel.forward(row).expect("non-empty attention row")
         })
     }
 
     fn grad_scale(&self) -> f32 {
-        std::f32::consts::LN_2
-    }
-}
-
-/// The full fixed-point Softermax pipeline as an attention backend.
-#[derive(Debug)]
-pub struct SoftermaxAttention {
-    softermax: Softermax,
-}
-
-impl SoftermaxAttention {
-    /// Wraps a configured [`Softermax`] operator.
-    #[must_use]
-    pub fn new(config: SoftermaxConfig) -> Self {
-        Self {
-            softermax: Softermax::new(config),
-        }
-    }
-
-    /// The paper configuration.
-    #[must_use]
-    pub fn paper() -> Self {
-        Self::new(SoftermaxConfig::paper())
-    }
-}
-
-impl AttentionSoftmax for SoftermaxAttention {
-    fn name(&self) -> &'static str {
-        "softermax-fixed-point"
-    }
-
-    fn forward(&self, scores: &Matrix) -> Matrix {
-        rowwise(scores, |row| {
-            self.softermax
-                .forward(row)
-                .expect("non-empty attention row")
-        })
-    }
-
-    fn grad_scale(&self) -> f32 {
-        std::f32::consts::LN_2
+        self.kernel.descriptor().base.grad_scale() as f32
     }
 }
 
@@ -202,7 +223,7 @@ impl MultiHeadAttention {
 
     /// The active softmax backend's name.
     #[must_use]
-    pub fn softmax_name(&self) -> &'static str {
+    pub fn softmax_name(&self) -> &str {
         self.softmax.name()
     }
 
@@ -307,7 +328,7 @@ mod tests {
 
     #[test]
     fn exact_softmax_rows_sum_to_one() {
-        let s = ExactSoftmax;
+        let s = KernelSoftmax::exact();
         let scores = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-1.0, 0.0, 1.0]]);
         let p = s.forward(&scores);
         for r in 0..2 {
@@ -320,7 +341,7 @@ mod tests {
     fn backward_matches_finite_differences_base_e() {
         // Check the Jacobian formula numerically through a scalar loss
         // L = Σ w_ij · P_ij.
-        let s = ExactSoftmax;
+        let s = KernelSoftmax::exact();
         let mut scores = Matrix::from_rows(&[&[0.3, -0.7, 1.2]]);
         let w = Matrix::from_rows(&[&[0.5, -1.0, 2.0]]);
         let p = s.forward(&scores);
@@ -356,7 +377,7 @@ mod tests {
 
     #[test]
     fn backward_matches_finite_differences_base_2() {
-        let s = Base2Softmax;
+        let s = KernelSoftmax::base2();
         let mut scores = Matrix::from_rows(&[&[0.3, -0.7, 1.2]]);
         let w = Matrix::from_rows(&[&[0.5, -1.0, 2.0]]);
         let p = s.forward(&scores);
@@ -392,8 +413,8 @@ mod tests {
 
     #[test]
     fn softermax_backend_close_to_base2() {
-        let fixed = SoftermaxAttention::paper();
-        let exact = Base2Softmax;
+        let fixed = KernelSoftmax::softermax_paper();
+        let exact = KernelSoftmax::base2();
         let scores = Matrix::from_rows(&[&[1.5, -0.5, 2.25, 0.0]]);
         let pf = fixed.forward(&scores);
         let pe = exact.forward(&scores);
@@ -410,7 +431,7 @@ mod tests {
     #[test]
     fn mha_shapes_are_preserved() {
         let mut rng = StdRng::seed_from_u64(5);
-        let mut mha = MultiHeadAttention::new(8, 2, Arc::new(ExactSoftmax), &mut rng);
+        let mut mha = MultiHeadAttention::new(8, 2, Arc::new(KernelSoftmax::exact()), &mut rng);
         let x = Matrix::xavier(5, 8, &mut rng);
         let y = mha.forward(&x);
         assert_eq!((y.rows(), y.cols()), (5, 8));
@@ -422,7 +443,7 @@ mod tests {
     fn mha_end_to_end_gradient_check() {
         // Finite-difference check of dL/dx through the whole MHA block.
         let mut rng = StdRng::seed_from_u64(6);
-        let mut mha = MultiHeadAttention::new(4, 2, Arc::new(ExactSoftmax), &mut rng);
+        let mut mha = MultiHeadAttention::new(4, 2, Arc::new(KernelSoftmax::exact()), &mut rng);
         let mut head = Linear::new(4, 2, &mut rng);
         let mut x = Matrix::xavier(3, 4, &mut rng);
         let labels = vec![0usize];
@@ -470,12 +491,12 @@ mod tests {
     #[test]
     fn swapping_backend_changes_name_not_shape() {
         let mut rng = StdRng::seed_from_u64(7);
-        let mut mha = MultiHeadAttention::new(8, 2, Arc::new(ExactSoftmax), &mut rng);
-        assert_eq!(mha.softmax_name(), "exact-base-e");
+        let mut mha = MultiHeadAttention::new(8, 2, Arc::new(KernelSoftmax::exact()), &mut rng);
+        assert_eq!(mha.softmax_name(), "reference-e");
         let x = Matrix::xavier(4, 8, &mut rng);
         let y1 = mha.forward(&x);
-        mha.set_softmax(Arc::new(SoftermaxAttention::paper()));
-        assert_eq!(mha.softmax_name(), "softermax-fixed-point");
+        mha.set_softmax(Arc::new(KernelSoftmax::softermax_paper()));
+        assert_eq!(mha.softmax_name(), "softermax");
         let y2 = mha.forward(&x);
         assert_eq!((y1.rows(), y1.cols()), (y2.rows(), y2.cols()));
     }

@@ -7,9 +7,11 @@
 //!
 //! * a from-scratch Transformer encoder classifier with **manual
 //!   backprop** ([`model`], [`attention`], [`nn`], [`tensor`]);
-//! * a **pluggable attention softmax** ([`attention::AttentionSoftmax`]):
-//!   exact base-e, exact base-2, or the full fixed-point Softermax
-//!   pipeline with a straight-through estimator;
+//! * a **pluggable attention softmax** ([`attention::AttentionSoftmax`]),
+//!   backed by any backend of the `softermax::kernel` registry via
+//!   [`attention::KernelSoftmax`] — exact base-e, exact base-2, or the
+//!   full fixed-point Softermax pipeline with a straight-through
+//!   estimator;
 //! * the paper's **int8 quantization-aware training** with a
 //!   99.999-percentile calibrator ([`quant`]);
 //! * **synthetic attention-bound tasks** ([`tasks`]) standing in for
@@ -19,7 +21,7 @@
 //!
 //! ```
 //! use std::sync::Arc;
-//! use softermax_transformer::attention::SoftermaxAttention;
+//! use softermax_transformer::attention::KernelSoftmax;
 //! use softermax_transformer::model::{ModelConfig, TransformerClassifier};
 //! use softermax_transformer::tasks::Task;
 //! use softermax_transformer::train::{finetune_with_softmax, train, TrainConfig};
@@ -34,8 +36,8 @@
 //! train(&mut model, &data, &cfg);
 //!
 //! // Phase 2: Softermax-aware QAT fine-tuning.
-//! finetune_with_softmax(&mut model, Arc::new(SoftermaxAttention::paper()), &data, &cfg);
-//! assert_eq!(model.softmax_name(), "softermax-fixed-point");
+//! finetune_with_softmax(&mut model, Arc::new(KernelSoftmax::softermax_paper()), &data, &cfg);
+//! assert_eq!(model.softmax_name(), "softermax");
 //! ```
 
 pub mod attention;

@@ -14,8 +14,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::attention::{AttentionSoftmax, ExactSoftmax, MultiHeadAttention};
-use crate::nn::{Dropout, Linear, LayerNorm, Relu};
+use crate::attention::{AttentionSoftmax, KernelSoftmax, MultiHeadAttention};
+use crate::nn::{Dropout, LayerNorm, Linear, Relu};
 use crate::quant::FakeQuant;
 use crate::tensor::Matrix;
 
@@ -111,9 +111,11 @@ impl EncoderLayer {
     fn forward(&mut self, x: &Matrix) -> Matrix {
         let attn = self.drop1.forward(&self.mha.forward(x));
         let h = self.ln1.forward(&x.add(&attn));
-        let ffn = self
-            .drop2
-            .forward(&self.ffn2.forward(&self.relu.forward(&self.ffn1.forward(&h))));
+        let ffn = self.drop2.forward(
+            &self
+                .ffn2
+                .forward(&self.relu.forward(&self.ffn1.forward(&h))),
+        );
         self.ln2.forward(&h.add(&ffn))
     }
 
@@ -184,7 +186,7 @@ impl TransformerClassifier {
     /// from a deterministic seed.
     #[must_use]
     pub fn new(config: ModelConfig, seed: u64) -> Self {
-        Self::with_softmax(config, Arc::new(ExactSoftmax), seed)
+        Self::with_softmax(config, Arc::new(KernelSoftmax::exact()), seed)
     }
 
     /// Builds a model with an explicit softmax backend.
@@ -221,7 +223,7 @@ impl TransformerClassifier {
 
     /// The softmax backend name in use.
     #[must_use]
-    pub fn softmax_name(&self) -> &'static str {
+    pub fn softmax_name(&self) -> &str {
         self.layers[0].mha.softmax_name()
     }
 
@@ -300,8 +302,10 @@ impl TransformerClassifier {
         }
         for (i, &t) in self.cached_tokens.iter().enumerate() {
             for c in 0..d {
-                self.grad_embed.set(t, c, self.grad_embed.get(t, c) + g.get(i, c));
-                self.grad_pos.set(i, c, self.grad_pos.get(i, c) + g.get(i, c));
+                self.grad_embed
+                    .set(t, c, self.grad_embed.get(t, c) + g.get(i, c));
+                self.grad_pos
+                    .set(i, c, self.grad_pos.get(i, c) + g.get(i, c));
             }
         }
     }
@@ -392,8 +396,8 @@ mod tests {
     fn backend_swap_keeps_predictions_finite() {
         let mut m = tiny_model();
         let _ = m.forward(&[1, 2, 3]);
-        m.set_softmax(Arc::new(crate::attention::SoftermaxAttention::paper()));
-        assert_eq!(m.softmax_name(), "softermax-fixed-point");
+        m.set_softmax(Arc::new(KernelSoftmax::softermax_paper()));
+        assert_eq!(m.softmax_name(), "softermax");
         let logits = m.forward(&[1, 2, 3]);
         assert!(logits.row(0).iter().all(|v| v.is_finite()));
     }

@@ -111,7 +111,10 @@ impl Linear {
 
     /// Parameter/gradient pairs for the optimizer.
     pub fn params_mut(&mut self) -> Vec<(&mut Matrix, &mut Matrix)> {
-        vec![(&mut self.w, &mut self.grad_w), (&mut self.b, &mut self.grad_b)]
+        vec![
+            (&mut self.w, &mut self.grad_w),
+            (&mut self.b, &mut self.grad_b),
+        ]
     }
 
     /// Clears accumulated gradients.
@@ -173,7 +176,11 @@ impl LayerNorm {
         let mut y = Matrix::zeros(x.rows(), d);
         for r in 0..x.rows() {
             for c in 0..d {
-                y.set(r, c, xhat.get(r, c) * self.gamma.get(0, c) + self.beta.get(0, c));
+                y.set(
+                    r,
+                    c,
+                    xhat.get(r, c) * self.gamma.get(0, c) + self.beta.get(0, c),
+                );
             }
         }
         self.cached = Some((xhat, means, inv_stds));
@@ -209,8 +216,8 @@ impl LayerNorm {
             let sum_dxhat: f32 = dxhat.iter().sum();
             let sum_dxhat_xhat: f32 = (0..d).map(|c| dxhat[c] * xhat.get(r, c)).sum();
             for c in 0..d {
-                let v = inv_stds[r] / n
-                    * (n * dxhat[c] - sum_dxhat - xhat.get(r, c) * sum_dxhat_xhat);
+                let v =
+                    inv_stds[r] / n * (n * dxhat[c] - sum_dxhat - xhat.get(r, c) * sum_dxhat_xhat);
                 grad_x.set(r, c, v);
             }
         }
@@ -357,7 +364,11 @@ pub fn cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
         loss -= (exps[label] / sum).ln();
         for c in 0..classes {
             let p = exps[c] / sum;
-            grad.set(r, c, (p - f32::from(u8::from(c == label))) / labels.len() as f32);
+            grad.set(
+                r,
+                c,
+                (p - f32::from(u8::from(c == label))) / labels.len() as f32,
+            );
         }
     }
     (loss / labels.len() as f32, grad)
@@ -442,7 +453,12 @@ mod tests {
         let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 80.0]]);
         let y = ln.forward(&x);
         let mean: f32 = y.row(0).iter().sum::<f32>() / 8.0;
-        let var: f32 = y.row(0).iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+        let var: f32 = y
+            .row(0)
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 8.0;
         assert!(mean.abs() < 1e-5);
         assert!((var - 1.0).abs() < 1e-3);
     }

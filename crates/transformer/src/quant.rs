@@ -103,7 +103,12 @@ impl FakeQuant {
 
 fn percentile_scale(m: &Matrix) -> f32 {
     let mut cal = PercentileCalibrator::paper();
-    cal.observe_slice(&m.as_slice().iter().map(|&v| f64::from(v)).collect::<Vec<_>>());
+    cal.observe_slice(
+        &m.as_slice()
+            .iter()
+            .map(|&v| f64::from(v))
+            .collect::<Vec<_>>(),
+    );
     let s = cal.scale(127.0) as f32;
     if s > 0.0 && s.is_finite() {
         s

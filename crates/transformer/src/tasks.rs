@@ -71,7 +71,9 @@ impl Task {
     pub fn generate(&self, n: usize, seq_len: usize, seed: u64) -> Vec<Example> {
         assert!(seq_len >= 4, "tasks need seq_len >= 4");
         let mut rng = StdRng::seed_from_u64(seed ^ (*self as u64).wrapping_mul(0x9e37_79b9));
-        (0..n).map(|_| self.generate_one(seq_len, &mut rng)).collect()
+        (0..n)
+            .map(|_| self.generate_one(seq_len, &mut rng))
+            .collect()
     }
 
     fn generate_one(&self, seq_len: usize, rng: &mut StdRng) -> Example {
@@ -102,8 +104,7 @@ impl Task {
                 // Fillers include the pattern tokens 2 and 3 individually,
                 // so negatives contain the ingredients but never adjacent —
                 // the model must attend to *pairs of positions*.
-                let mut tokens: Vec<usize> =
-                    (0..seq_len).map(|_| rng.gen_range(2..8)).collect();
+                let mut tokens: Vec<usize> = (0..seq_len).map(|_| rng.gen_range(2..8)).collect();
                 let positive = rng.gen_bool(0.5);
                 let has_pattern = |ts: &[usize]| ts.windows(2).any(|w| w == [2, 3]);
                 if positive {
@@ -139,9 +140,8 @@ impl Task {
                 }
                 let positive = rng.gen_bool(0.5);
                 if !positive {
-                    let ascents: Vec<usize> = (0..n_vals - 1)
-                        .filter(|&i| vals[i] < vals[i + 1])
-                        .collect();
+                    let ascents: Vec<usize> =
+                        (0..n_vals - 1).filter(|&i| vals[i] < vals[i + 1]).collect();
                     let &i = ascents
                         .get(rng.gen_range(0..ascents.len()))
                         .expect("an ascent exists");
@@ -190,7 +190,10 @@ impl Task {
 ///
 /// Panics if `train_fraction` is outside `(0, 1)`.
 #[must_use]
-pub fn train_test_split(examples: Vec<Example>, train_fraction: f64) -> (Vec<Example>, Vec<Example>) {
+pub fn train_test_split(
+    examples: Vec<Example>,
+    train_fraction: f64,
+) -> (Vec<Example>, Vec<Example>) {
     assert!(
         train_fraction > 0.0 && train_fraction < 1.0,
         "train fraction must be in (0,1)"

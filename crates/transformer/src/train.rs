@@ -102,8 +102,10 @@ impl Optimizer for Adam {
         let params = model.params_mut();
         if self.m.is_empty() {
             for (p, _) in &params {
-                self.m.push(crate::tensor::Matrix::zeros(p.rows(), p.cols()));
-                self.v.push(crate::tensor::Matrix::zeros(p.rows(), p.cols()));
+                self.m
+                    .push(crate::tensor::Matrix::zeros(p.rows(), p.cols()));
+                self.v
+                    .push(crate::tensor::Matrix::zeros(p.rows(), p.cols()));
             }
         }
         self.t += 1;
@@ -224,7 +226,7 @@ pub fn finetune_with_softmax(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::attention::SoftermaxAttention;
+    use crate::attention::KernelSoftmax;
     use crate::model::{ModelConfig, TransformerClassifier};
     use crate::tasks::Task;
 
@@ -251,7 +253,10 @@ mod tests {
             loss0 += cross_entropy(&logits, &[*label]).0;
         }
         loss0 /= data.len() as f32;
-        let report = train(&mut model, &data, &quick_cfg(8));
+        // 16 epochs: enough to be robust to the initialization draw (8
+        // epochs can leave an unlucky init marginally above its starting
+        // loss at this learning rate).
+        let report = train(&mut model, &data, &quick_cfg(16));
         assert!(
             report.final_loss < loss0,
             "loss {loss0} -> {}",
@@ -286,11 +291,11 @@ mod tests {
         let _ = train(&mut model, &data, &quick_cfg(2));
         let report = finetune_with_softmax(
             &mut model,
-            Arc::new(SoftermaxAttention::paper()),
+            Arc::new(KernelSoftmax::softermax_paper()),
             &data,
             &quick_cfg(1),
         );
-        assert_eq!(model.softmax_name(), "softermax-fixed-point");
+        assert_eq!(model.softmax_name(), "softermax");
         assert!(report.final_loss.is_finite());
     }
 
@@ -299,10 +304,7 @@ mod tests {
         let task = Task::NeedleRetrieval;
         let data = task.generate(60, 8, 91);
         let build = || {
-            TransformerClassifier::new(
-                ModelConfig::tiny(task.vocab_size(), 8, task.n_classes()),
-                9,
-            )
+            TransformerClassifier::new(ModelConfig::tiny(task.vocab_size(), 8, task.n_classes()), 9)
         };
         let mut sgd_model = build();
         let sgd_report = train(&mut sgd_model, &data, &quick_cfg(3));

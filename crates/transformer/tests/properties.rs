@@ -6,9 +6,7 @@ use std::sync::Arc;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use softermax_transformer::attention::{
-    AttentionSoftmax, Base2Softmax, ExactSoftmax, MultiHeadAttention, SoftermaxAttention,
-};
+use softermax_transformer::attention::{AttentionSoftmax, KernelSoftmax, MultiHeadAttention};
 use softermax_transformer::nn::{cross_entropy, Linear};
 use softermax_transformer::quant::FakeQuant;
 use softermax_transformer::tensor::Matrix;
@@ -34,9 +32,9 @@ proptest! {
     #[test]
     fn backends_produce_distributions(scores in arb_matrix(4, 6)) {
         let backends: Vec<Arc<dyn AttentionSoftmax>> = vec![
-            Arc::new(ExactSoftmax),
-            Arc::new(Base2Softmax),
-            Arc::new(SoftermaxAttention::paper()),
+            Arc::new(KernelSoftmax::exact()),
+            Arc::new(KernelSoftmax::base2()),
+            Arc::new(KernelSoftmax::softermax_paper()),
         ];
         for backend in backends {
             let p = backend.forward(&scores);
@@ -52,7 +50,7 @@ proptest! {
     /// softmax output moves on the simplex, so uniform pressure is null.
     #[test]
     fn softmax_jacobian_annihilates_constants(scores in arb_matrix(2, 5)) {
-        let backend = ExactSoftmax;
+        let backend = KernelSoftmax::exact();
         let p = backend.forward(&scores);
         let ones = Matrix::from_vec(2, 5, vec![1.0; 10]);
         let g = backend.backward(&p, &ones);
@@ -106,7 +104,7 @@ proptest! {
     fn mha_shape_and_determinism(seed in 0u64..200) {
         let build = || {
             let mut rng = StdRng::seed_from_u64(seed);
-            let mut mha = MultiHeadAttention::new(8, 2, Arc::new(Base2Softmax), &mut rng);
+            let mut mha = MultiHeadAttention::new(8, 2, Arc::new(KernelSoftmax::base2()), &mut rng);
             let x = Matrix::xavier(5, 8, &mut rng);
             mha.forward(&x)
         };

@@ -8,20 +8,20 @@ use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use softermax_transformer::attention::{
-    AttentionSoftmax, Base2Softmax, ExactSoftmax, MultiHeadAttention, SoftermaxAttention,
-};
+use softermax_transformer::attention::{AttentionSoftmax, KernelSoftmax, MultiHeadAttention};
 use softermax_transformer::tensor::Matrix;
 
 fn main() {
     const SEQ: usize = 24;
     const D: usize = 32;
 
-    let backends: Vec<Arc<dyn AttentionSoftmax>> = vec![
-        Arc::new(ExactSoftmax),
-        Arc::new(Base2Softmax),
-        Arc::new(SoftermaxAttention::paper()),
-    ];
+    let backends: Vec<Arc<dyn AttentionSoftmax>> = ["reference-e", "reference-2", "softermax"]
+        .iter()
+        .map(|name| {
+            Arc::new(KernelSoftmax::by_name(name).expect("built-in kernel"))
+                as Arc<dyn AttentionSoftmax>
+        })
+        .collect();
 
     // Same weights for every backend: rebuild the block from the same seed.
     let mut outputs = Vec::new();
@@ -45,7 +45,7 @@ fn main() {
         for (a, b) in exact.as_slice().iter().zip(y.as_slice()) {
             max_diff = max_diff.max((a - b).abs());
         }
-        println!("{name:<24} max |Δ| vs exact-base-e: {max_diff:.4}");
+        println!("{name:<24} max |Δ| vs reference-e: {max_diff:.4}");
     }
     println!();
     println!("note: base-2 differs from base-e by a temperature factor; the paper");

@@ -6,7 +6,7 @@
 
 use std::sync::Arc;
 
-use softermax_transformer::attention::SoftermaxAttention;
+use softermax_transformer::attention::KernelSoftmax;
 use softermax_transformer::model::{ModelConfig, TransformerClassifier};
 use softermax_transformer::tasks::{train_test_split, Task};
 use softermax_transformer::train::{evaluate, finetune_with_softmax, train, TrainConfig};
@@ -27,12 +27,13 @@ fn main() {
         grad_clip: 1.0,
     };
     let report = train(&mut model, &train_set, &pretrain);
+    let test_acc = evaluate(&mut model, &test_set);
     println!(
         "pre-training ({}) : loss {:.4}, train acc {:.1}%, test acc {:.1}%",
         model.softmax_name(),
         report.final_loss,
         100.0 * report.train_accuracy,
-        100.0 * evaluate(&mut model, &test_set)
+        100.0 * test_acc
     );
 
     // Phase 2: Softermax-aware QAT fine-tuning (int8 weights/activations,
@@ -44,16 +45,17 @@ fn main() {
     };
     let report = finetune_with_softmax(
         &mut model,
-        Arc::new(SoftermaxAttention::paper()),
+        Arc::new(KernelSoftmax::softermax_paper()),
         &train_set,
         &finetune,
     );
+    let test_acc = evaluate(&mut model, &test_set);
     println!(
         "fine-tuning  ({}) : loss {:.4}, train acc {:.1}%, test acc {:.1}%",
         model.softmax_name(),
         report.final_loss,
         100.0 * report.train_accuracy,
-        100.0 * evaluate(&mut model, &test_set)
+        100.0 * test_acc
     );
     println!();
     println!("the paper's Table III claim: the Softermax-fine-tuned model matches");

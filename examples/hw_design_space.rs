@@ -16,7 +16,10 @@ fn main() {
     const SEQ: usize = 384;
 
     println!("== Unnormed Softmax unit: width sweep (seq len {SEQ}) ==");
-    println!("{:<8} {:>14} {:>14} {:>12} {:>12}", "width", "SM area um2", "DW area um2", "SM pJ/row", "DW pJ/row");
+    println!(
+        "{:<8} {:>14} {:>14} {:>12} {:>12}",
+        "width", "SM area um2", "DW area um2", "SM pJ/row", "DW pJ/row"
+    );
     for width in [8usize, 16, 32, 64] {
         let ours = UnnormedSoftmaxUnit::new(&tech, width, &SoftermaxConfig::paper());
         let theirs = BaselineUnnormedUnit::new(&tech, width);
@@ -31,7 +34,10 @@ fn main() {
     }
 
     println!("\n== LPW segment sweep: unit area vs operator error ==");
-    println!("{:<10} {:>14} {:>16}", "segments", "unit area um2", "pow2 max err");
+    println!(
+        "{:<10} {:>14} {:>16}",
+        "segments", "unit area um2", "pow2 max err"
+    );
     for segs in [2usize, 4, 8, 16, 64] {
         let cfg = SoftermaxConfig::builder()
             .pow2_segments(segs)
@@ -48,8 +54,14 @@ fn main() {
     }
 
     println!("\n== PE-level energy for SELF+Softmax, both widths (BERT-Large) ==");
-    println!("{:<8} {:>16} {:>16} {:>10}", "config", "Softermax uJ", "DesignWare uJ", "improv");
-    for (name, pe) in [("16-wide", PeConfig::paper_16()), ("32-wide", PeConfig::paper_32())] {
+    println!(
+        "{:<8} {:>16} {:>16} {:>10}",
+        "config", "Softermax uJ", "DesignWare uJ", "improv"
+    );
+    for (name, pe) in [
+        ("16-wide", PeConfig::paper_16()),
+        ("32-wide", PeConfig::paper_32()),
+    ] {
         let ours = Accelerator::paper(
             pe.clone(),
             SoftmaxImpl::Softermax(SoftermaxConfig::paper()),

@@ -1,0 +1,233 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the authoring surface the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_with_input`, `Throughput`) backed by a simple measurement
+//! loop: warm up briefly, then time batches until a fixed measurement
+//! budget is spent, and report mean ns/iteration (plus throughput when
+//! declared). No statistical analysis, plots, or saved baselines.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Warm-up budget per benchmark.
+const WARMUP: Duration = Duration::from_millis(20);
+/// Measurement budget per benchmark.
+const MEASURE: Duration = Duration::from_millis(120);
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), None, &mut f);
+        self
+    }
+}
+
+/// Declared work-per-iteration, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        Self {
+            label: format!("{name}/{param}"),
+        }
+    }
+
+    /// Just a parameter value.
+    pub fn from_parameter(param: impl Display) -> Self {
+        Self {
+            label: param.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration workload for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks a closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure with no input.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{id}", self.name);
+        run_benchmark(&label, self.throughput, &mut f);
+        self
+    }
+
+    /// Ends the group (parity with criterion's API; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; call [`iter`](Self::iter) with the
+/// code under test.
+pub struct Bencher {
+    mode: Mode,
+    total: Duration,
+    iters: u64,
+}
+
+enum Mode {
+    Warmup,
+    Measure,
+}
+
+impl Bencher {
+    /// Times repeated executions of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let budget = match self.mode {
+            Mode::Warmup => WARMUP,
+            Mode::Measure => MEASURE,
+        };
+        // Calibrate a batch size so each timed batch is ~1ms.
+        let start = Instant::now();
+        std_black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 100_000);
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < budget {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            total += t0.elapsed();
+            iters += batch as u64;
+        }
+        self.total = total;
+        self.iters = iters;
+    }
+}
+
+fn run_benchmark(label: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut warm = Bencher {
+        mode: Mode::Warmup,
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut warm);
+    let mut bench = Bencher {
+        mode: Mode::Measure,
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut bench);
+    if bench.iters == 0 {
+        println!("{label}: no iterations recorded (closure never called iter?)");
+        return;
+    }
+    let ns_per_iter = bench.total.as_nanos() as f64 / bench.iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.1} Melem/s)", n as f64 / ns_per_iter * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  ({:.1} MiB/s)", n as f64 / ns_per_iter * 1e3 / 1.048_576)
+        }
+        None => String::new(),
+    };
+    println!(
+        "{label}: {ns_per_iter:.0} ns/iter over {} iters{rate}",
+        bench.iters
+    );
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_selftest");
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,77 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Sizes a generated collection: an exact length or a length range.
+pub trait IntoSizeRange {
+    /// Lower bound (inclusive) and upper bound (exclusive).
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self + 1)
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end)
+    }
+}
+
+impl IntoSizeRange for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "empty size range");
+        (*self.start(), *self.end() + 1)
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with lengths drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    min_len: usize,
+    max_len_exclusive: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let span = self.max_len_exclusive - self.min_len;
+        let len = self.min_len + if span > 1 { rng.gen_index(span) } else { 0 };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Generates vectors of `element` values with the given size.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (min_len, max_len_exclusive) = size.bounds();
+    VecStrategy {
+        element,
+        min_len,
+        max_len_exclusive,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_and_ranged_sizes() {
+        let mut rng = TestRng::for_test("vec");
+        let fixed = vec(0.0f64..1.0, 8usize);
+        assert_eq!(fixed.sample(&mut rng).len(), 8);
+
+        let ranged = vec(0u32..10, 1..5usize);
+        for _ in 0..100 {
+            let v = ranged.sample(&mut rng);
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+}

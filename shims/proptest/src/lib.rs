@@ -1,0 +1,83 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Same authoring surface as real proptest for the patterns this
+//! workspace uses — `proptest! { fn name(x in strategy) { .. } }`,
+//! range/tuple/`Just`/`prop_oneof!`/`collection::vec` strategies, and
+//! `prop_assert*` — but implemented as plain random sampling:
+//!
+//! * each test runs `PROPTEST_CASES` random cases (default 64);
+//! * failures re-panic with the sampled inputs printed, but there is
+//!   **no shrinking** — the failing case is reported as drawn;
+//! * seeding is deterministic per test name, so failures reproduce, and
+//!   `PROPTEST_SEED` perturbs the whole run when set.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the `proptest::prelude::*` glob is expected to bring in.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` that runs the body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::test_runner::cases();
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for case in 0..cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                let described = ::std::format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || $body),
+                );
+                if let ::std::result::Result::Err(payload) = outcome {
+                    ::std::eprintln!(
+                        "proptest: case {}/{} of `{}` failed with {}",
+                        case + 1, cases, stringify!($name), described,
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { ::std::assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { ::std::assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { ::std::assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $($crate::strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,24 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! ships a minimal self-contained replacement with the same import paths
+//! the source code uses (`serde::{Serialize, Deserialize}` plus the derive
+//! macros). Instead of serde's visitor architecture, serialization goes
+//! through a concrete JSON-like [`Value`] tree:
+//!
+//! * [`Serialize::to_value`] converts a type into a [`Value`];
+//! * [`Deserialize::from_value`] reconstructs the type from a [`Value`];
+//! * the derive macros (re-exported from `serde_derive`) generate both for
+//!   plain structs and enums — the only shapes this workspace uses.
+//!
+//! Rendering/parsing of the `Value` tree as JSON text lives in the
+//! sibling `serde_json` shim.
+
+mod de;
+mod ser;
+mod value;
+
+pub use de::{field, DeError, Deserialize};
+pub use ser::Serialize;
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::Value;

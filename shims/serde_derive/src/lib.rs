@@ -1,0 +1,321 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline
+//! serde shim.
+//!
+//! With no access to `syn`/`quote`, the input item is parsed directly
+//! from the token stream. Supported shapes — the only ones this
+//! workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype and general),
+//! * enums whose variants are units or single-field tuples
+//!   (externally tagged, as real serde does by default).
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally
+//! unsupported; the macros panic with a clear message if they appear,
+//! so a future user hits a compile error rather than silent misbehavior.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    /// Struct with named fields.
+    Named(Vec<String>),
+    /// Tuple struct with N fields.
+    Tuple(usize),
+    /// Enum: (variant name, has one tuple payload field).
+    Enum(Vec<(String, bool)>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize` (the shim's `to_value` form).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push((::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new(); {pushes} ::serde::Value::Object(fields)"
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let name = &item.name;
+            let arms: String = variants
+                .iter()
+                .map(|(v, payload)| {
+                    if *payload {
+                        format!(
+                            "{name}::{v}(inner) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), \
+                             ::serde::Serialize::to_value(inner))]),"
+                        )
+                    } else {
+                        format!(
+                            "{name}::{v} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        item.name
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (the shim's `from_value` form).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(v, \"{f}\")?"))
+                .collect();
+            format!(
+                "if v.as_object().is_none() {{ \
+                 return ::std::result::Result::Err(::serde::DeError::expected(\"object\", v)); }} \
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| \
+                 ::serde::DeError::expected(\"array\", v))?; \
+                 if items.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::DeError::new(\"wrong tuple length\")); }} \
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, payload)| !payload)
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter(|(_, payload)| *payload)
+                .map(|(v, _)| {
+                    format!(
+                        "if let ::std::option::Option::Some(inner) = v.get(\"{v}\") {{ \
+                         return ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(inner)?)); }}"
+                    )
+                })
+                .collect();
+            format!(
+                "if let ::std::option::Option::Some(s) = v.as_str() {{ \
+                 return match s {{ {unit_arms} _ => ::std::result::Result::Err(\
+                 ::serde::DeError::new(::std::format!(\"unknown variant '{{s}}' of {name}\"))) }}; }} \
+                 {payload_arms} \
+                 ::std::result::Result::Err(::serde::DeError::expected(\"{name} variant\", v))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> \
+         {{ {body} }} }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+// --- token-stream parsing --------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic types (on `{name}`)");
+    }
+
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            other => panic!("serde shim derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream(), &name))
+            }
+            other => panic!("serde shim derive: expected enum body for `{name}`, got {other:?}"),
+        },
+        other => panic!("serde shim derive: expected `struct` or `enum`, got `{other}`"),
+    };
+    Item { name, shape }
+}
+
+/// Advances past attributes (`#[...]`, including doc comments) and
+/// visibility (`pub`, `pub(crate)`, ...).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) / pub(super)
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        // Skip `: Type` until a comma at angle-bracket depth 0. Angle
+        // brackets are bare puncts, so track their depth explicitly;
+        // parens/brackets arrive as opaque groups and need no tracking.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct body (top-level comma count + 1).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0i32;
+    let mut commas = 0;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    commas + 1 - usize::from(trailing_comma)
+}
+
+/// Variants of an enum body: (name, has single tuple payload).
+fn parse_variants(body: TokenStream, enum_name: &str) -> Vec<(String, bool)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let vname = id.to_string();
+        i += 1;
+        let mut payload = false;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                assert!(
+                    n == 1,
+                    "serde shim derive: variant {enum_name}::{vname} has {n} payload fields; \
+                     only 0 or 1 are supported"
+                );
+                payload = true;
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde shim derive: struct variant {enum_name}::{vname} is not supported");
+            }
+            _ => {}
+        }
+        // Skip `= discriminant` and the separating comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push((vname, payload));
+    }
+    variants
+}

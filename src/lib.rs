@@ -1,0 +1,11 @@
+//! Umbrella crate for the Softermax reproduction workspace.
+//!
+//! The real functionality lives in the `crates/` members; this package
+//! exists to host the cross-crate integration tests (`tests/`) and the
+//! runnable examples (`examples/`). It re-exports the member crates so
+//! downstream experiments can depend on a single name.
+
+pub use softermax;
+pub use softermax_fixed;
+pub use softermax_hw;
+pub use softermax_transformer;

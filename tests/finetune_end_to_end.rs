@@ -6,7 +6,7 @@
 
 use std::sync::Arc;
 
-use softermax_transformer::attention::SoftermaxAttention;
+use softermax_transformer::attention::KernelSoftmax;
 use softermax_transformer::model::{ModelConfig, TransformerClassifier};
 use softermax_transformer::tasks::{train_test_split, Task};
 use softermax_transformer::train::{evaluate, finetune_with_softmax, train, TrainConfig};
@@ -42,14 +42,17 @@ fn softermax_finetuning_matches_quantized_baseline() {
     train(&mut softer, &train_set, &pretrain);
     finetune_with_softmax(
         &mut softer,
-        Arc::new(SoftermaxAttention::paper()),
+        Arc::new(KernelSoftmax::softermax_paper()),
         &train_set,
         &finetune,
     );
     let softer_acc = evaluate(&mut softer, &test_set);
 
     // Both must have learned the task...
-    assert!(baseline_acc > 0.6, "baseline failed to learn: {baseline_acc}");
+    assert!(
+        baseline_acc > 0.6,
+        "baseline failed to learn: {baseline_acc}"
+    );
     assert!(softer_acc > 0.6, "softermax failed to learn: {softer_acc}");
     // ...and Softermax must be within a few points of the baseline
     // (the paper reports no average loss; at this miniature scale we
@@ -80,7 +83,7 @@ fn pretrained_model_survives_backend_swap_without_finetuning() {
     train(&mut model, &train_set, &pretrain);
     let acc_exact = evaluate(&mut model, &test_set);
 
-    model.set_softmax(Arc::new(SoftermaxAttention::paper()));
+    model.set_softmax(Arc::new(KernelSoftmax::softermax_paper()));
     let acc_swapped = evaluate(&mut model, &test_set);
 
     assert!(acc_exact > 0.6, "model failed to learn: {acc_exact}");

@@ -12,9 +12,7 @@ use softermax_hw::pe::PeConfig;
 use softermax_hw::tech::TechParams;
 use softermax_hw::units::{BaselineUnnormedUnit, UnnormedSoftmaxUnit};
 use softermax_hw::workload::AttentionShape;
-use softermax_transformer::attention::{
-    AttentionSoftmax, Base2Softmax, ExactSoftmax, MultiHeadAttention, SoftermaxAttention,
-};
+use softermax_transformer::attention::{AttentionSoftmax, KernelSoftmax, MultiHeadAttention};
 use softermax_transformer::tensor::Matrix;
 
 /// The full software stack agrees on the paper's worked example.
@@ -33,7 +31,7 @@ fn worked_example_consistency_across_crates() {
     assert!(metrics::max_abs_error(&out.probs_f64(), &exact) < 0.01);
 
     // The same operator through the attention backend.
-    let backend = SoftermaxAttention::paper();
+    let backend = KernelSoftmax::softermax_paper();
     let m = Matrix::from_rows(&[&[2.0, 1.0, 3.0]]);
     let probs = backend.forward(&m);
     for (c, &e) in exact.iter().enumerate() {
@@ -54,8 +52,8 @@ fn attention_outputs_track_exact_base2() {
         let x = Matrix::xavier(12, 16, &mut rng);
         mha.forward(&x)
     };
-    let exact = build(Arc::new(Base2Softmax));
-    let fixed = build(Arc::new(SoftermaxAttention::paper()));
+    let exact = build(Arc::new(KernelSoftmax::base2()));
+    let fixed = build(Arc::new(KernelSoftmax::softermax_paper()));
     let mut max_diff = 0.0f32;
     for (a, b) in exact.as_slice().iter().zip(fixed.as_slice()) {
         max_diff = max_diff.max((a - b).abs());
@@ -151,13 +149,13 @@ fn attention_trait_is_consistent_with_reference() {
     let scores = Matrix::from_rows(&[&[0.5, -1.0, 2.0, 0.0]]);
     let row: Vec<f64> = scores.row(0).iter().map(|&v| f64::from(v)).collect();
 
-    let e = ExactSoftmax.forward(&scores);
+    let e = KernelSoftmax::exact().forward(&scores);
     let want_e = reference::softmax(&row).expect("non-empty");
     for c in 0..4 {
         assert!((f64::from(e.get(0, c)) - want_e[c]).abs() < 1e-6);
     }
 
-    let b2 = Base2Softmax.forward(&scores);
+    let b2 = KernelSoftmax::base2().forward(&scores);
     let want_2 = reference::softmax_base2(&row).expect("non-empty");
     for c in 0..4 {
         assert!((f64::from(b2.get(0, c)) - want_2[c]).abs() < 1e-6);
