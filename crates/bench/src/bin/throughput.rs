@@ -1,0 +1,130 @@
+//! Scalar-vs-vectorized softmax throughput harness.
+//!
+//! Benchmarks every registered kernel at row lengths {64, 256, 1024, 4096}
+//! through both entry points of the unified trait:
+//!
+//! * **scalar** — `SoftmaxKernel::forward`, the allocating per-row path;
+//! * **vectorized** — `SoftmaxKernel::forward_into` with a reused
+//!   [`ScratchBuffers`], the raw-lane hot path.
+//!
+//! Measurements use the criterion shim's calibrated-batch loop
+//! ([`criterion::measure`]), print a markdown table, and are written as
+//! JSON (default `BENCH_PR2.json`) so the perf trajectory is recorded in
+//! the repository and checked by the CI bench-smoke job.
+//!
+//! ```text
+//! usage: throughput [--smoke] [--out PATH]
+//!   --smoke   short measurement budgets (CI smoke test)
+//!   --out     output JSON path (default BENCH_PR2.json)
+//! ```
+
+use std::time::Duration;
+
+use criterion::{black_box, measure};
+use softermax::kernel::ScratchBuffers;
+use softermax_bench::{attention_scores, print_header, print_row, registry};
+
+/// Row lengths swept by the harness (the paper's sequence-length scale).
+const ROW_LENS: [usize; 4] = [64, 256, 1024, 4096];
+
+fn main() {
+    let mut out_path = "BENCH_PR2.json".to_string();
+    let (mut warmup_ms, mut measure_ms) = (30u64, 160u64);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                warmup_ms = 2;
+                measure_ms = 8;
+            }
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a value");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown flag '{other}' (usage: throughput [--smoke] [--out PATH])");
+                std::process::exit(2);
+            }
+        }
+    }
+    let warmup = Duration::from_millis(warmup_ms);
+    let budget = Duration::from_millis(measure_ms);
+
+    println!("# Softmax row throughput: scalar `forward` vs vectorized `forward_into`\n");
+    print_header(&[
+        "kernel",
+        "len",
+        "scalar ns/row",
+        "vectorized ns/row",
+        "scalar Melem/s",
+        "vectorized Melem/s",
+        "speedup",
+    ]);
+
+    let registry = registry();
+    let mut entries: Vec<serde_json::Value> = Vec::new();
+    for kernel in &registry {
+        for &len in &ROW_LENS {
+            let row = attention_scores(len, 2.5, 42);
+            let mut scratch = ScratchBuffers::default();
+            let mut probs = vec![0.0f64; len];
+            // Guard before timing: the two paths must be bit-identical.
+            // This is what makes the CI smoke run a real check — a
+            // correctness regression in the vectorized path fails the job
+            // even though timings are never asserted (they'd be flaky).
+            let want = kernel.forward(&row).expect("non-empty row");
+            kernel
+                .forward_into(&row, &mut probs, &mut scratch)
+                .expect("non-empty row");
+            assert_eq!(
+                probs,
+                want,
+                "{} forward_into diverged from forward at len {len}",
+                kernel.name()
+            );
+            let scalar = measure(warmup, budget, || {
+                black_box(kernel.forward(black_box(&row)).expect("non-empty row"))
+            });
+            let vectorized = measure(warmup, budget, || {
+                kernel
+                    .forward_into(black_box(&row), black_box(&mut probs), &mut scratch)
+                    .expect("non-empty row");
+            });
+            let speedup = scalar.ns_per_iter / vectorized.ns_per_iter;
+            print_row(&[
+                kernel.name().to_string(),
+                len.to_string(),
+                format!("{:.0}", scalar.ns_per_iter),
+                format!("{:.0}", vectorized.ns_per_iter),
+                format!("{:.1}", scalar.elements_per_sec(len as u64) / 1e6),
+                format!("{:.1}", vectorized.elements_per_sec(len as u64) / 1e6),
+                softermax_bench::fmt_ratio(speedup),
+            ]);
+            entries.push(serde_json::json!({
+                "kernel": kernel.name(),
+                "row_len": len,
+                "scalar_ns_per_row": scalar.ns_per_iter,
+                "vectorized_ns_per_row": vectorized.ns_per_iter,
+                "scalar_melem_per_s": scalar.elements_per_sec(len as u64) / 1e6,
+                "vectorized_melem_per_s": vectorized.elements_per_sec(len as u64) / 1e6,
+                "speedup": speedup,
+                "scalar_iters": scalar.iters,
+                "vectorized_iters": vectorized.iters,
+            }));
+        }
+    }
+
+    let report = serde_json::json!({
+        "benchmark": "softmax_row_throughput",
+        "description": "scalar SoftmaxKernel::forward vs vectorized forward_into (reused ScratchBuffers), ns per row",
+        "row_lens": ROW_LENS.to_vec(),
+        "warmup_ms": warmup_ms,
+        "measure_ms": measure_ms,
+        "results": serde_json::Value::Array(entries),
+    });
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, text + "\n").expect("write benchmark JSON");
+    println!("\nwrote {out_path}");
+}

@@ -17,7 +17,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use softermax::kernel::{BaseKind, KernelRegistry, SoftmaxKernel};
+use softermax::kernel::{BaseKind, KernelRegistry, ScratchBuffers, SoftmaxKernel};
 use softermax::metrics;
 
 /// Generates a realistic attention-score row: calibrated-range Gaussian
@@ -103,6 +103,12 @@ pub fn measure_fidelity(
         top1: 0,
         rows,
     };
+    // One scratch space and one buffer pair serve every measured row: the
+    // kernels run through the allocation-free `forward_into` path instead
+    // of collecting a fresh vector per row and re-iterating it.
+    let mut scratch = ScratchBuffers::default();
+    let mut got = vec![0.0; len];
+    let mut want = vec![0.0; len];
     for r in 0..rows {
         let mut scores = attention_scores(len, 2.5, seed0 + r as u64);
         if let Some(step) = quantize_step {
@@ -110,8 +116,12 @@ pub fn measure_fidelity(
                 *v = (*v / step).round() * step;
             }
         }
-        let got = kernel.forward(&scores).expect("non-empty row");
-        let want = reference.forward(&scores).expect("non-empty row");
+        kernel
+            .forward_into(&scores, &mut got, &mut scratch)
+            .expect("non-empty row");
+        reference
+            .forward_into(&scores, &mut want, &mut scratch)
+            .expect("non-empty row");
         out.max_err = out.max_err.max(metrics::max_abs_error(&got, &want));
         out.kl += metrics::kl_divergence_smoothed(&want, &got, 1.0 / 256.0) / rows as f64;
         out.mass_err += metrics::mass_error(&got) / rows as f64;

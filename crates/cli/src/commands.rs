@@ -5,7 +5,7 @@
 //! individual softmax implementations, so newly registered kernels show
 //! up in `softmax`, `compare` and `kernels` automatically.
 
-use softermax::kernel::{BaseKind, KernelRegistry};
+use softermax::kernel::{BaseKind, KernelRegistry, ScratchBuffers};
 use softermax::{metrics, SoftermaxConfig};
 use softermax_hw::accel::Accelerator;
 use softermax_hw::pe::PeConfig;
@@ -63,7 +63,11 @@ fn eval_backend(name: &str, scores: &[f64]) -> Result<Vec<f64>, String> {
     let kernel = KernelRegistry::global()
         .get(name)
         .ok_or_else(|| format!("unknown backend '{name}' (see `softermax kernels`)"))?;
-    kernel.forward(scores).map_err(|e| e.to_string())
+    let mut probs = vec![0.0; scores.len()];
+    kernel
+        .forward_into(scores, &mut probs, &mut ScratchBuffers::default())
+        .map_err(|e| e.to_string())?;
+    Ok(probs)
 }
 
 fn cmd_softmax(args: &[String]) -> Result<(), String> {

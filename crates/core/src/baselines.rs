@@ -84,6 +84,24 @@ impl LutSoftmax {
     ///
     /// Returns [`SoftmaxError::EmptyInput`] for an empty row.
     pub fn forward(&self, row: &[f64]) -> Result<Vec<f64>> {
+        let mut out = vec![0.0; row.len()];
+        self.forward_into(row, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free [`forward`](Self::forward): the LUT exponentials are
+    /// staged in the output buffer (they fit `f64` exactly), so no
+    /// intermediate vector is needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SoftmaxError::EmptyInput`] for an empty row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != row.len()`.
+    pub fn forward_into(&self, row: &[f64], out: &mut [f64]) -> Result<()> {
+        assert_eq!(out.len(), row.len(), "output buffer length mismatch");
         if row.is_empty() {
             return Err(SoftmaxError::EmptyInput);
         }
@@ -92,27 +110,25 @@ impl LutSoftmax {
             .iter()
             .map(|&v| (v / self.step).round() * self.step)
             .fold(f64::NEG_INFINITY, f64::max);
-        // Pass 2: LUT exponentials and integer sum.
-        let exps: Vec<u32> = row
-            .iter()
-            .map(|&v| {
-                let q = (v / self.step).round() * self.step;
-                let idx = ((max - q) / self.step).round().clamp(0.0, 255.0) as usize;
-                self.table[idx]
-            })
-            .collect();
-        let sum: u64 = exps.iter().map(|&e| u64::from(e)).sum();
+        // Pass 2: LUT exponentials (staged in `out`; Q0.16 entries are
+        // exact in f64) and integer sum.
+        let mut sum: u64 = 0;
+        for (o, &v) in out.iter_mut().zip(row) {
+            let q = (v / self.step).round() * self.step;
+            let idx = ((max - q) / self.step).round().clamp(0.0, 255.0) as usize;
+            let e = self.table[idx];
+            sum += u64::from(e);
+            *o = f64::from(e);
+        }
         if sum == 0 {
             return Err(SoftmaxError::DivisionByZero);
         }
         // Pass 3: integer division to 16-bit probabilities.
-        Ok(exps
-            .iter()
-            .map(|&e| {
-                let p16 = (u64::from(e) << LUT_FRAC_BITS) / sum;
-                p16 as f64 / f64::from(1u32 << LUT_FRAC_BITS)
-            })
-            .collect())
+        for o in out.iter_mut() {
+            let p16 = ((*o as u64) << LUT_FRAC_BITS) / sum;
+            *o = p16 as f64 / f64::from(1u32 << LUT_FRAC_BITS);
+        }
+        Ok(())
     }
 
     /// The number of passes this scheme makes over its input — still two

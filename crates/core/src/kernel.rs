@@ -125,6 +125,50 @@ impl KernelDescriptor {
     }
 }
 
+/// Reusable working memory for the allocation-free kernel path
+/// ([`SoftmaxKernel::forward_into`]).
+///
+/// One instance amortizes every per-row intermediate across an arbitrary
+/// number of rows: after the first few rows the buffers reach steady-state
+/// capacity and the hot path performs **zero** heap allocations. The lane
+/// buffers hold raw `i64` fixed-point encodings (the format is implied by
+/// the pipeline stage), `runs` holds per-slice `(raw value, end index)`
+/// pairs such as the Softermax reference maxima.
+///
+/// # Example
+///
+/// ```
+/// use softermax::kernel::{KernelRegistry, ScratchBuffers};
+///
+/// let kernel = KernelRegistry::global().get("softermax").expect("built-in");
+/// let mut scratch = ScratchBuffers::default();
+/// let mut probs = [0.0; 3];
+/// kernel.forward_into(&[2.0, 1.0, 3.0], &mut probs, &mut scratch)?;
+/// assert_eq!(probs.to_vec(), kernel.forward(&[2.0, 1.0, 3.0])?);
+/// # Ok::<(), softermax::SoftmaxError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ScratchBuffers {
+    /// Row-length input lanes (quantized scores).
+    pub lanes_a: Vec<i64>,
+    /// Slice-length staging lanes (max candidates, exponentials).
+    pub lanes_b: Vec<i64>,
+    /// Row-length result lanes (unnormed exponentials).
+    pub lanes_c: Vec<i64>,
+    /// Slice-length staging lanes (differences, ceiled candidates).
+    pub lanes_d: Vec<i64>,
+    /// Per-slice `(raw value, end index)` runs (reference maxima).
+    pub runs: Vec<(i64, usize)>,
+}
+
+impl ScratchBuffers {
+    /// A fresh, empty scratch space.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A row-wise softmax backend.
 ///
 /// Implementations are `Send + Sync` so a single instance can be shared
@@ -146,6 +190,35 @@ pub trait SoftmaxKernel: fmt::Debug + Send + Sync {
     /// Returns [`SoftmaxError::EmptyInput`] for an empty row, or a
     /// backend-specific error (e.g. [`SoftmaxError::DivisionByZero`]).
     fn forward(&self, row: &[f64]) -> Result<Vec<f64>>;
+
+    /// Softmax into a caller-provided buffer, reusing `scratch` for all
+    /// intermediates. Produces exactly `self.forward(row)` (bit-identical),
+    /// but backends with a vectorized path run it allocation-free — the
+    /// entry point the attention loop, the CLI and the bench harness use.
+    ///
+    /// The default implementation simply delegates to
+    /// [`SoftmaxKernel::forward`] and copies, so custom kernels are correct
+    /// with no extra work and can opt into a fast path later.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`SoftmaxKernel::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != row.len()`.
+    fn forward_into(
+        &self,
+        row: &[f64],
+        out: &mut [f64],
+        scratch: &mut ScratchBuffers,
+    ) -> Result<()> {
+        let _ = scratch;
+        assert_eq!(out.len(), row.len(), "output buffer length mismatch");
+        let probs = self.forward(row)?;
+        out.copy_from_slice(&probs);
+        Ok(())
+    }
 
     /// Starts a streaming accumulation of one row.
     ///
@@ -262,6 +335,15 @@ impl SoftmaxKernel for ReferenceKernel {
         reference::softmax_with_base(row, self.base)
     }
 
+    fn forward_into(
+        &self,
+        row: &[f64],
+        out: &mut [f64],
+        _scratch: &mut ScratchBuffers,
+    ) -> Result<()> {
+        reference::softmax_with_base_into(row, self.base, out)
+    }
+
     fn begin_row(&self) -> Box<dyn RowAccumulator + '_> {
         Box::new(BufferedRow {
             kernel: self,
@@ -359,6 +441,20 @@ impl SoftmaxKernel for OnlineKernel {
         let mut n = self.normalizer();
         n.extend(row.iter().copied());
         n.finalize(row)
+    }
+
+    fn forward_into(
+        &self,
+        row: &[f64],
+        out: &mut [f64],
+        _scratch: &mut ScratchBuffers,
+    ) -> Result<()> {
+        // The online recurrence needs no buffering at all: the one-pass
+        // max/sum state is three scalars, and the division pass reads the
+        // caller's row directly.
+        let mut n = self.normalizer();
+        n.extend(row.iter().copied());
+        n.finalize_into(row, out)
     }
 
     fn begin_row(&self) -> Box<dyn RowAccumulator + '_> {
@@ -502,6 +598,15 @@ impl SoftmaxKernel for LutKernel {
         self.lut.forward(row)
     }
 
+    fn forward_into(
+        &self,
+        row: &[f64],
+        out: &mut [f64],
+        _scratch: &mut ScratchBuffers,
+    ) -> Result<()> {
+        self.lut.forward_into(row, out)
+    }
+
     fn begin_row(&self) -> Box<dyn RowAccumulator + '_> {
         Box::new(BufferedRow {
             kernel: self,
@@ -584,6 +689,17 @@ impl SoftmaxKernel for SoftermaxFixedKernel {
 
     fn forward(&self, row: &[f64]) -> Result<Vec<f64>> {
         self.sm.forward(row)
+    }
+
+    fn forward_into(
+        &self,
+        row: &[f64],
+        out: &mut [f64],
+        scratch: &mut ScratchBuffers,
+    ) -> Result<()> {
+        // The vectorized raw-lane pipeline: bit-exact with `forward`, zero
+        // per-row allocations.
+        self.sm.forward_into(row, out, scratch)
     }
 
     fn begin_row(&self) -> Box<dyn RowAccumulator + '_> {
@@ -804,6 +920,34 @@ mod tests {
                     k.name()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn forward_into_is_bit_exact_with_forward_for_every_builtin() {
+        let rows: [&[f64]; 3] = [
+            &[1.5, -2.25, 0.5, 3.0, 2.75, -0.25, 0.0],
+            &[0.0],
+            &[
+                -31.0, 10.0, 4.25, -0.75, 2.5, 2.5, 1.0, 0.25, -3.0, 7.75, 7.5, 0.5, -1.25, 6.0,
+                0.0, 3.25, 1.75,
+            ],
+        ];
+        for k in &KernelRegistry::with_builtins() {
+            let mut scratch = ScratchBuffers::default();
+            for row in rows {
+                let want = k.forward(row).unwrap();
+                let mut got = vec![0.0; row.len()];
+                // Run twice to exercise scratch reuse.
+                k.forward_into(row, &mut got, &mut scratch).unwrap();
+                k.forward_into(row, &mut got, &mut scratch).unwrap();
+                assert_eq!(got, want, "{} forward_into diverged", k.name());
+            }
+            assert!(
+                k.forward_into(&[], &mut [], &mut scratch).is_err(),
+                "{} accepted empty row via forward_into",
+                k.name()
+            );
         }
     }
 

@@ -55,7 +55,7 @@ pub mod softermax;
 
 pub use config::{Base, MaxMode, SoftermaxConfig, SoftermaxConfigBuilder};
 pub use error::SoftmaxError;
-pub use kernel::{KernelDescriptor, KernelRegistry, RowAccumulator, SoftmaxKernel};
+pub use kernel::{KernelDescriptor, KernelRegistry, RowAccumulator, ScratchBuffers, SoftmaxKernel};
 pub use softermax::{Softermax, SoftermaxAccumulator, SoftermaxRowOutput};
 
 /// Result alias for fallible softmax operations.

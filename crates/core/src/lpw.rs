@@ -214,27 +214,35 @@ impl QuantizedLpwTable {
     /// `Q(6,2)` input with 4 segments needs no `m`-LUT at all.
     #[must_use]
     pub fn eval_fixed(&self, t: Fixed) -> Fixed {
-        let frac_bits = t.format().frac_bits();
+        // One-value delegation to the hoisted plan: scalar and batch
+        // evaluation cannot diverge by construction.
+        let raw = self.plan(t.format()).eval_raw(t.raw());
+        Fixed::from_raw_saturating(raw, self.entry_format)
+    }
+
+    /// Builds a hoisted evaluation plan for inputs of `in_format`.
+    ///
+    /// Everything [`QuantizedLpwTable::eval_fixed`] derives from the input
+    /// format — segment-select shift, fraction and intra-segment masks,
+    /// entry-format saturation bounds — is computed once here, so batch
+    /// evaluators pay only the per-lane table lookup (and multiply, when
+    /// the input has intra-segment position bits).
+    #[must_use]
+    pub fn plan(&self, in_format: QFormat) -> LpwPlan<'_> {
+        let frac_bits = in_format.frac_bits();
         let k = self.log2_segments;
-        let frac_raw = t.frac().raw(); // value in [0,1): low frac_bits bits
-        let n_mask = (1i64 << k) - 1;
-        if frac_bits >= k {
-            let rem_bits = frac_bits - k;
-            let idx = ((frac_raw >> rem_bits) & n_mask) as usize;
-            if rem_bits == 0 {
-                return self.c[idx];
-            }
-            let u_raw = frac_raw & ((1i64 << rem_bits) - 1);
-            // u ∈ [0,1) with rem_bits fractional bits.
-            let u = Fixed::from_raw_saturating(u_raw, QFormat::unsigned(1, rem_bits));
-            let prod = self.m[idx].mul_into(u, self.entry_format, Rounding::Floor);
-            prod.saturating_add(self.c[idx])
-                .unwrap_or_else(|_| Fixed::max_of(self.entry_format))
-        } else {
-            // Fewer fraction bits than segment-select bits: the position
-            // within a segment is always zero.
-            let idx = ((frac_raw << (k - frac_bits)) & n_mask) as usize;
-            self.c[idx]
+        LpwPlan {
+            table: self,
+            in_format,
+            frac_mask: if frac_bits == 0 {
+                0
+            } else {
+                (1i64 << frac_bits) - 1
+            },
+            n_mask: (1i64 << k) - 1,
+            rem_bits: frac_bits.saturating_sub(k),
+            widen: k.saturating_sub(frac_bits),
+            has_position_bits: frac_bits > k,
         }
     }
 
@@ -248,6 +256,53 @@ impl QuantizedLpwTable {
         let idx = (scaled as usize).min(self.segments() - 1);
         let u = scaled - idx as f64;
         self.m[idx].to_f64() * u + self.c[idx].to_f64()
+    }
+}
+
+/// A hoisted per-input-format evaluator for one [`QuantizedLpwTable`]
+/// (see [`QuantizedLpwTable::plan`]).
+///
+/// [`LpwPlan::eval_raw`] is bit-exact with [`QuantizedLpwTable::eval_fixed`]
+/// on the raw encoding of any input in the planned format.
+#[derive(Debug, Clone, Copy)]
+pub struct LpwPlan<'t> {
+    table: &'t QuantizedLpwTable,
+    in_format: QFormat,
+    frac_mask: i64,
+    n_mask: i64,
+    rem_bits: u32,
+    widen: u32,
+    has_position_bits: bool,
+}
+
+impl LpwPlan<'_> {
+    /// One bit-exact hardware evaluation on a raw encoding in the planned
+    /// input format; returns the raw encoding of the result in the table's
+    /// entry format.
+    #[inline]
+    #[must_use]
+    pub fn eval_raw(&self, raw: i64) -> i64 {
+        // `raw & frac_mask` equals `raw.rem_euclid(2^frac_bits)`: the low
+        // fraction bits of the two's-complement encoding. The saturation
+        // matters only for signed formats with no integer bits, where the
+        // fraction can exceed the representable range — `Fixed::frac`
+        // clamps there too.
+        let frac_raw = self.in_format.saturate_raw(raw & self.frac_mask);
+        if !self.has_position_bits {
+            // No intra-segment position bits: the result is a bare c-LUT
+            // entry (rem_bits == 0 covers frac_bits == k; `widen` covers
+            // frac_bits < k, where low fraction bits pad the select).
+            let idx = ((frac_raw << self.widen) & self.n_mask) as usize;
+            return self.table.c[idx].raw();
+        }
+        let idx = ((frac_raw >> self.rem_bits) & self.n_mask) as usize;
+        let u_raw = frac_raw & ((1i64 << self.rem_bits) - 1);
+        // m·u in full precision, floored back to the entry format, plus c,
+        // saturating — exactly `mul_into` + `saturating_add`.
+        let prod = self.table.m[idx].raw() as i128 * u_raw as i128;
+        let entry = self.table.entry_format;
+        let prod_raw = entry.saturate_raw(Rounding::Floor.apply_shift(prod, self.rem_bits));
+        entry.saturate_raw(prod_raw.saturating_add(self.table.c[idx].raw()))
     }
 }
 
@@ -407,6 +462,38 @@ mod tests {
         );
         let t = Fixed::zero(QFormat::unsigned(1, 15));
         assert_eq!(q.eval_fixed(t).to_f64(), 1.0);
+    }
+
+    #[test]
+    fn plan_eval_raw_matches_eval_fixed() {
+        for segments in [4usize, 16] {
+            let q = QuantizedLpwTable::from_table(
+                &pow2_table(segments),
+                QFormat::unsigned(1, 15),
+                Rounding::Nearest,
+            );
+            for fmt in [
+                QFormat::signed(6, 2),
+                QFormat::unsigned(1, 15),
+                QFormat::signed(8, 0),
+                QFormat::signed(0, 8), // fraction saturation edge
+                QFormat::unsigned(0, 3),
+            ] {
+                let plan = q.plan(fmt);
+                let span = fmt.max_raw() - fmt.min_raw();
+                let step = (span / 512).max(1);
+                let mut raw = fmt.min_raw();
+                while raw <= fmt.max_raw() {
+                    let x = Fixed::from_raw_saturating(raw, fmt);
+                    assert_eq!(
+                        plan.eval_raw(raw),
+                        q.eval_fixed(x).raw(),
+                        "segments={segments} fmt={fmt} raw={raw}"
+                    );
+                    raw += step;
+                }
+            }
+        }
     }
 
     #[test]

@@ -192,12 +192,31 @@ impl OnlineNormalizer {
     /// Returns [`SoftmaxError::EmptyInput`] when no value was pushed, or
     /// when `x` is inconsistent with the number of pushed values.
     pub fn finalize(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let mut out = vec![0.0; x.len()];
+        self.finalize_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free [`finalize`](Self::finalize): writes the
+    /// probabilities into the caller-provided buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SoftmaxError::EmptyInput`] when no value was pushed or
+    /// when `x` is inconsistent with the number of pushed values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != x.len()`.
+    pub fn finalize_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
+        assert_eq!(out.len(), x.len(), "output buffer length mismatch");
         if self.count == 0 || x.len() != self.count {
             return Err(SoftmaxError::EmptyInput);
         }
-        Ok(x.iter()
-            .map(|&v| self.pow(v - self.running_max) / self.normalizer)
-            .collect())
+        for (o, &v) in out.iter_mut().zip(x) {
+            *o = self.pow(v - self.running_max) / self.normalizer;
+        }
+        Ok(())
     }
 }
 

@@ -49,6 +49,23 @@ pub fn softmax_base2(x: &[f64]) -> Result<Vec<f64>> {
 /// Returns [`SoftmaxError::EmptyInput`] when `x` is empty and
 /// [`SoftmaxError::InvalidConfig`] when `b <= 1` or `b` is not finite.
 pub fn softmax_with_base(x: &[f64], b: f64) -> Result<Vec<f64>> {
+    let mut out = vec![0.0; x.len()];
+    softmax_with_base_into(x, b, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-free [`softmax_with_base`]: the exponentials are staged in
+/// the output buffer, so the three passes need no intermediate vector.
+///
+/// # Errors
+///
+/// Exactly the errors of [`softmax_with_base`].
+///
+/// # Panics
+///
+/// Panics if `out.len() != x.len()`.
+pub fn softmax_with_base_into(x: &[f64], b: f64, out: &mut [f64]) -> Result<()> {
+    assert_eq!(out.len(), x.len(), "output buffer length mismatch");
     if x.is_empty() {
         return Err(SoftmaxError::EmptyInput);
     }
@@ -59,9 +76,14 @@ pub fn softmax_with_base(x: &[f64], b: f64) -> Result<Vec<f64>> {
     }
     let ln_b = b.ln();
     let max = x.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let exps: Vec<f64> = x.iter().map(|&v| ((v - max) * ln_b).exp()).collect();
-    let sum: f64 = exps.iter().sum();
-    Ok(exps.into_iter().map(|e| e / sum).collect())
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o = ((v - max) * ln_b).exp();
+    }
+    let sum: f64 = out.iter().sum();
+    for o in out.iter_mut() {
+        *o /= sum;
+    }
+    Ok(())
 }
 
 /// The *unstable* textbook softmax, without the max subtraction.

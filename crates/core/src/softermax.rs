@@ -8,11 +8,12 @@
 //! by the accumulated sum (the Normalization unit).
 
 use serde::{Deserialize, Serialize};
-use softermax_fixed::{Fixed, QFormat, Rounding};
+use softermax_fixed::{vecops, Fixed, QFormat, Rounding};
 
 use crate::config::{Base, MaxMode, SoftermaxConfig};
+use crate::kernel::ScratchBuffers;
 use crate::pow2::Pow2Unit;
-use crate::recip::{apply_reciprocal, RecipUnit, Reciprocal};
+use crate::recip::{apply_reciprocal, ApplyPlan, RecipUnit, Reciprocal};
 use crate::{Result, SoftmaxError};
 
 /// The Softermax operator: configuration plus the two fixed-point
@@ -124,6 +125,176 @@ impl Softermax {
         acc.finalize()
     }
 
+    /// Vectorized, allocation-free [`Softermax::forward`]: the whole
+    /// pipeline runs on raw `i64` lanes held in the caller's
+    /// [`ScratchBuffers`], and the probabilities are written into `out`.
+    ///
+    /// The per-element work of the scalar path — format lookups, segment
+    /// table setup, the wide product format of the Normalization unit, the
+    /// renormalization plan of each slice — is hoisted to per-slice (or
+    /// per-row) setup, and every intermediate lives in a reused buffer.
+    /// The result is **bit-exact** with [`Softermax::forward`]; the
+    /// property tests in `tests/vector_parity.rs` hold every configuration
+    /// to that contract.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Softermax::forward`]: [`SoftmaxError::EmptyInput`] for
+    /// an empty row, [`SoftmaxError::DivisionByZero`] if the accumulated
+    /// power sum underflows to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != row.len()`.
+    pub fn forward_into(
+        &self,
+        row: &[f64],
+        out: &mut [f64],
+        scratch: &mut ScratchBuffers,
+    ) -> Result<()> {
+        assert_eq!(out.len(), row.len(), "output buffer length mismatch");
+        if row.is_empty() {
+            return Err(SoftmaxError::EmptyInput);
+        }
+        let cfg = &self.config;
+
+        // Stage 0 — quantize the row into raw input-format lanes, with the
+        // optional base-e pre-scale (bit-exact with `Fixed::mul_into`).
+        vecops::quantize_raw_into(
+            row,
+            cfg.input_format,
+            Rounding::Nearest,
+            &mut scratch.lanes_a,
+        );
+        if cfg.base == Base::E {
+            let mant = self.log2_e.raw();
+            let shift = self.log2_e.format().frac_bits();
+            for lane in &mut scratch.lanes_a {
+                let prod = *lane as i128 * mant as i128;
+                *lane = cfg
+                    .input_format
+                    .saturate_raw(Rounding::Nearest.apply_shift(prod, shift));
+            }
+        }
+
+        let wide_fmt = wide_sum_format(cfg.unnormed_format);
+        let sum_shift = cfg.unnormed_format.frac_bits() - wide_fmt.frac_bits();
+        let mut running_max: Option<Fixed> = None;
+        let mut running_sum = Fixed::zero(cfg.pow_sum_format);
+        scratch.lanes_c.clear();
+        scratch.runs.clear();
+
+        let mut start = 0;
+        while start < row.len() {
+            let end = (start + cfg.slice_width).min(row.len());
+            let xs = &scratch.lanes_a[start..end];
+
+            // Stage 1 — IntMax unit: max-format candidates, slice max.
+            vecops::requantize_raw_into(
+                xs,
+                cfg.input_format,
+                cfg.max_format,
+                Rounding::Nearest,
+                &mut scratch.lanes_b,
+            );
+            let local_max_raw = match cfg.max_mode {
+                MaxMode::Integer => {
+                    scratch.lanes_d.clear();
+                    scratch.lanes_d.extend(
+                        scratch
+                            .lanes_b
+                            .iter()
+                            .map(|&r| Fixed::from_raw_saturating(r, cfg.max_format).ceil().raw()),
+                    );
+                    vecops::max_reduce(&scratch.lanes_d).expect("slice is non-empty")
+                }
+                MaxMode::Float => vecops::max_reduce(&scratch.lanes_b).expect("slice is non-empty"),
+            };
+            let local_max = Fixed::from_raw_saturating(local_max_raw, cfg.max_format);
+
+            // Stage 2 — Power-of-Two unit: u_i = 2^(x_i - local_max), then
+            // the wide summation tree.
+            vecops::sub_scalar_saturating(
+                &scratch.lanes_b,
+                local_max_raw,
+                cfg.max_format,
+                &mut scratch.lanes_d,
+            );
+            self.pow2
+                .eval_raw_slice(&scratch.lanes_d, cfg.max_format, &mut scratch.lanes_b);
+            let local_sum_wide = vecops::shift_accumulate(&scratch.lanes_b, sum_shift, wide_fmt, 0);
+            let local_sum = Fixed::from_raw_saturating(local_sum_wide, wide_fmt)
+                .requantize(cfg.pow_sum_format, Rounding::Nearest);
+
+            // Stage 3 — Reduction unit: merge with the running row state.
+            match running_max {
+                None => {
+                    running_max = Some(local_max);
+                    running_sum = local_sum;
+                }
+                Some(prev_max) => {
+                    let new_max = prev_max.max(local_max);
+                    let d_prev = new_max
+                        .saturating_sub(prev_max)
+                        .expect("max-format subtraction");
+                    let d_local = new_max
+                        .saturating_sub(local_max)
+                        .expect("max-format subtraction");
+                    let prev_renorm = self.renorm_down(running_sum, d_prev);
+                    let local_renorm = self.renorm_down(local_sum, d_local);
+                    running_sum = prev_renorm
+                        .saturating_add(local_renorm)
+                        .expect("pow-sum addition");
+                    running_max = Some(new_max);
+                }
+            }
+            scratch.lanes_c.extend_from_slice(&scratch.lanes_b);
+            scratch.runs.push((local_max_raw, end));
+            start = end;
+        }
+
+        // Normalization unit: one reciprocal, then per-slice hoisted
+        // renormalization + reciprocal application.
+        let global_max = running_max.expect("row is non-empty");
+        let recip = self.recip.reciprocal(running_sum)?;
+        let plan = ApplyPlan::new(cfg.unnormed_format, recip, cfg.output_format);
+        let out_res = cfg.output_format.resolution();
+        let unnormed = cfg.unnormed_format;
+        let mut begin = 0;
+        for &(ref_max_raw, end) in &scratch.runs {
+            let ref_max = Fixed::from_raw_saturating(ref_max_raw, cfg.max_format);
+            let d = global_max
+                .saturating_sub(ref_max)
+                .expect("max-format subtraction");
+            let (shift, factor) = self.renorm_plan(d);
+            let lanes = &scratch.lanes_c[begin..end];
+            let outs = &mut out[begin..end];
+            match factor {
+                None => {
+                    for (o, &u) in outs.iter_mut().zip(lanes) {
+                        let numer =
+                            unnormed.saturate_raw(Rounding::Floor.apply_shift(u as i128, shift));
+                        *o = plan.apply_one(numer) as f64 * out_res;
+                    }
+                }
+                Some(f) => {
+                    let f_raw = f.raw();
+                    let f_shift = f.format().frac_bits();
+                    for (o, &u) in outs.iter_mut().zip(lanes) {
+                        let shifted =
+                            unnormed.saturate_raw(Rounding::Floor.apply_shift(u as i128, shift));
+                        let prod = shifted as i128 * f_raw as i128;
+                        let numer =
+                            unnormed.saturate_raw(Rounding::Floor.apply_shift(prod, f_shift));
+                        *o = plan.apply_one(numer) as f64 * out_res;
+                    }
+                }
+            }
+            begin = end;
+        }
+        Ok(())
+    }
+
     /// Pre-scales an input by `log2(e)` when the base-e ablation is active.
     fn prescale(&self, x: Fixed) -> Fixed {
         match self.config.base {
@@ -147,20 +318,30 @@ impl Softermax {
     /// part needs an extra LPW lookup and multiply (the hardware cost the
     /// paper's co-design removes).
     fn renorm_down(&self, v: Fixed, d: Fixed) -> Fixed {
+        let (shift, factor) = self.renorm_plan(d);
+        apply_renorm(v, shift, factor)
+    }
+
+    /// Decomposes a renormalization exponent `d >= 0` into the datapath's
+    /// two stages: a right shift by `floor(d)` and, when `d` has a
+    /// fractional part (float-max ablation only), a multiply by
+    /// `2^-frac(d) ∈ (0.5, 1)` from the Power-of-Two unit.
+    ///
+    /// The plan depends only on `d`, so a whole slice sharing one reference
+    /// max is renormalized with one plan — the hoisting the vectorized
+    /// pipeline relies on.
+    fn renorm_plan(&self, d: Fixed) -> (u32, Option<Fixed>) {
         debug_assert!(d.raw() >= 0, "renormalization exponent must be >= 0");
         let int_part = d.floor_int().clamp(0, 127) as u32;
         let frac = d.frac();
-        let shifted = v.shr(int_part, Rounding::Floor);
         if frac.raw() == 0 {
-            return shifted;
+            return (int_part, None);
         }
-        // Multiply by 2^-frac = pow2(-frac) ∈ (0.5, 1).
         let neg_frac_fmt = QFormat::signed(2, d.format().frac_bits());
         let neg_frac = Fixed::zero(neg_frac_fmt)
             .saturating_sub(frac.requantize(neg_frac_fmt, Rounding::Nearest))
             .expect("same format subtraction");
-        let factor = self.pow2.eval(neg_frac);
-        shifted.mul_into(factor, v.format(), Rounding::Floor)
+        (int_part, Some(self.pow2.eval(neg_frac)))
     }
 }
 
@@ -344,6 +525,17 @@ impl SoftermaxAccumulator<'_> {
             pow_sum: self.running_sum,
             recip,
         })
+    }
+}
+
+/// Applies a renormalization plan from [`Softermax::renorm_plan`] to one
+/// value: shift, then the optional fractional multiply.
+#[inline]
+fn apply_renorm(v: Fixed, shift: u32, factor: Option<Fixed>) -> Fixed {
+    let shifted = v.shr(shift, Rounding::Floor);
+    match factor {
+        None => shifted,
+        Some(f) => shifted.mul_into(f, v.format(), Rounding::Floor),
     }
 }
 

@@ -1,0 +1,125 @@
+//! Golden-vector regression pins for the fixed-point function units.
+//!
+//! The scalar entry points (`QuantizedLpwTable::eval_fixed`,
+//! `Pow2Unit::eval`, `apply_reciprocal`) now delegate to the same hoisted
+//! plans the vectorized slice paths use, so the parity suites in
+//! `vector_parity.rs` can no longer detect a *joint* drift of both paths.
+//! These checksums were captured from the pre-vectorization scalar
+//! implementation (PR 1) and pin the numeric behavior absolutely: any
+//! change to the unit datapaths — intentional or not — fails here and
+//! must update the constants deliberately.
+//!
+//! A handful of explicit spot values accompany each checksum so a failure
+//! is debuggable without bisecting the whole sweep.
+
+use softermax::pow2::Pow2Unit;
+use softermax::recip::{apply_reciprocal, RecipUnit};
+use softermax::{Softermax, SoftermaxConfig};
+use softermax_fixed::{formats, Fixed, QFormat};
+
+/// FNV-1a over `i64` words — order-sensitive, so permutations fail too.
+fn fnv(acc: u64, v: i64) -> u64 {
+    (acc ^ v as u64).wrapping_mul(0x0000_0100_0000_01B3)
+}
+
+const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+#[test]
+fn pow2_unit_sweep_matches_pre_vectorization_golden() {
+    // Every representable Q(6,2) input through the paper unit.
+    let unit = Pow2Unit::paper();
+    let mut h = FNV_SEED;
+    for raw in formats::INPUT.min_raw()..=formats::INPUT.max_raw() {
+        h = fnv(
+            h,
+            unit.eval(Fixed::from_raw_saturating(raw, formats::INPUT))
+                .raw(),
+        );
+    }
+    assert_eq!(h, GOLDEN_POW2_Q62, "pow2 paper-unit sweep drifted");
+
+    // Spot values on the same unit (exact powers and a c-LUT entry).
+    let at = |v: f64| {
+        unit.eval(Fixed::from_f64(
+            v,
+            formats::INPUT,
+            softermax_fixed::Rounding::Nearest,
+        ))
+        .to_f64()
+    };
+    assert_eq!(at(0.0), 1.0);
+    assert_eq!(at(-1.0), 0.5);
+    assert_eq!(at(-3.0), 0.125);
+
+    // A fine-grained input format exercising the m-LUT multiply path.
+    let fine = QFormat::signed(6, 10);
+    let unit16 = Pow2Unit::new(16, QFormat::unsigned(2, 14));
+    let mut h = FNV_SEED;
+    let mut raw = fine.min_raw();
+    while raw <= fine.max_raw() {
+        h = fnv(h, unit16.eval(Fixed::from_raw_saturating(raw, fine)).raw());
+        raw += 7;
+    }
+    assert_eq!(h, GOLDEN_POW2_FINE, "pow2 fine-format sweep drifted");
+}
+
+#[test]
+fn recip_unit_sweep_matches_pre_vectorization_golden() {
+    let unit = RecipUnit::paper();
+    let mut h = FNV_SEED;
+    let mut den = 1i64;
+    while den <= formats::POW_SUM.max_raw() {
+        let rec = unit
+            .reciprocal(Fixed::from_raw_saturating(den, formats::POW_SUM))
+            .expect("positive denominator");
+        h = fnv(h, rec.mantissa.raw());
+        h = fnv(h, i64::from(rec.exponent));
+        // A pseudo-random numerator per denominator covers apply paths.
+        let num_raw = (den.wrapping_mul(2_654_435_761) % 65_536).abs();
+        let num = Fixed::from_raw_saturating(num_raw, formats::UNNORMED);
+        h = fnv(h, apply_reciprocal(num, rec, formats::OUTPUT).raw());
+        den += 13;
+    }
+    assert_eq!(h, GOLDEN_RECIP, "reciprocal-unit sweep drifted");
+
+    // Spot values: exact powers of two and the worked division.
+    let one = unit.reciprocal(Fixed::one(formats::POW_SUM)).unwrap();
+    assert_eq!(one.to_f64(), 1.0);
+    let q = unit
+        .divide(
+            Fixed::from_f64(0.625, formats::UNNORMED, softermax_fixed::Rounding::Nearest),
+            Fixed::one(formats::POW_SUM),
+            formats::OUTPUT,
+        )
+        .unwrap();
+    assert_eq!(q.to_f64(), 0.625);
+}
+
+#[test]
+fn softermax_pipeline_matches_pre_vectorization_golden() {
+    // The full paper pipeline over a deterministic 200-element row (both
+    // the scalar accumulator and, via the parity suite, the vectorized
+    // path are pinned by this).
+    let sm = Softermax::new(SoftermaxConfig::paper());
+    let row: Vec<f64> = (0..200)
+        .map(|i| f64::from((i * 37) % 101) / 4.0 - 12.0)
+        .collect();
+    let out = sm.forward(&row).expect("non-empty row");
+    let mut h = FNV_SEED;
+    for p in &out {
+        h = fnv(h, p.to_bits() as i64);
+    }
+    assert_eq!(h, GOLDEN_SOFTERMAX_ROW, "paper-pipeline output drifted");
+
+    // Spot values: the paper's worked example.
+    let probs = sm.forward(&[2.0, 1.0, 3.0]).unwrap();
+    assert_eq!(probs, vec![0.2890625, 0.140625, 0.5703125]);
+}
+
+// Captured from the PR-1 scalar implementation (see module docs) by
+// running the same sweeps at commit 2a12872, before the scalar entry
+// points delegated to the hoisted plans.
+const GOLDEN_POW2_Q62: u64 = 0x8e02_a64c_304b_ad54;
+const GOLDEN_POW2_FINE: u64 = 0xc2de_9a56_0c7a_6954;
+const GOLDEN_RECIP: u64 = 0x82aa_4d95_cd97_75b9;
+const GOLDEN_SOFTERMAX_ROW: u64 = 0xb39e_7190_f725_c8c5;

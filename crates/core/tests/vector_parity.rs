@@ -1,0 +1,198 @@
+//! Bit-exactness contract of the vectorized hot path.
+//!
+//! The vectorized entry points — `Softermax::forward_into`,
+//! `Pow2Unit::eval_slice`/`eval_raw_slice`, `RecipUnit::apply_slice`, and
+//! every kernel's `SoftmaxKernel::forward_into` override — must produce
+//! **bit-identical** results to the scalar `Fixed` path, for every
+//! configuration: all Table-I formats in `softermax_fixed::formats`,
+//! ablation format sets, both max modes and bases, segment-count sweeps,
+//! slice widths that force tail slices, and inputs that saturate the
+//! input rails.
+
+use proptest::prelude::*;
+use softermax::kernel::{KernelRegistry, ScratchBuffers};
+use softermax::pow2::Pow2Unit;
+use softermax::recip::{apply_reciprocal, RecipUnit};
+use softermax::{Base, MaxMode, Softermax, SoftermaxConfig};
+use softermax_fixed::{formats, Fixed, QFormat};
+
+/// Attention-score rows, spilling past the Q(6,2) rails on both sides so
+/// input saturation is exercised, with lengths that straddle slice and
+/// chunk boundaries.
+fn arb_row() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-40.0f64..40.0, 1..80)
+}
+
+/// Softermax configurations covering the paper's Table I (set 0) plus two
+/// ablation format sets, both max modes, both bases, and segment/slice
+/// sweeps (slice width 1 and 3 force degenerate and tail slices).
+fn arb_config() -> impl Strategy<Value = SoftermaxConfig> {
+    (
+        prop_oneof![Just(1usize), Just(3), Just(4), Just(16), Just(64)],
+        prop_oneof![Just(2usize), Just(4), Just(16)],
+        prop_oneof![Just(4usize), Just(8)],
+        prop_oneof![Just(MaxMode::Integer), Just(MaxMode::Float)],
+        prop_oneof![Just(Base::Two), Just(Base::E)],
+        prop_oneof![Just(0usize), Just(1), Just(2)],
+    )
+        .prop_map(
+            |(width, pow2_segs, recip_segs, max_mode, base, format_set)| {
+                let builder = SoftermaxConfig::builder()
+                    .slice_width(width)
+                    .pow2_segments(pow2_segs)
+                    .recip_segments(recip_segs)
+                    .max_mode(max_mode)
+                    .base(base);
+                let builder = match format_set {
+                    // The paper's Table I formats (the builder default).
+                    0 => builder,
+                    // Finer input grid, wider sum, 10-bit output.
+                    1 => builder
+                        .input_format(QFormat::signed(5, 3))
+                        .max_format(QFormat::signed(6, 3))
+                        .unnormed_format(QFormat::unsigned(2, 12))
+                        .pow_sum_format(QFormat::unsigned(8, 8))
+                        .recip_format(QFormat::unsigned(1, 9))
+                        .output_format(QFormat::unsigned(1, 9)),
+                    // Integer-only input (no fraction bits at all).
+                    _ => builder
+                        .input_format(QFormat::signed(8, 0))
+                        .max_format(QFormat::signed(8, 0))
+                        .unnormed_format(QFormat::unsigned(1, 15))
+                        .pow_sum_format(QFormat::unsigned(12, 4))
+                        .recip_format(QFormat::unsigned(1, 7))
+                        .output_format(QFormat::unsigned(2, 6)),
+                };
+                builder.build().expect("ablation config is valid")
+            },
+        )
+}
+
+fn assert_bits_equal(got: &[f64], want: &[f64], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.to_bits(), w.to_bits(), "{what}: index {i}: {g} vs {w}");
+    }
+}
+
+proptest! {
+    /// The vectorized Softermax pipeline is bit-exact with the scalar
+    /// pipeline for every configuration.
+    #[test]
+    fn softermax_forward_into_bit_exact(row in arb_row(), cfg in arb_config()) {
+        let sm = Softermax::new(cfg);
+        let want = sm.forward(&row).expect("non-empty row");
+        let mut got = vec![0.0; row.len()];
+        let mut scratch = ScratchBuffers::default();
+        sm.forward_into(&row, &mut got, &mut scratch).expect("non-empty row");
+        assert_bits_equal(&got, &want, "forward_into");
+        // A second pass through the same scratch must not perturb anything.
+        sm.forward_into(&row, &mut got, &mut scratch).expect("non-empty row");
+        assert_bits_equal(&got, &want, "forward_into (scratch reuse)");
+    }
+
+    /// Every registered backend honours the forward/forward_into
+    /// bit-exactness contract.
+    #[test]
+    fn registry_forward_into_bit_exact(row in arb_row()) {
+        let mut scratch = ScratchBuffers::default();
+        let mut got = vec![0.0; row.len()];
+        for kernel in &KernelRegistry::with_builtins() {
+            let want = kernel.forward(&row).expect("non-empty row");
+            kernel
+                .forward_into(&row, &mut got, &mut scratch)
+                .expect("non-empty row");
+            assert_bits_equal(&got, &want, kernel.name());
+        }
+    }
+
+    /// Batch pow2 evaluation is bit-exact with the scalar unit across
+    /// segment counts and input formats (including zero-fraction inputs).
+    #[test]
+    fn pow2_eval_slice_bit_exact(
+        raws in proptest::collection::vec(-40_000i64..40_000, 1..40),
+        segments in prop_oneof![Just(2usize), Just(4), Just(32)],
+        fmt in prop_oneof![
+            Just(formats::INPUT),
+            Just(QFormat::signed(6, 10)),
+            Just(QFormat::signed(5, 0)),
+        ],
+    ) {
+        let unit = Pow2Unit::new(segments, formats::UNNORMED);
+        let xs: Vec<Fixed> = raws
+            .iter()
+            .map(|&r| Fixed::from_raw_saturating(r, fmt))
+            .collect();
+        let mut out = Vec::new();
+        unit.eval_slice(&xs, &mut out);
+        prop_assert_eq!(out.len(), xs.len());
+        for (x, got) in xs.iter().zip(&out) {
+            prop_assert_eq!(got.raw(), unit.eval(*x).raw(), "x={}", x);
+        }
+        let raw_in: Vec<i64> = xs.iter().map(Fixed::raw).collect();
+        let mut raw_out = Vec::new();
+        unit.eval_raw_slice(&raw_in, fmt, &mut raw_out);
+        let want_raw: Vec<i64> = out.iter().map(Fixed::raw).collect();
+        prop_assert_eq!(raw_out, want_raw);
+    }
+
+    /// Batch reciprocal application is bit-exact with the scalar
+    /// Normalization-unit datapath.
+    #[test]
+    fn recip_apply_slice_bit_exact(
+        num_raws in proptest::collection::vec(0i64..70_000, 1..40),
+        den_raw in 1i64..60_000,
+        segments in prop_oneof![Just(4usize), Just(16)],
+    ) {
+        let unit = RecipUnit::new(segments, formats::RECIP);
+        let den = Fixed::from_raw_saturating(den_raw, formats::POW_SUM);
+        let r = unit.reciprocal(den).expect("positive denominator");
+        let nums: Vec<Fixed> = num_raws
+            .iter()
+            .map(|&x| Fixed::from_raw_saturating(x, formats::UNNORMED))
+            .collect();
+        let mut out = Vec::new();
+        unit.apply_slice(&nums, r, formats::OUTPUT, &mut out);
+        prop_assert_eq!(out.len(), nums.len());
+        for (n, got) in nums.iter().zip(&out) {
+            let want = apply_reciprocal(*n, r, formats::OUTPUT);
+            prop_assert_eq!(got.raw(), want.raw(), "num={}", n);
+        }
+    }
+
+    /// Streaming accumulation still matches the (vectorized) one-shot
+    /// path within documented tolerance — forward_into does not drift
+    /// from the row accumulator contract.
+    #[test]
+    fn forward_into_matches_streaming(row in arb_row()) {
+        let kernel = KernelRegistry::global().get("softermax").expect("built-in");
+        let mut got = vec![0.0; row.len()];
+        kernel
+            .forward_into(&row, &mut got, &mut ScratchBuffers::default())
+            .expect("non-empty row");
+        let mut acc = kernel.begin_row();
+        acc.extend(&row);
+        let streamed = acc.finish().expect("non-empty row");
+        assert_bits_equal(&got, &streamed, "streaming vs forward_into");
+    }
+}
+
+#[test]
+fn forward_into_rejects_empty_rows_for_every_builtin() {
+    let mut scratch = ScratchBuffers::default();
+    for kernel in &KernelRegistry::with_builtins() {
+        assert!(
+            kernel.forward_into(&[], &mut [], &mut scratch).is_err(),
+            "{} accepted an empty row",
+            kernel.name()
+        );
+    }
+}
+
+#[test]
+#[should_panic(expected = "output buffer length mismatch")]
+fn forward_into_rejects_mismatched_buffer() {
+    let kernel = KernelRegistry::global().get("softermax").expect("built-in");
+    let mut out = vec![0.0; 2];
+    let _ = kernel.forward_into(&[1.0, 2.0, 3.0], &mut out, &mut ScratchBuffers::default());
+}

@@ -40,11 +40,11 @@ mod error;
 mod qformat;
 mod rounding;
 mod value;
-mod vecops;
+pub mod vecops;
 
 pub use error::FixedError;
 pub use qformat::{formats, QFormat};
-pub use rounding::Rounding;
+pub use rounding::{clamp_i128, Rounding};
 pub use value::Fixed;
 pub use vecops::{dequantize_slice, quantize_slice, requantize_slice};
 

@@ -108,6 +108,7 @@ impl QFormat {
 
     /// Number of fractional bits.
     #[must_use]
+    #[inline]
     pub const fn frac_bits(&self) -> u32 {
         self.frac_bits
     }
@@ -120,12 +121,14 @@ impl QFormat {
 
     /// Total bit width of the format.
     #[must_use]
+    #[inline]
     pub const fn total_bits(&self) -> u32 {
         self.int_bits + self.frac_bits
     }
 
     /// Largest representable raw (integer) encoding.
     #[must_use]
+    #[inline]
     pub const fn max_raw(&self) -> i64 {
         if self.signed {
             (1i64 << (self.total_bits() - 1)) - 1
@@ -136,6 +139,7 @@ impl QFormat {
 
     /// Smallest representable raw (integer) encoding.
     #[must_use]
+    #[inline]
     pub const fn min_raw(&self) -> i64 {
         if self.signed {
             -(1i64 << (self.total_bits() - 1))
@@ -158,18 +162,21 @@ impl QFormat {
 
     /// The quantization step, `2^-frac_bits`.
     #[must_use]
+    #[inline]
     pub fn resolution(&self) -> f64 {
         (-(self.frac_bits as f64)).exp2()
     }
 
     /// Clamps a raw encoding into the representable range.
     #[must_use]
+    #[inline]
     pub fn saturate_raw(&self, raw: i64) -> i64 {
         raw.clamp(self.min_raw(), self.max_raw())
     }
 
     /// Returns `true` when `raw` is representable without saturation.
     #[must_use]
+    #[inline]
     pub fn contains_raw(&self, raw: i64) -> bool {
         raw >= self.min_raw() && raw <= self.max_raw()
     }

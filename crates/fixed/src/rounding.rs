@@ -34,6 +34,7 @@ pub enum Rounding {
 impl Rounding {
     /// Rounds a real-valued number of quantization steps to an integer count.
     #[must_use]
+    #[inline]
     pub fn apply(self, steps: f64) -> i64 {
         let r = match self {
             Rounding::Floor => steps.floor(),
@@ -56,6 +57,7 @@ impl Rounding {
     /// steps down to integer steps, operating purely on integers so the
     /// result is bit-exact (used on intermediate products).
     #[must_use]
+    #[inline]
     pub fn apply_shift(self, raw: i128, extra_frac: u32) -> i64 {
         if extra_frac == 0 {
             return clamp_i128(raw);
@@ -115,7 +117,12 @@ impl Rounding {
     }
 }
 
-fn clamp_i128(v: i128) -> i64 {
+/// Clamps a 128-bit intermediate into the `i64` raw-encoding range (the
+/// shared saturation step of every widening fixed-point operation; callers
+/// saturate to the target format afterwards).
+#[inline]
+#[must_use]
+pub fn clamp_i128(v: i128) -> i64 {
     if v > i64::MAX as i128 {
         i64::MAX
     } else if v < i64::MIN as i128 {

@@ -33,6 +33,7 @@ pub struct Fixed {
 impl Fixed {
     /// The zero value in the given format.
     #[must_use]
+    #[inline]
     pub const fn zero(format: QFormat) -> Self {
         Self { raw: 0, format }
     }
@@ -68,6 +69,7 @@ impl Fixed {
     /// minimum (NaN is treated as the maximum so that a poisoned value is
     /// conspicuous rather than silently zero).
     #[must_use]
+    #[inline]
     pub fn from_f64(value: f64, format: QFormat, rounding: Rounding) -> Self {
         if value.is_nan() || value == f64::INFINITY {
             return Self::max_of(format);
@@ -99,6 +101,7 @@ impl Fixed {
 
     /// Builds a value from a raw encoding, saturating to the format range.
     #[must_use]
+    #[inline]
     pub fn from_raw_saturating(raw: i64, format: QFormat) -> Self {
         Self {
             raw: format.saturate_raw(raw),
@@ -124,18 +127,21 @@ impl Fixed {
 
     /// The raw two's-complement encoding.
     #[must_use]
+    #[inline]
     pub const fn raw(&self) -> i64 {
         self.raw
     }
 
     /// The format this value is encoded in.
     #[must_use]
+    #[inline]
     pub const fn format(&self) -> QFormat {
         self.format
     }
 
     /// The represented real value.
     #[must_use]
+    #[inline]
     pub fn to_f64(&self) -> f64 {
         self.raw as f64 * self.format.resolution()
     }
@@ -153,6 +159,7 @@ impl Fixed {
     /// outside the new range saturate (negative values saturate to zero in
     /// unsigned formats).
     #[must_use]
+    #[inline]
     pub fn requantize(&self, format: QFormat, rounding: Rounding) -> Self {
         let src_frac = self.format.frac_bits();
         let dst_frac = format.frac_bits();
@@ -205,6 +212,7 @@ impl Fixed {
     /// requantization — exactly the behaviour of a hardware multiplier
     /// followed by a truncating/rounding stage.
     #[must_use]
+    #[inline]
     pub fn mul_into(&self, other: Fixed, out_format: QFormat, rounding: Rounding) -> Self {
         let prod = self.raw as i128 * other.raw as i128;
         let prod_frac = self.format.frac_bits() + other.format.frac_bits();
@@ -226,6 +234,7 @@ impl Fixed {
 
     /// Multiply by `2^k` (left shift), saturating in the same format.
     #[must_use]
+    #[inline]
     pub fn shl_saturating(&self, k: u32) -> Self {
         let wide = (self.raw as i128) << k.min(64);
         let raw = if wide > i64::MAX as i128 {
@@ -242,6 +251,7 @@ impl Fixed {
     ///
     /// A bare hardware shifter truncates, i.e. uses [`Rounding::Floor`].
     #[must_use]
+    #[inline]
     pub fn shr(&self, k: u32, rounding: Rounding) -> Self {
         let raw = rounding.apply_shift(self.raw as i128, k);
         Self::from_raw_saturating(raw, self.format)
@@ -285,6 +295,7 @@ impl Fixed {
 
     /// The integer part after a floor, as a plain integer.
     #[must_use]
+    #[inline]
     pub fn floor_int(&self) -> i64 {
         Rounding::Floor.apply_shift(self.raw as i128, self.format.frac_bits())
     }
@@ -292,6 +303,7 @@ impl Fixed {
     /// The fractional part, `self - floor(self)`, in the same format
     /// (always in `[0, 1)`).
     #[must_use]
+    #[inline]
     pub fn frac(&self) -> Self {
         let frac_bits = self.format.frac_bits();
         let mask = (1i64 << frac_bits) - 1;

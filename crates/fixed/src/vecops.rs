@@ -1,6 +1,33 @@
-//! Bulk slice conversions between real-valued and fixed-point domains.
+//! Bulk slice operations between real-valued and fixed-point domains.
+//!
+//! This module is the vectorized substrate of the Softermax hot path. Two
+//! API levels are provided:
+//!
+//! * **`Fixed`-level** conversions ([`quantize_slice`], [`dequantize_slice`],
+//!   [`requantize_slice`] and their allocation-free `_into` variants) for
+//!   callers that want format-carrying values;
+//! * **raw-lane** operations ([`quantize_raw_into`], [`requantize_raw_into`],
+//!   [`dequantize_raw`], [`max_reduce`], [`sub_scalar_saturating`],
+//!   [`shift_accumulate`]) on bare `i64` encodings that all share one
+//!   [`QFormat`], carried by the caller. This is the layout a SIMD datapath
+//!   wants: a dense `&[i64]` of lanes plus one format descriptor, instead of
+//!   an array of `(raw, format)` structs.
+//!
+//! Every raw operation processes [`LANES`]-wide array chunks with a scalar
+//! tail, so the loop bodies are `std::simd`-ready (swap the array map for a
+//! `Simd<i64, LANES>` once the portable-SIMD API is stable) and
+//! auto-vectorize well in the meantime. All operations are **bit-exact**
+//! with their scalar [`Fixed`] counterparts — the property tests in
+//! `tests/properties.rs` hold every path (including saturation and
+//! tail-chunk edges) to that contract.
 
-use crate::{Fixed, QFormat, Rounding};
+use crate::{clamp_i128, Fixed, QFormat, Rounding};
+
+/// Chunk width of the vectorized loops (lanes per iteration).
+///
+/// Eight 64-bit lanes fill one AVX-512 register (or two NEON/AVX2
+/// registers); the scalar tail handles `len % LANES` elements.
+pub const LANES: usize = 8;
 
 /// Quantizes every element of a slice into `format`, saturating.
 ///
@@ -15,25 +42,227 @@ use crate::{Fixed, QFormat, Rounding};
 /// ```
 #[must_use]
 pub fn quantize_slice(values: &[f64], format: QFormat, rounding: Rounding) -> Vec<Fixed> {
-    values
-        .iter()
-        .map(|&v| Fixed::from_f64(v, format, rounding))
-        .collect()
+    let mut out = Vec::new();
+    quantize_slice_into(values, format, rounding, &mut out);
+    out
+}
+
+/// Allocation-free [`quantize_slice`]: clears `out` and fills it, reusing
+/// its capacity.
+pub fn quantize_slice_into(
+    values: &[f64],
+    format: QFormat,
+    rounding: Rounding,
+    out: &mut Vec<Fixed>,
+) {
+    out.clear();
+    out.reserve(values.len());
+    // Quantize through the raw path, then attach the (single) format; the
+    // raw encoding is already saturated into the format range.
+    let inv_res = res_recip(format);
+    out.extend(values.iter().map(|&v| {
+        Fixed::from_raw_saturating(quantize_one_raw(v, format, rounding, inv_res), format)
+    }));
 }
 
 /// Converts a slice of fixed-point values back to reals.
 #[must_use]
 pub fn dequantize_slice(values: &[Fixed]) -> Vec<f64> {
-    values.iter().map(Fixed::to_f64).collect()
+    let mut out = Vec::new();
+    dequantize_slice_into(values, &mut out);
+    out
+}
+
+/// Allocation-free [`dequantize_slice`]: clears `out` and fills it.
+pub fn dequantize_slice_into(values: &[Fixed], out: &mut Vec<f64>) {
+    out.clear();
+    out.reserve(values.len());
+    out.extend(values.iter().map(Fixed::to_f64));
 }
 
 /// Re-encodes every element into a new format.
 #[must_use]
 pub fn requantize_slice(values: &[Fixed], format: QFormat, rounding: Rounding) -> Vec<Fixed> {
-    values
+    let mut out = Vec::new();
+    requantize_slice_into(values, format, rounding, &mut out);
+    out
+}
+
+/// Allocation-free [`requantize_slice`]: clears `out` and fills it.
+pub fn requantize_slice_into(
+    values: &[Fixed],
+    format: QFormat,
+    rounding: Rounding,
+    out: &mut Vec<Fixed>,
+) {
+    out.clear();
+    out.reserve(values.len());
+    out.extend(values.iter().map(|v| v.requantize(format, rounding)));
+}
+
+// --- raw-lane operations ----------------------------------------------------
+
+/// `1 / format.resolution()`, i.e. `2^frac_bits`.
+///
+/// Scaling by a power of two is exact in IEEE-754, so multiplying by this
+/// factor is bit-identical to the division `value / resolution()` that
+/// [`Fixed::from_f64`] performs — the hoisted multiply is a pure speedup.
+#[inline]
+fn res_recip(format: QFormat) -> f64 {
+    f64::from(format.frac_bits()).exp2()
+}
+
+/// One lane of [`quantize_raw_into`]; bit-exact with [`Fixed::from_f64`].
+#[inline]
+fn quantize_one_raw(value: f64, format: QFormat, rounding: Rounding, inv_res: f64) -> i64 {
+    if value.is_nan() || value == f64::INFINITY {
+        return format.max_raw();
+    }
+    if value == f64::NEG_INFINITY {
+        return format.min_raw();
+    }
+    format.saturate_raw(rounding.apply(value * inv_res))
+}
+
+/// Quantizes reals into raw `format` encodings (saturating), writing the
+/// lanes into `out` (cleared first). Bit-exact with [`Fixed::from_f64`]
+/// per element.
+pub fn quantize_raw_into(values: &[f64], format: QFormat, rounding: Rounding, out: &mut Vec<i64>) {
+    out.clear();
+    out.reserve(values.len());
+    let inv_res = res_recip(format);
+    let mut chunks = values.chunks_exact(LANES);
+    for chunk in chunks.by_ref() {
+        let lanes: [i64; LANES] =
+            std::array::from_fn(|i| quantize_one_raw(chunk[i], format, rounding, inv_res));
+        out.extend_from_slice(&lanes);
+    }
+    for &v in chunks.remainder() {
+        out.push(quantize_one_raw(v, format, rounding, inv_res));
+    }
+}
+
+/// Converts raw `format` encodings to reals, writing into the
+/// caller-provided slice (`out.len()` must equal `raws.len()`). Bit-exact
+/// with [`Fixed::to_f64`] per element.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn dequantize_raw(raws: &[i64], format: QFormat, out: &mut [f64]) {
+    assert_eq!(raws.len(), out.len(), "lane count mismatch");
+    let res = format.resolution();
+    let mut in_chunks = raws.chunks_exact(LANES);
+    let mut out_chunks = out.chunks_exact_mut(LANES);
+    for (rc, oc) in in_chunks.by_ref().zip(out_chunks.by_ref()) {
+        for i in 0..LANES {
+            oc[i] = rc[i] as f64 * res;
+        }
+    }
+    for (&r, o) in in_chunks
+        .remainder()
         .iter()
-        .map(|v| v.requantize(format, rounding))
-        .collect()
+        .zip(out_chunks.into_remainder())
+    {
+        *o = r as f64 * res;
+    }
+}
+
+/// One lane of [`requantize_raw_into`]; bit-exact with [`Fixed::requantize`].
+#[inline]
+fn requantize_one_raw(raw: i64, src_frac: u32, dst: QFormat, rounding: Rounding) -> i64 {
+    let dst_frac = dst.frac_bits();
+    let shifted = if dst_frac >= src_frac {
+        let wide = (raw as i128) << (dst_frac - src_frac);
+        clamp_i128(wide)
+    } else {
+        rounding.apply_shift(raw as i128, src_frac - dst_frac)
+    };
+    dst.saturate_raw(shifted)
+}
+
+/// Re-encodes raw `src`-format lanes into `dst`-format lanes, writing into
+/// `out` (cleared first). Bit-exact with [`Fixed::requantize`] per element.
+pub fn requantize_raw_into(
+    raws: &[i64],
+    src: QFormat,
+    dst: QFormat,
+    rounding: Rounding,
+    out: &mut Vec<i64>,
+) {
+    out.clear();
+    out.reserve(raws.len());
+    let src_frac = src.frac_bits();
+    let mut chunks = raws.chunks_exact(LANES);
+    for chunk in chunks.by_ref() {
+        let lanes: [i64; LANES] =
+            std::array::from_fn(|i| requantize_one_raw(chunk[i], src_frac, dst, rounding));
+        out.extend_from_slice(&lanes);
+    }
+    for &r in chunks.remainder() {
+        out.push(requantize_one_raw(r, src_frac, dst, rounding));
+    }
+}
+
+/// Maximum raw encoding of a lane slice (`None` when empty).
+///
+/// Within one format the raw ordering is the mathematical ordering, so this
+/// matches a fold over [`Fixed::max`].
+#[must_use]
+pub fn max_reduce(raws: &[i64]) -> Option<i64> {
+    if raws.is_empty() {
+        return None;
+    }
+    let mut chunks = raws.chunks_exact(LANES);
+    let mut acc = [i64::MIN; LANES];
+    for chunk in chunks.by_ref() {
+        for i in 0..LANES {
+            acc[i] = acc[i].max(chunk[i]);
+        }
+    }
+    let mut best = acc.into_iter().max().expect("LANES > 0");
+    for &r in chunks.remainder() {
+        best = best.max(r);
+    }
+    Some(best)
+}
+
+/// Subtracts `scalar` from every lane with saturation into `format`,
+/// writing into `out` (cleared first). Bit-exact with
+/// [`Fixed::saturating_sub`] per element (all operands share `format`).
+pub fn sub_scalar_saturating(raws: &[i64], scalar: i64, format: QFormat, out: &mut Vec<i64>) {
+    out.clear();
+    out.reserve(raws.len());
+    let mut chunks = raws.chunks_exact(LANES);
+    for chunk in chunks.by_ref() {
+        let lanes: [i64; LANES] =
+            std::array::from_fn(|i| format.saturate_raw(chunk[i].saturating_sub(scalar)));
+        out.extend_from_slice(&lanes);
+    }
+    for &r in chunks.remainder() {
+        out.push(format.saturate_raw(r.saturating_sub(scalar)));
+    }
+}
+
+/// Accumulates `shift_down`-truncated lanes into a running sum that
+/// saturates into `format` after every addition: the summation tree of the
+/// Unnormed Softmax unit. Starting from `init`, each lane contributes
+/// `raw >> shift_down` (floor semantics), exactly like
+/// `acc.saturating_add(x.requantize(wide, Rounding::Floor))` does in the
+/// scalar pipeline when the wide format is `shift_down` fraction bits
+/// narrower than the lane format.
+///
+/// The per-step saturation makes this an inherently sequential reduction
+/// (a plain loop, not a chunked one): reassociating it would change where
+/// saturation bites.
+#[must_use]
+pub fn shift_accumulate(raws: &[i64], shift_down: u32, format: QFormat, init: i64) -> i64 {
+    let mut acc = init;
+    for &r in raws {
+        let term = format.saturate_raw(Rounding::Floor.apply_shift(r as i128, shift_down));
+        acc = format.saturate_raw(acc.saturating_add(term));
+    }
+    acc
 }
 
 #[cfg(test)]
@@ -60,5 +289,88 @@ mod tests {
     fn empty_slices_are_fine() {
         assert!(quantize_slice(&[], formats::INPUT, Rounding::Nearest).is_empty());
         assert!(dequantize_slice(&[]).is_empty());
+        assert_eq!(max_reduce(&[]), None);
+        assert_eq!(shift_accumulate(&[], 2, formats::POW_SUM, 7), 7);
+    }
+
+    #[test]
+    fn into_variants_reuse_capacity() {
+        let vals: Vec<f64> = (0..100).map(|i| f64::from(i) * 0.25 - 12.0).collect();
+        let mut q = Vec::new();
+        quantize_slice_into(&vals, formats::INPUT, Rounding::Nearest, &mut q);
+        let cap = q.capacity();
+        let ptr = q.as_ptr();
+        quantize_slice_into(&vals, formats::INPUT, Rounding::Nearest, &mut q);
+        assert_eq!(q.capacity(), cap);
+        assert_eq!(q.as_ptr(), ptr);
+        assert_eq!(q.len(), vals.len());
+    }
+
+    #[test]
+    fn raw_quantize_matches_fixed_including_tails() {
+        // 13 elements: one full LANES chunk plus a 5-element tail.
+        let vals: Vec<f64> = (0..13).map(|i| f64::from(i) * 1.37 - 40.0).collect();
+        let mut raws = Vec::new();
+        quantize_raw_into(&vals, formats::INPUT, Rounding::Nearest, &mut raws);
+        for (v, r) in vals.iter().zip(&raws) {
+            assert_eq!(
+                Fixed::from_f64(*v, formats::INPUT, Rounding::Nearest).raw(),
+                *r
+            );
+        }
+    }
+
+    #[test]
+    fn raw_quantize_handles_non_finite() {
+        let mut raws = Vec::new();
+        quantize_raw_into(
+            &[f64::NAN, f64::INFINITY, f64::NEG_INFINITY],
+            formats::INPUT,
+            Rounding::Nearest,
+            &mut raws,
+        );
+        assert_eq!(
+            raws,
+            vec![
+                formats::INPUT.max_raw(),
+                formats::INPUT.max_raw(),
+                formats::INPUT.min_raw()
+            ]
+        );
+    }
+
+    #[test]
+    fn dequantize_raw_writes_in_place() {
+        let raws = vec![0i64, 1, -1, 127, -128];
+        let mut out = vec![0.0; raws.len()];
+        dequantize_raw(&raws, formats::INPUT, &mut out);
+        assert_eq!(out, vec![0.0, 0.25, -0.25, 31.75, -32.0]);
+    }
+
+    #[test]
+    fn max_reduce_matches_iterator_max() {
+        let raws: Vec<i64> = (0..37).map(|i| (i * 31 % 19) - 9).collect();
+        assert_eq!(max_reduce(&raws), raws.iter().copied().max());
+    }
+
+    #[test]
+    fn sub_scalar_saturates_at_rails() {
+        let fmt = formats::INPUT; // raw range [-128, 127]
+        let mut out = Vec::new();
+        sub_scalar_saturating(&[-120, 0, 120], 50, fmt, &mut out);
+        assert_eq!(out, vec![-128, -50, 70]);
+    }
+
+    #[test]
+    fn shift_accumulate_matches_scalar_sequence() {
+        let fmt = formats::POW_SUM;
+        let raws = vec![40_000i64, 65_535, 1, 0, 513];
+        let got = shift_accumulate(&raws, 9, fmt, 0);
+        let mut want = Fixed::zero(fmt);
+        for &r in &raws {
+            let term = Fixed::from_raw_saturating(Rounding::Floor.apply_shift(r as i128, 9), fmt);
+            want = want.saturating_add(term).unwrap();
+        }
+        assert_eq!(got, want.raw());
     }
 }

@@ -1,7 +1,11 @@
-//! Property-based tests for the fixed-point substrate.
+//! Property-based tests for the fixed-point substrate, including the
+//! bit-exactness contract between the vectorized `vecops` bulk operations
+//! and the scalar `Fixed` path (saturation and tail-chunk edges included:
+//! generated lengths straddle the `vecops::LANES` chunk width, and
+//! generated values run well past every format's rails).
 
 use proptest::prelude::*;
-use softermax_fixed::{formats, Fixed, QFormat, Rounding};
+use softermax_fixed::{formats, vecops, Fixed, QFormat, Rounding};
 
 fn arb_format() -> impl Strategy<Value = QFormat> {
     (1u32..=16, 0u32..=16, any::<bool>())
@@ -130,5 +134,115 @@ proptest! {
         let x = Fixed::from_raw_saturating(a.min(b), src);
         let y = Fixed::from_raw_saturating(a.max(b), src);
         prop_assert!(x.requantize(dst, r) <= y.requantize(dst, r));
+    }
+
+    /// Vectorized quantization is bit-exact with `Fixed::from_f64`, for
+    /// every format/rounding and any length (full chunks + tails).
+    #[test]
+    fn vecops_quantize_matches_scalar(
+        vals in proptest::collection::vec(-1e5f64..1e5, 1..40),
+        fmt in arb_format(),
+        r in arb_rounding(),
+    ) {
+        let mut raws = Vec::new();
+        vecops::quantize_raw_into(&vals, fmt, r, &mut raws);
+        prop_assert_eq!(raws.len(), vals.len());
+        for (v, raw) in vals.iter().zip(&raws) {
+            prop_assert_eq!(*raw, Fixed::from_f64(*v, fmt, r).raw(), "v={}", v);
+        }
+        let q = vecops::quantize_slice(&vals, fmt, r);
+        for (x, raw) in q.iter().zip(&raws) {
+            prop_assert_eq!(x.raw(), *raw);
+            prop_assert_eq!(x.format(), fmt);
+        }
+    }
+
+    /// Vectorized dequantization is bit-exact with `Fixed::to_f64`.
+    #[test]
+    fn vecops_dequantize_matches_scalar(
+        raws in proptest::collection::vec(-40_000i64..40_000, 1..40),
+        fmt in arb_format(),
+    ) {
+        let raws: Vec<i64> = raws.iter().map(|&r| fmt.saturate_raw(r)).collect();
+        let mut out = vec![0.0; raws.len()];
+        vecops::dequantize_raw(&raws, fmt, &mut out);
+        for (&raw, &got) in raws.iter().zip(&out) {
+            let want = Fixed::from_raw_saturating(raw, fmt).to_f64();
+            prop_assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    /// Vectorized requantization is bit-exact with `Fixed::requantize`,
+    /// including cross-signedness saturation.
+    #[test]
+    fn vecops_requantize_matches_scalar(
+        raws in proptest::collection::vec(-40_000i64..40_000, 1..40),
+        src in arb_format(),
+        dst in arb_format(),
+        r in arb_rounding(),
+    ) {
+        let raws: Vec<i64> = raws.iter().map(|&x| src.saturate_raw(x)).collect();
+        let mut out = Vec::new();
+        vecops::requantize_raw_into(&raws, src, dst, r, &mut out);
+        prop_assert_eq!(out.len(), raws.len());
+        for (&raw, &got) in raws.iter().zip(&out) {
+            let want = Fixed::from_raw_saturating(raw, src).requantize(dst, r).raw();
+            prop_assert_eq!(got, want, "raw={} src={} dst={}", raw, src, dst);
+        }
+    }
+
+    /// max_reduce equals a fold over `Fixed::max` within one format.
+    #[test]
+    fn vecops_max_reduce_matches_scalar(
+        raws in proptest::collection::vec(-200i64..200, 1..40),
+    ) {
+        let fmt = formats::INPUT;
+        let raws: Vec<i64> = raws.iter().map(|&x| fmt.saturate_raw(x)).collect();
+        let want = raws
+            .iter()
+            .map(|&x| Fixed::from_raw_saturating(x, fmt))
+            .max()
+            .unwrap();
+        prop_assert_eq!(vecops::max_reduce(&raws), Some(want.raw()));
+    }
+
+    /// sub_scalar_saturating equals per-element `Fixed::saturating_sub`.
+    #[test]
+    fn vecops_sub_scalar_matches_scalar(
+        raws in proptest::collection::vec(-200i64..200, 1..40),
+        scalar in -200i64..200,
+        fmt in arb_format(),
+    ) {
+        let raws: Vec<i64> = raws.iter().map(|&x| fmt.saturate_raw(x)).collect();
+        let scalar = fmt.saturate_raw(scalar);
+        let s = Fixed::from_raw_saturating(scalar, fmt);
+        let mut out = Vec::new();
+        vecops::sub_scalar_saturating(&raws, scalar, fmt, &mut out);
+        for (&raw, &got) in raws.iter().zip(&out) {
+            let want = Fixed::from_raw_saturating(raw, fmt)
+                .saturating_sub(s)
+                .unwrap()
+                .raw();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// shift_accumulate equals the scalar requantize-and-saturating-add
+    /// summation sequence of the slice pipeline.
+    #[test]
+    fn vecops_shift_accumulate_matches_scalar(
+        raws in proptest::collection::vec(0i64..70_000, 1..40),
+        shift in 0u32..10,
+    ) {
+        let src = formats::UNNORMED;
+        let fmt = QFormat::unsigned(10, 15 - shift.min(15));
+        let raws: Vec<i64> = raws.iter().map(|&x| src.saturate_raw(x)).collect();
+        let got = vecops::shift_accumulate(&raws, shift, fmt, 0);
+        let mut want = Fixed::zero(fmt);
+        for &r in &raws {
+            let term = Fixed::from_raw_saturating(r, src).requantize(fmt, Rounding::Floor);
+            want = want.saturating_add(term).unwrap();
+        }
+        prop_assert_eq!(got, want.raw());
     }
 }

@@ -14,7 +14,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use rand::Rng;
-use softermax::kernel::SoftmaxKernel;
+use softermax::kernel::{ScratchBuffers, SoftmaxKernel};
 use softermax::{KernelRegistry, SoftermaxConfig};
 
 use crate::nn::Linear;
@@ -138,9 +138,7 @@ impl AttentionSoftmax for KernelSoftmax {
     }
 
     fn forward(&self, scores: &Matrix) -> Matrix {
-        rowwise(scores, |row| {
-            self.kernel.forward(row).expect("non-empty attention row")
-        })
+        rowwise(scores, self.kernel.as_ref())
     }
 
     fn grad_scale(&self) -> f32 {
@@ -148,11 +146,22 @@ impl AttentionSoftmax for KernelSoftmax {
     }
 }
 
-fn rowwise(scores: &Matrix, f: impl Fn(&[f64]) -> Vec<f64>) -> Matrix {
+/// Row-wise kernel dispatch over a score matrix through the
+/// allocation-free [`SoftmaxKernel::forward_into`] path: one scratch space
+/// and one row/probability buffer pair are reused across every row of the
+/// matrix, so an `n × n` attention matrix performs no per-row allocations.
+fn rowwise(scores: &Matrix, kernel: &dyn SoftmaxKernel) -> Matrix {
     let mut out = Matrix::zeros(scores.rows(), scores.cols());
+    let mut scratch = ScratchBuffers::default();
+    let mut row = vec![0.0f64; scores.cols()];
+    let mut probs = vec![0.0f64; scores.cols()];
     for r in 0..scores.rows() {
-        let row: Vec<f64> = scores.row(r).iter().map(|&v| f64::from(v)).collect();
-        let probs = f(&row);
+        for (dst, &v) in row.iter_mut().zip(scores.row(r)) {
+            *dst = f64::from(v);
+        }
+        kernel
+            .forward_into(&row, &mut probs, &mut scratch)
+            .expect("non-empty attention row");
         for (c, &p) in probs.iter().enumerate() {
             out.set(r, c, p as f32);
         }

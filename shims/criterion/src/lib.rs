@@ -21,6 +21,59 @@ pub fn black_box<T>(x: T) -> T {
     std_black_box(x)
 }
 
+/// One completed measurement from [`measure`]: the mean wall time per
+/// iteration and how many iterations were timed.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations accumulated within the measurement budget.
+    pub iters: u64,
+}
+
+impl Measurement {
+    /// Throughput in elements per second for `elements` of work per
+    /// iteration.
+    #[must_use]
+    pub fn elements_per_sec(&self, elements: u64) -> f64 {
+        elements as f64 / self.ns_per_iter * 1e9
+    }
+}
+
+/// Times `f` with the same warm-up + calibrated-batch loop the benchmark
+/// driver uses, but returns the [`Measurement`] instead of printing it —
+/// the programmatic entry point harness binaries build JSON reports from.
+pub fn measure<O, F: FnMut() -> O>(warmup: Duration, budget: Duration, mut f: F) -> Measurement {
+    timed_loop(warmup, &mut f);
+    let (total, iters) = timed_loop(budget, &mut f);
+    Measurement {
+        ns_per_iter: total.as_nanos() as f64 / iters as f64,
+        iters,
+    }
+}
+
+/// Runs calibrated batches of `f` until `budget` is spent; returns the
+/// accumulated time and iteration count (always at least one batch).
+fn timed_loop<O, F: FnMut() -> O>(budget: Duration, f: &mut F) -> (Duration, u64) {
+    // Calibrate a batch size so each timed batch is ~1ms.
+    let start = Instant::now();
+    std_black_box(f());
+    let once = start.elapsed().max(Duration::from_nanos(20));
+    let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    while total < budget || iters == 0 {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            std_black_box(f());
+        }
+        total += t0.elapsed();
+        iters += batch;
+    }
+    (total, iters)
+}
+
 /// Top-level benchmark driver.
 #[derive(Debug, Default)]
 pub struct Criterion {}
@@ -141,22 +194,7 @@ impl Bencher {
             Mode::Warmup => WARMUP,
             Mode::Measure => MEASURE,
         };
-        // Calibrate a batch size so each timed batch is ~1ms.
-        let start = Instant::now();
-        std_black_box(f());
-        let once = start.elapsed().max(Duration::from_nanos(20));
-        let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 100_000);
-
-        let mut total = Duration::ZERO;
-        let mut iters = 0u64;
-        while total < budget {
-            let t0 = Instant::now();
-            for _ in 0..batch {
-                std_black_box(f());
-            }
-            total += t0.elapsed();
-            iters += batch as u64;
-        }
+        let (total, iters) = timed_loop(budget, &mut f);
         self.total = total;
         self.iters = iters;
     }
