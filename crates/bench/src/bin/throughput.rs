@@ -1,50 +1,85 @@
-//! Scalar-vs-vectorized softmax throughput harness.
+//! Softmax throughput harness: per-row vs vectorized vs batched/threaded.
 //!
-//! Benchmarks every registered kernel at row lengths {64, 256, 1024, 4096}
-//! through both entry points of the unified trait:
+//! Two modes, both sweeping every registered kernel at row lengths
+//! {64, 256, 1024, 4096}:
 //!
-//! * **scalar** — `SoftmaxKernel::forward`, the allocating per-row path;
-//! * **vectorized** — `SoftmaxKernel::forward_into` with a reused
-//!   [`ScratchBuffers`], the raw-lane hot path.
+//! * **row mode** (default) — scalar `SoftmaxKernel::forward` vs the
+//!   vectorized `forward_into` with a reused
+//!   [`ScratchBuffers`](softermax::kernel::ScratchBuffers); the PR-2
+//!   comparison, written to `BENCH_PR2.json`.
+//! * **batch mode** (`--batch`) — whole matrices through four paths:
+//!   **per-row** (a loop of scalar `forward` calls — the pre-PR-2
+//!   serving model and the speedup baseline), **row-into** (a loop of
+//!   allocation-free `forward_into` calls — the PR-2 serving model, so
+//!   the report separates what batching buys from what row
+//!   vectorization already bought), **batched** (one single-threaded
+//!   `forward_batch_into` call), and **threaded** (the
+//!   `softermax-serve` [`BatchEngine`] fanning chunks over a worker
+//!   pool); written to `BENCH_PR3.json`.
 //!
-//! Measurements use the criterion shim's calibrated-batch loop
-//! ([`criterion::measure`]), print a markdown table, and are written as
-//! JSON (default `BENCH_PR2.json`) so the perf trajectory is recorded in
-//! the repository and checked by the CI bench-smoke job.
+//! Before anything is timed, each faster path's output is asserted
+//! **bit-identical** to the per-row path, so the CI smoke runs are real
+//! correctness gates even though timings are never asserted (they'd be
+//! flaky).
 //!
 //! ```text
-//! usage: throughput [--smoke] [--out PATH]
-//!   --smoke   short measurement budgets (CI smoke test)
-//!   --out     output JSON path (default BENCH_PR2.json)
+//! usage: throughput [--batch] [--threads N] [--smoke] [--out PATH]
+//!   --batch     compare per-row vs batched vs threaded serving paths
+//!   --threads   worker threads for the threaded path (default 4)
+//!   --smoke     short measurement budgets (CI smoke test)
+//!   --out       output JSON path (default BENCH_PR2.json / BENCH_PR3.json)
 //! ```
 
 use std::time::Duration;
 
 use criterion::{black_box, measure};
-use softermax::kernel::ScratchBuffers;
+use softermax::kernel::{BatchScratch, ScratchBuffers};
 use softermax_bench::{attention_scores, print_header, print_row, registry};
+use softermax_serve::{BatchEngine, ServeConfig};
 
 /// Row lengths swept by the harness (the paper's sequence-length scale).
 const ROW_LENS: [usize; 4] = [64, 256, 1024, 4096];
 
+/// Element budget per benchmark matrix in batch mode: fixed so every row
+/// length serves the same amount of work (64 rows at length 1024). Long
+/// rows get extra rows on top so the threaded path always has at least
+/// one chunk per worker — otherwise "N threads" would silently measure a
+/// single busy worker.
+const BATCH_ELEMS: usize = 64 * 1024;
+
 fn main() {
-    let mut out_path = "BENCH_PR2.json".to_string();
+    let mut batch_mode = false;
+    let mut threads = 4usize;
+    let mut out_path: Option<String> = None;
     let (mut warmup_ms, mut measure_ms) = (30u64, 160u64);
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--batch" => batch_mode = true,
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t| t > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
             "--smoke" => {
                 warmup_ms = 2;
                 measure_ms = 8;
             }
             "--out" => {
-                out_path = args.next().unwrap_or_else(|| {
+                out_path = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--out needs a value");
                     std::process::exit(2);
-                });
+                }));
             }
             other => {
-                eprintln!("unknown flag '{other}' (usage: throughput [--smoke] [--out PATH])");
+                eprintln!(
+                    "unknown flag '{other}' (usage: throughput [--batch] [--threads N] [--smoke] [--out PATH])"
+                );
                 std::process::exit(2);
             }
         }
@@ -52,6 +87,34 @@ fn main() {
     let warmup = Duration::from_millis(warmup_ms);
     let budget = Duration::from_millis(measure_ms);
 
+    if batch_mode {
+        batch_harness(
+            threads,
+            warmup,
+            budget,
+            warmup_ms,
+            measure_ms,
+            &out_path.unwrap_or_else(|| "BENCH_PR3.json".to_string()),
+        );
+    } else {
+        row_harness(
+            warmup,
+            budget,
+            warmup_ms,
+            measure_ms,
+            &out_path.unwrap_or_else(|| "BENCH_PR2.json".to_string()),
+        );
+    }
+}
+
+/// The PR-2 comparison: scalar `forward` vs vectorized `forward_into`.
+fn row_harness(
+    warmup: Duration,
+    budget: Duration,
+    warmup_ms: u64,
+    measure_ms: u64,
+    out_path: &str,
+) {
     println!("# Softmax row throughput: scalar `forward` vs vectorized `forward_into`\n");
     print_header(&[
         "kernel",
@@ -124,7 +187,159 @@ fn main() {
         "measure_ms": measure_ms,
         "results": serde_json::Value::Array(entries),
     });
-    let text = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write(&out_path, text + "\n").expect("write benchmark JSON");
+    write_report(out_path, &report);
+}
+
+/// The PR-3 comparison: per-row serving vs single-threaded batch vs the
+/// multi-threaded `BatchEngine`.
+fn batch_harness(
+    threads: usize,
+    warmup: Duration,
+    budget: Duration,
+    warmup_ms: u64,
+    measure_ms: u64,
+    out_path: &str,
+) {
+    println!(
+        "# Softmax matrix throughput: per-row `forward` vs batched `forward_batch_into` vs \
+         `BatchEngine` at {threads} thread(s)\n"
+    );
+    print_header(&[
+        "kernel",
+        "len",
+        "rows",
+        "per-row Krows/s",
+        "row-into Krows/s",
+        "batched Krows/s",
+        "threaded Krows/s",
+        "batched speedup",
+        "threaded speedup",
+    ]);
+
+    let registry = registry();
+    let engine = BatchEngine::new(ServeConfig::new(threads)).expect("engine config");
+    let mut entries: Vec<serde_json::Value> = Vec::new();
+    for kernel in &registry {
+        for &len in &ROW_LENS {
+            let n_rows = (BATCH_ELEMS / len).max(threads * engine.config().chunk_rows);
+            let matrix = softermax_serve::traffic::synthetic_matrix(n_rows, len, 2.5, 42);
+            let mut scratch = BatchScratch::default();
+            let mut probs = vec![0.0f64; matrix.len()];
+
+            // Guard before timing: the batched and threaded paths must be
+            // bit-identical to per-row execution.
+            let mut want = vec![0.0f64; matrix.len()];
+            for (row, out_row) in matrix.chunks_exact(len).zip(want.chunks_exact_mut(len)) {
+                out_row.copy_from_slice(&kernel.forward(row).expect("non-empty row"));
+            }
+            kernel
+                .forward_batch_into(&matrix, len, &mut probs, &mut scratch)
+                .expect("valid matrix");
+            assert_eq!(
+                probs,
+                want,
+                "{} forward_batch_into diverged from per-row forward at len {len}",
+                kernel.name()
+            );
+            engine
+                .forward_matrix_into(kernel, &matrix, len, &mut probs)
+                .expect("valid matrix");
+            assert_eq!(
+                probs,
+                want,
+                "{} BatchEngine diverged from per-row forward at len {len}",
+                kernel.name()
+            );
+
+            let per_row = measure(warmup, budget, || {
+                for row in matrix.chunks_exact(len) {
+                    black_box(kernel.forward(black_box(row)).expect("non-empty row"));
+                }
+            });
+            // The PR-2 serving model — an allocation-free forward_into
+            // loop — measured alongside, so the report separates what
+            // batching/threading buys from what row vectorization already
+            // bought.
+            let row_into = measure(warmup, budget, || {
+                for (row, out_row) in matrix.chunks_exact(len).zip(probs.chunks_exact_mut(len)) {
+                    kernel
+                        .forward_into(black_box(row), black_box(out_row), &mut scratch.row)
+                        .expect("non-empty row");
+                }
+            });
+            let batched = measure(warmup, budget, || {
+                kernel
+                    .forward_batch_into(
+                        black_box(&matrix),
+                        len,
+                        black_box(&mut probs),
+                        &mut scratch,
+                    )
+                    .expect("valid matrix");
+            });
+            let threaded = measure(warmup, budget, || {
+                engine
+                    .forward_matrix_into(kernel, black_box(&matrix), len, black_box(&mut probs))
+                    .expect("valid matrix");
+            });
+
+            let rows_per_s = |ns_per_matrix: f64| n_rows as f64 / ns_per_matrix * 1e9;
+            let per_row_rows = rows_per_s(per_row.ns_per_iter);
+            let row_into_rows = rows_per_s(row_into.ns_per_iter);
+            let batched_rows = rows_per_s(batched.ns_per_iter);
+            let threaded_rows = rows_per_s(threaded.ns_per_iter);
+            let batched_speedup = per_row.ns_per_iter / batched.ns_per_iter;
+            let threaded_speedup = per_row.ns_per_iter / threaded.ns_per_iter;
+            print_row(&[
+                kernel.name().to_string(),
+                len.to_string(),
+                n_rows.to_string(),
+                format!("{:.1}", per_row_rows / 1e3),
+                format!("{:.1}", row_into_rows / 1e3),
+                format!("{:.1}", batched_rows / 1e3),
+                format!("{:.1}", threaded_rows / 1e3),
+                softermax_bench::fmt_ratio(batched_speedup),
+                softermax_bench::fmt_ratio(threaded_speedup),
+            ]);
+            entries.push(serde_json::json!({
+                "kernel": kernel.name(),
+                "row_len": len,
+                "rows": n_rows,
+                "threads": threads,
+                "per_row_ns_per_matrix": per_row.ns_per_iter,
+                "row_into_ns_per_matrix": row_into.ns_per_iter,
+                "batched_ns_per_matrix": batched.ns_per_iter,
+                "threaded_ns_per_matrix": threaded.ns_per_iter,
+                "per_row_rows_per_s": per_row_rows,
+                "row_into_rows_per_s": row_into_rows,
+                "batched_rows_per_s": batched_rows,
+                "threaded_rows_per_s": threaded_rows,
+                "batched_speedup_vs_per_row": batched_speedup,
+                "threaded_speedup_vs_per_row": threaded_speedup,
+                "batched_speedup_vs_row_into": row_into.ns_per_iter / batched.ns_per_iter,
+                "threaded_speedup_vs_row_into": row_into.ns_per_iter / threaded.ns_per_iter,
+                "bit_identical": true,
+            }));
+        }
+    }
+
+    let report = serde_json::json!({
+        "benchmark": "softmax_batch_throughput",
+        "description": "per-row SoftmaxKernel::forward loop vs single-threaded forward_batch_into vs multi-threaded softermax-serve BatchEngine, ns per matrix",
+        "row_lens": ROW_LENS.to_vec(),
+        "matrix_elems": BATCH_ELEMS,
+        "threads": threads,
+        "chunk_rows": engine.config().chunk_rows,
+        "vector_width": engine.config().vector_width,
+        "warmup_ms": warmup_ms,
+        "measure_ms": measure_ms,
+        "results": serde_json::Value::Array(entries),
+    });
+    write_report(out_path, &report);
+}
+
+fn write_report(out_path: &str, report: &serde_json::Value) {
+    let text = serde_json::to_string_pretty(report).expect("report serializes");
+    std::fs::write(out_path, text + "\n").expect("write benchmark JSON");
     println!("\nwrote {out_path}");
 }

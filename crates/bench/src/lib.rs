@@ -15,8 +15,6 @@
 //!
 //! Criterion benches for the software kernels live in `benches/`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use softermax::kernel::{BaseKind, KernelRegistry, ScratchBuffers, SoftmaxKernel};
 use softermax::metrics;
 
@@ -33,16 +31,10 @@ use softermax::metrics;
 /// ```
 #[must_use]
 pub fn attention_scores(len: usize, std_dev: f64, seed: u64) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..len)
-        .map(|_| {
-            // Box-Muller from two uniforms; clamp into the Q(6,2) range.
-            let u1: f64 = rng.gen_range(1e-9..1.0);
-            let u2: f64 = rng.gen_range(0.0..1.0);
-            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-            (z * std_dev).clamp(-32.0, 31.75)
-        })
-        .collect()
+    // One row of the serving layer's traffic generator: the calibrated
+    // sampler lives in exactly one place, so bench rows and serve traffic
+    // can never desynchronize (same seed → bit-identical values).
+    softermax_serve::traffic::synthetic_matrix(1, len, std_dev, seed)
 }
 
 /// The softmax backend registry every harness binary dispatches through

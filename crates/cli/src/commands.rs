@@ -5,17 +5,23 @@
 //! individual softmax implementations, so newly registered kernels show
 //! up in `softmax`, `compare` and `kernels` automatically.
 
-use softermax::kernel::{BaseKind, KernelRegistry, ScratchBuffers};
+use std::sync::Arc;
+
+use softermax::kernel::{BaseKind, BatchScratch, KernelRegistry, ScratchBuffers, SoftmaxKernel};
 use softermax::{metrics, SoftermaxConfig};
 use softermax_hw::accel::Accelerator;
 use softermax_hw::pe::PeConfig;
 use softermax_hw::workload::AttentionShape;
+use softermax_serve::{traffic, BatchEngine, ServeConfig};
 
 /// Usage text printed on errors.
 pub const USAGE: &str = "usage:
   softermax softmax [--backend <name>] <score>...   compute one softmax row
   softermax compare <score>...                      all backends side by side
   softermax kernels                                 list registered backends
+  softermax serve [--backend <name>|all] [--rows N] [--len N]
+                  [--threads T1,T2,..] [--chunk-rows N] [--repeat N] [--seed N]
+                                                    batched serving benchmark
   softermax hw [--width 16|32] [--seq N]            hardware comparison report
   softermax config                                  print the paper configuration
 
@@ -37,6 +43,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             cmd_kernels();
             Ok(())
         }
+        Some("serve") => cmd_serve(&args[1..]),
         Some("hw") => cmd_hw(&args[1..]),
         Some("config") => {
             cmd_config();
@@ -146,6 +153,167 @@ fn cmd_kernels() {
             d.input_passes,
             d.aliases.join(", "),
         );
+    }
+}
+
+/// The `serve` subcommand: synthetic-traffic benchmark of the batched
+/// serving layer. Generates one deterministic score matrix, guards the
+/// engine's output against sequential row-at-a-time execution
+/// (bit-identical, by the batch contract), then reports rows/s per kernel
+/// per thread count from the engine's own accounting.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut backend = "softermax".to_string();
+    let mut rows = 4096usize;
+    let mut len = 256usize;
+    let mut threads = vec![1usize, 4];
+    let mut chunk_rows: Option<usize> = None;
+    let mut repeat = 3usize;
+    let mut seed = 42u64;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))
+                .cloned()
+        };
+        match flag.as_str() {
+            "--backend" => backend = value("--backend")?,
+            "--rows" => rows = parse_count(&value("--rows")?, "--rows")?,
+            "--len" => len = parse_count(&value("--len")?, "--len")?,
+            "--chunk-rows" => {
+                chunk_rows = Some(parse_count(&value("--chunk-rows")?, "--chunk-rows")?)
+            }
+            "--repeat" => repeat = parse_count(&value("--repeat")?, "--repeat")?,
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer".to_string())?;
+            }
+            "--threads" => {
+                threads = value("--threads")?
+                    .split(',')
+                    .map(|t| parse_count(t, "--threads"))
+                    .collect::<Result<_, _>>()?;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+
+    let registry = KernelRegistry::global();
+    let kernels: Vec<Arc<dyn SoftmaxKernel>> = if backend == "all" {
+        registry.kernels().to_vec()
+    } else {
+        vec![registry
+            .get(&backend)
+            .ok_or_else(|| format!("unknown backend '{backend}' (see `softermax kernels`)"))?]
+    };
+
+    // One long-lived engine per thread count, shared by every kernel —
+    // pool spawn/teardown stays out of the measured path, and the
+    // engine's stats are keyed per kernel anyway.
+    let engines: Vec<BatchEngine> = threads
+        .iter()
+        .map(|&t| {
+            let mut config = ServeConfig::new(t);
+            if let Some(c) = chunk_rows {
+                config = config.with_chunk_rows(c);
+            }
+            BatchEngine::new(config).map_err(|e| e.to_string())
+        })
+        .collect::<Result<_, _>>()?;
+
+    let matrix = traffic::synthetic_matrix(rows, len, 2.5, seed);
+    println!("# softermax serve: {rows} rows x {len}, {repeat} batch(es) per measurement\n");
+    println!(
+        "{:<16} {:>8} {:>12} {:>12} {:>14} {:>12} {:>9}",
+        "kernel", "threads", "rows/s", "Melem/s", "batch ms", "util", "speedup"
+    );
+
+    let mut results: Vec<serde_json::Value> = Vec::new();
+    for kernel in &kernels {
+        // Sequential per-row ground truth: both the bit-identity guard and
+        // the single-threaded row-at-a-time baseline the speedup quotes.
+        let mut sequential = vec![0.0; matrix.len()];
+        let mut scratch = BatchScratch::default();
+        let seq_start = std::time::Instant::now();
+        for _ in 0..repeat {
+            for (row, out_row) in matrix
+                .chunks_exact(len)
+                .zip(sequential.chunks_exact_mut(len))
+            {
+                kernel
+                    .forward_into(row, out_row, &mut scratch.row)
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+        let seq_rows_per_s = (rows * repeat) as f64 / seq_start.elapsed().as_secs_f64().max(1e-12);
+
+        for engine in &engines {
+            let t = engine.config().threads;
+            let mut served = vec![0.0; matrix.len()];
+            for _ in 0..repeat {
+                engine
+                    .forward_matrix_into(kernel, &matrix, len, &mut served)
+                    .map_err(|e| e.to_string())?;
+            }
+            if served != sequential {
+                return Err(format!(
+                    "{} at {t} thread(s): engine output diverged from sequential execution",
+                    kernel.name()
+                ));
+            }
+            let stats = engine.stats();
+            let s = stats
+                .kernel(kernel.name())
+                .ok_or_else(|| "engine recorded no traffic".to_string())?;
+            let speedup = s.rows_per_sec() / seq_rows_per_s.max(1e-12);
+            println!(
+                "{:<16} {:>8} {:>12.0} {:>12.1} {:>14.3} {:>12.2} {:>8.2}x",
+                kernel.name(),
+                t,
+                s.rows_per_sec(),
+                s.elements_per_sec() / 1e6,
+                s.mean_batch_latency_ns() / 1e6,
+                s.utilization(t),
+                speedup,
+            );
+            results.push(serde_json::json!({
+                "kernel": kernel.name(),
+                "threads": t,
+                "rows_per_s": s.rows_per_sec(),
+                "melem_per_s": s.elements_per_sec() / 1e6,
+                "mean_batch_ms": s.mean_batch_latency_ns() / 1e6,
+                "utilization": s.utilization(t),
+                "sequential_rows_per_s": seq_rows_per_s,
+                "speedup_vs_sequential": speedup,
+                "bit_identical": true,
+            }));
+        }
+    }
+
+    println!();
+    println!(
+        "{}",
+        serde_json::json!({
+            "command": "serve",
+            "rows": rows,
+            "row_len": len,
+            "repeat": repeat,
+            "seed": seed,
+            // Resolved chunk geometry (identical across the engines): the
+            // hw-PE-derived shape unless --chunk-rows overrode it.
+            "chunk_rows": engines[0].config().chunk_rows,
+            "vector_width": engines[0].config().vector_width,
+            "results": serde_json::Value::Array(results),
+        })
+    );
+    Ok(())
+}
+
+fn parse_count(text: &str, flag: &str) -> Result<usize, String> {
+    match text.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!("{flag} must be a positive integer")),
     }
 }
 
@@ -287,6 +455,47 @@ mod tests {
     #[test]
     fn kernels_lists_the_registry() {
         assert!(run(&s(&["kernels"])).is_ok());
+    }
+
+    #[test]
+    fn serve_reports_and_guards_bit_identity() {
+        assert!(run(&s(&[
+            "serve",
+            "--rows",
+            "64",
+            "--len",
+            "16",
+            "--threads",
+            "1,2",
+            "--repeat",
+            "1"
+        ]))
+        .is_ok());
+        assert!(run(&s(&[
+            "serve",
+            "--backend",
+            "all",
+            "--rows",
+            "8",
+            "--len",
+            "4",
+            "--threads",
+            "2",
+            "--repeat",
+            "1",
+            "--chunk-rows",
+            "2"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags() {
+        assert!(run(&s(&["serve", "--rows", "0"])).is_err());
+        assert!(run(&s(&["serve", "--threads", "1,x"])).is_err());
+        assert!(run(&s(&["serve", "--backend", "nope"])).is_err());
+        assert!(run(&s(&["serve", "--bogus"])).is_err());
+        assert!(run(&s(&["serve", "--rows"])).is_err());
     }
 
     #[test]

@@ -45,7 +45,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use softermax_fixed::{Fixed, Rounding};
-use softermax_fp16::softmax::softmax_fp16;
+use softermax_fp16::softmax::{softmax_fp16, softmax_fp16_into};
 
 use crate::baselines::LutSoftmax;
 use crate::config::{Base, MaxMode};
@@ -169,6 +169,69 @@ impl ScratchBuffers {
     }
 }
 
+/// Reusable working memory for the matrix-at-a-time kernel path
+/// ([`SoftmaxKernel::forward_batch_into`]).
+///
+/// Extends [`ScratchBuffers`] with per-*row* state lanes: batched kernels
+/// that vectorize across the row dimension (the online recurrence, the
+/// reference max pass) keep one running value per row here, while kernels
+/// that batch by sweeping their vectorized row pipeline reuse the embedded
+/// per-row scratch. One instance amortizes every intermediate across an
+/// arbitrary number of matrices.
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    /// Per-row scratch for the embedded row pipelines.
+    pub row: ScratchBuffers,
+    /// Per-row `f64` state lanes (running maxima).
+    pub row_maxes: Vec<f64>,
+    /// Per-row `f64` state lanes (running sums / normalizers).
+    pub row_sums: Vec<f64>,
+}
+
+impl BatchScratch {
+    /// A fresh, empty scratch space.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Validates the geometry of a flattened row-major matrix and returns its
+/// row count: `n_elems` input elements in rows of `row_len`, written to an
+/// output of `out_len` elements.
+///
+/// This is the shared contract of every batch entry point
+/// ([`SoftmaxKernel::forward_batch_into`], the serving layer): an **empty
+/// matrix is zero rows** and a valid no-op whatever `row_len` says, while a
+/// non-empty matrix with `row_len == 0` is a row of empty softmaxes —
+/// undefined, like [`SoftmaxKernel::forward`] of an empty row.
+///
+/// # Errors
+///
+/// Returns [`SoftmaxError::EmptyInput`] when `row_len == 0` but
+/// `n_elems > 0`.
+///
+/// # Panics
+///
+/// Panics if `out_len != n_elems` or `n_elems` is not a multiple of
+/// `row_len` — malformed buffers are caller bugs, exactly like the
+/// length-mismatch panic of [`SoftmaxKernel::forward_into`].
+pub fn check_batch_geometry(n_elems: usize, row_len: usize, out_len: usize) -> Result<usize> {
+    assert_eq!(out_len, n_elems, "output buffer length mismatch");
+    if n_elems == 0 {
+        return Ok(0);
+    }
+    if row_len == 0 {
+        return Err(SoftmaxError::EmptyInput);
+    }
+    assert_eq!(
+        n_elems % row_len,
+        0,
+        "matrix of {n_elems} elements is not a whole number of rows of length {row_len}"
+    );
+    Ok(n_elems / row_len)
+}
+
 /// A row-wise softmax backend.
 ///
 /// Implementations are `Send + Sync` so a single instance can be shared
@@ -217,6 +280,51 @@ pub trait SoftmaxKernel: fmt::Debug + Send + Sync {
         assert_eq!(out.len(), row.len(), "output buffer length mismatch");
         let probs = self.forward(row)?;
         out.copy_from_slice(&probs);
+        Ok(())
+    }
+
+    /// Softmax over a whole flattened row-major matrix (`rows.len() /
+    /// row_len` independent rows) into a caller-provided buffer — the
+    /// entry point of the batched serving layer and of attention over
+    /// score matrices.
+    ///
+    /// The contract mirrors the hardware pipelining whole attention
+    /// matrices through parallel Softermax units: backends with a
+    /// vectorized path hoist per-row setup matrix-wide (quantization,
+    /// state-lane recurrences), but the result is always **bit-identical**
+    /// with calling [`SoftmaxKernel::forward_into`] row by row — which is
+    /// exactly what the default implementation does, so custom kernels are
+    /// correct with no extra work.
+    ///
+    /// An empty matrix is a valid no-op; geometry is validated by
+    /// [`check_batch_geometry`].
+    ///
+    /// # Errors
+    ///
+    /// [`SoftmaxError::EmptyInput`] when `row_len == 0` and the matrix is
+    /// non-empty, plus the per-row errors of
+    /// [`SoftmaxKernel::forward_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != rows.len()` or `rows.len()` is not a
+    /// multiple of `row_len`.
+    fn forward_batch_into(
+        &self,
+        rows: &[f64],
+        row_len: usize,
+        out: &mut [f64],
+        scratch: &mut BatchScratch,
+    ) -> Result<()> {
+        if check_batch_geometry(rows.len(), row_len, out.len())? == 0 {
+            return Ok(());
+        }
+        for (row, out_row) in rows
+            .chunks_exact(row_len)
+            .zip(out.chunks_exact_mut(row_len))
+        {
+            self.forward_into(row, out_row, &mut scratch.row)?;
+        }
         Ok(())
     }
 
@@ -344,6 +452,24 @@ impl SoftmaxKernel for ReferenceKernel {
         reference::softmax_with_base_into(row, self.base, out)
     }
 
+    fn forward_batch_into(
+        &self,
+        rows: &[f64],
+        row_len: usize,
+        out: &mut [f64],
+        scratch: &mut BatchScratch,
+    ) -> Result<()> {
+        // Matrix-staged three-pass: all row maxima, then one exponential
+        // sweep over the flattened matrix, then the sum/division pass.
+        reference::softmax_with_base_batch_into(
+            rows,
+            row_len,
+            self.base,
+            out,
+            &mut scratch.row_maxes,
+        )
+    }
+
     fn begin_row(&self) -> Box<dyn RowAccumulator + '_> {
         Box::new(BufferedRow {
             kernel: self,
@@ -457,6 +583,26 @@ impl SoftmaxKernel for OnlineKernel {
         n.finalize_into(row, out)
     }
 
+    fn forward_batch_into(
+        &self,
+        rows: &[f64],
+        row_len: usize,
+        out: &mut [f64],
+        scratch: &mut BatchScratch,
+    ) -> Result<()> {
+        // Lane-parallel recurrence: blocks of rows advance their running
+        // (max, sum) state together, one lane per row.
+        crate::online::online_softmax_batch_into(
+            rows,
+            row_len,
+            self.base,
+            self.integer_max,
+            out,
+            &mut scratch.row_maxes,
+            &mut scratch.row_sums,
+        )
+    }
+
     fn begin_row(&self) -> Box<dyn RowAccumulator + '_> {
         Box::new(OnlineRow {
             normalizer: self.normalizer(),
@@ -532,6 +678,18 @@ impl SoftmaxKernel for Fp16Kernel {
 
     fn forward(&self, row: &[f64]) -> Result<Vec<f64>> {
         softmax_fp16(row).ok_or(SoftmaxError::EmptyInput)
+    }
+
+    fn forward_into(
+        &self,
+        row: &[f64],
+        out: &mut [f64],
+        scratch: &mut ScratchBuffers,
+    ) -> Result<()> {
+        // Binary16 intermediates staged as raw bits in the scratch lanes:
+        // bit-identical with `softmax_fp16`, zero per-row allocations.
+        softmax_fp16_into(row, out, &mut scratch.lanes_a, &mut scratch.lanes_c)
+            .ok_or(SoftmaxError::EmptyInput)
     }
 
     fn begin_row(&self) -> Box<dyn RowAccumulator + '_> {
@@ -700,6 +858,19 @@ impl SoftmaxKernel for SoftermaxFixedKernel {
         // The vectorized raw-lane pipeline: bit-exact with `forward`, zero
         // per-row allocations.
         self.sm.forward_into(row, out, scratch)
+    }
+
+    fn forward_batch_into(
+        &self,
+        rows: &[f64],
+        row_len: usize,
+        out: &mut [f64],
+        scratch: &mut BatchScratch,
+    ) -> Result<()> {
+        // Stage 0 (quantization + optional base-e pre-scale) hoisted to one
+        // vecops pass over the whole flattened matrix.
+        self.sm
+            .forward_batch_into(rows, row_len, out, &mut scratch.row)
     }
 
     fn begin_row(&self) -> Box<dyn RowAccumulator + '_> {
@@ -949,6 +1120,67 @@ mod tests {
                 k.name()
             );
         }
+    }
+
+    #[test]
+    fn forward_batch_into_is_bit_exact_with_row_loop_for_every_builtin() {
+        // 5 rows of length 7, including a uniform row and a saturating row.
+        let rows: Vec<f64> = [
+            [1.5, -2.25, 0.5, 3.0, 2.75, -0.25, 0.0],
+            [0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            [-31.0, 10.0, 4.25, -0.75, 2.5, 2.5, 1.0],
+            [7.75, 7.5, 0.5, -1.25, 6.0, 0.0, 3.25],
+            [-0.5, 12.0, -12.0, 0.25, 1.0, 2.0, -3.5],
+        ]
+        .concat();
+        for k in &KernelRegistry::with_builtins() {
+            let mut scratch = BatchScratch::default();
+            let mut got = vec![0.0; rows.len()];
+            // Run twice to exercise scratch reuse across matrices.
+            k.forward_batch_into(&rows, 7, &mut got, &mut scratch)
+                .unwrap();
+            k.forward_batch_into(&rows, 7, &mut got, &mut scratch)
+                .unwrap();
+            let mut want = vec![0.0; rows.len()];
+            let mut row_scratch = ScratchBuffers::default();
+            for (row, out_row) in rows.chunks_exact(7).zip(want.chunks_exact_mut(7)) {
+                k.forward_into(row, out_row, &mut row_scratch).unwrap();
+            }
+            assert_eq!(got, want, "{} batch diverged from row loop", k.name());
+        }
+    }
+
+    #[test]
+    fn batch_geometry_contract() {
+        assert_eq!(check_batch_geometry(0, 0, 0).unwrap(), 0);
+        assert_eq!(check_batch_geometry(0, 5, 0).unwrap(), 0);
+        assert_eq!(check_batch_geometry(12, 4, 12).unwrap(), 3);
+        assert!(check_batch_geometry(12, 0, 12).is_err());
+
+        for k in &KernelRegistry::with_builtins() {
+            let mut scratch = BatchScratch::default();
+            // Empty matrix: a valid no-op whatever row_len says.
+            k.forward_batch_into(&[], 0, &mut [], &mut scratch)
+                .unwrap_or_else(|e| panic!("{}: empty matrix errored: {e}", k.name()));
+            k.forward_batch_into(&[], 4, &mut [], &mut scratch).unwrap();
+            // Non-empty matrix of zero-length rows: an error, like
+            // forward(&[]).
+            assert!(
+                k.forward_batch_into(&[1.0, 2.0], 0, &mut [0.0, 0.0], &mut scratch)
+                    .is_err(),
+                "{} accepted zero-length rows",
+                k.name()
+            );
+        }
+    }
+
+    #[test]
+    fn kernels_and_registry_are_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<KernelRegistry>();
+        assert_send_sync::<Arc<dyn SoftmaxKernel>>();
+        assert_send_sync::<ScratchBuffers>();
+        assert_send_sync::<BatchScratch>();
     }
 
     #[test]

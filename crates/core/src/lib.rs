@@ -55,7 +55,10 @@ pub mod softermax;
 
 pub use config::{Base, MaxMode, SoftermaxConfig, SoftermaxConfigBuilder};
 pub use error::SoftmaxError;
-pub use kernel::{KernelDescriptor, KernelRegistry, RowAccumulator, ScratchBuffers, SoftmaxKernel};
+pub use kernel::{
+    check_batch_geometry, BatchScratch, KernelDescriptor, KernelRegistry, RowAccumulator,
+    ScratchBuffers, SoftmaxKernel,
+};
 pub use softermax::{Softermax, SoftermaxAccumulator, SoftermaxRowOutput};
 
 /// Result alias for fallible softmax operations.

@@ -226,6 +226,98 @@ impl Default for OnlineNormalizer {
     }
 }
 
+/// Number of rows whose online state advances together in the batched
+/// recurrence: the software analogue of the hardware's parallel Softermax
+/// units, each lane owning one row's running `(max, sum)` pair.
+const BATCH_LANES: usize = 8;
+
+/// Matrix-at-a-time online softmax over a flattened row-major matrix.
+///
+/// The single-pass recurrence runs *lane-parallel*: blocks of
+/// [`BATCH_LANES`] rows sweep their columns together, each lane holding one
+/// row's running `(max, normalizer)` state in registers — the software
+/// mirror of the paper's parallel softmax units, and a layout `std::simd`
+/// can lift directly. The final division pass then sweeps the flattened
+/// matrix once. Per-row state buffers are the caller's `maxes`/`sums`, so
+/// the batch allocates nothing at steady state.
+///
+/// Each row's operation sequence is exactly that of
+/// [`OnlineNormalizer::push`] + [`OnlineNormalizer::finalize_into`]
+/// (lanes never interact), so the result is **bit-identical** with running
+/// the normalizer row by row.
+///
+/// # Errors
+///
+/// Returns [`SoftmaxError::EmptyInput`] when `row_len == 0` and the matrix
+/// is non-empty. An empty matrix is a no-op `Ok`.
+///
+/// # Panics
+///
+/// Panics if `out.len() != rows.len()`, if `rows.len()` is not a multiple
+/// of `row_len`, or if `base` is not a finite number greater than 1 (the
+/// same contract as [`OnlineNormalizer::with_base`]).
+pub fn online_softmax_batch_into(
+    rows: &[f64],
+    row_len: usize,
+    base: f64,
+    integer_max: bool,
+    out: &mut [f64],
+    maxes: &mut Vec<f64>,
+    sums: &mut Vec<f64>,
+) -> Result<()> {
+    let n_rows = crate::kernel::check_batch_geometry(rows.len(), row_len, out.len())?;
+    if n_rows == 0 {
+        return Ok(());
+    }
+    assert!(
+        base.is_finite() && base > 1.0,
+        "base must be finite and > 1"
+    );
+    let ln_b = base.ln();
+    maxes.clear();
+    maxes.resize(n_rows, f64::NEG_INFINITY);
+    sums.clear();
+    sums.resize(n_rows, 0.0);
+
+    // Pass 1 — the online max/sum recurrence, BATCH_LANES rows at a time.
+    let mut r0 = 0;
+    while r0 < n_rows {
+        let block = BATCH_LANES.min(n_rows - r0);
+        let block_rows = &rows[r0 * row_len..(r0 + block) * row_len];
+        let mut m = [f64::NEG_INFINITY; BATCH_LANES];
+        let mut s = [0.0f64; BATCH_LANES];
+        for c in 0..row_len {
+            for (l, (ml, sl)) in m[..block].iter_mut().zip(&mut s).enumerate() {
+                let x = block_rows[l * row_len + c];
+                let candidate = if integer_max { x.ceil() } else { x };
+                let new_max = ml.max(candidate);
+                if new_max > *ml {
+                    if ml.is_finite() {
+                        *sl *= ((*ml - new_max) * ln_b).exp();
+                    }
+                    *ml = new_max;
+                }
+                *sl += ((x - *ml) * ln_b).exp();
+            }
+        }
+        maxes[r0..r0 + block].copy_from_slice(&m[..block]);
+        sums[r0..r0 + block].copy_from_slice(&s[..block]);
+        r0 += block;
+    }
+
+    // Pass 2 — the division pass over the flattened matrix.
+    for ((out_row, row), (&m, &s)) in out
+        .chunks_exact_mut(row_len)
+        .zip(rows.chunks_exact(row_len))
+        .zip(maxes.iter().zip(sums.iter()))
+    {
+        for (o, &v) in out_row.iter_mut().zip(row) {
+            *o = ((v - m) * ln_b).exp() / s;
+        }
+    }
+    Ok(())
+}
+
 /// One-shot online softmax: single pass for max+normalizer, one more for the
 /// division — two passes total, versus three for the classic stable softmax.
 ///

@@ -156,12 +156,61 @@ impl Softermax {
         if row.is_empty() {
             return Err(SoftmaxError::EmptyInput);
         }
-        let cfg = &self.config;
+        self.quantize_lanes(row, scratch);
+        self.forward_lanes_row(0, row.len(), out, scratch)
+    }
 
-        // Stage 0 — quantize the row into raw input-format lanes, with the
-        // optional base-e pre-scale (bit-exact with `Fixed::mul_into`).
+    /// Matrix-at-a-time [`Softermax::forward_into`]: `rows` is a flattened
+    /// row-major matrix of `rows.len() / row_len` independent softmax rows.
+    ///
+    /// Stage 0 (quantization and the optional base-e pre-scale) is hoisted
+    /// out of the per-row loop and runs as **one** slice-wide vecops pass
+    /// over the whole flattened matrix; the slice pipeline then consumes
+    /// each row's lane range in place. Per row the arithmetic is exactly
+    /// that of [`Softermax::forward_into`], so batch and row-at-a-time
+    /// results are **bit-identical**.
+    ///
+    /// # Errors
+    ///
+    /// [`SoftmaxError::EmptyInput`] when `row_len == 0` and the matrix is
+    /// non-empty (an empty matrix is a no-op `Ok`), and
+    /// [`SoftmaxError::DivisionByZero`] as in [`Softermax::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != rows.len()` or `rows.len()` is not a
+    /// multiple of `row_len`.
+    pub fn forward_batch_into(
+        &self,
+        rows: &[f64],
+        row_len: usize,
+        out: &mut [f64],
+        scratch: &mut ScratchBuffers,
+    ) -> Result<()> {
+        let n_rows = crate::kernel::check_batch_geometry(rows.len(), row_len, out.len())?;
+        if n_rows == 0 {
+            return Ok(());
+        }
+        // Stage 0 once for the whole matrix, then the per-row pipeline.
+        self.quantize_lanes(rows, scratch);
+        for r in 0..n_rows {
+            self.forward_lanes_row(
+                r * row_len,
+                row_len,
+                &mut out[r * row_len..(r + 1) * row_len],
+                scratch,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Stage 0 of the vectorized pipeline: quantizes `values` into raw
+    /// input-format lanes in `scratch.lanes_a`, applying the optional
+    /// base-e pre-scale (bit-exact with `Fixed::mul_into`).
+    fn quantize_lanes(&self, values: &[f64], scratch: &mut ScratchBuffers) {
+        let cfg = &self.config;
         vecops::quantize_raw_into(
-            row,
+            values,
             cfg.input_format,
             Rounding::Nearest,
             &mut scratch.lanes_a,
@@ -176,7 +225,18 @@ impl Softermax {
                     .saturate_raw(Rounding::Nearest.apply_shift(prod, shift));
             }
         }
+    }
 
+    /// Stages 1–3 plus the Normalization unit for one row whose quantized
+    /// lanes occupy `scratch.lanes_a[lane_start..lane_start + len]`.
+    fn forward_lanes_row(
+        &self,
+        lane_start: usize,
+        len: usize,
+        out: &mut [f64],
+        scratch: &mut ScratchBuffers,
+    ) -> Result<()> {
+        let cfg = &self.config;
         let wide_fmt = wide_sum_format(cfg.unnormed_format);
         let sum_shift = cfg.unnormed_format.frac_bits() - wide_fmt.frac_bits();
         let mut running_max: Option<Fixed> = None;
@@ -185,9 +245,9 @@ impl Softermax {
         scratch.runs.clear();
 
         let mut start = 0;
-        while start < row.len() {
-            let end = (start + cfg.slice_width).min(row.len());
-            let xs = &scratch.lanes_a[start..end];
+        while start < len {
+            let end = (start + cfg.slice_width).min(len);
+            let xs = &scratch.lanes_a[lane_start + start..lane_start + end];
 
             // Stage 1 — IntMax unit: max-format candidates, slice max.
             vecops::requantize_raw_into(

@@ -7,7 +7,7 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use softermax::kernel::KernelRegistry;
+use softermax::kernel::{BatchScratch, KernelRegistry, ScratchBuffers};
 
 /// Scores within the Q(6,2) representable range (so the fixed-point
 /// kernels see in-range inputs, as the paper's calibration guarantees).
@@ -78,6 +78,76 @@ proptest! {
         }
     }
 
+    /// The batch path is bit-identical with the row-at-a-time path for
+    /// every kernel, over arbitrary matrix geometries (including the
+    /// empty matrix when `n_rows` samples 0 and single-row matrices).
+    #[test]
+    fn batch_path_is_bit_identical_with_row_path(
+        values in vec(-20.0f64..20.0, 105..106),
+        n_rows in 0usize..8,
+        row_len in 1usize..16,
+    ) {
+        let matrix = &values[..n_rows * row_len];
+        for kernel in &KernelRegistry::with_builtins() {
+            let mut got = vec![0.0; matrix.len()];
+            let mut batch_scratch = BatchScratch::default();
+            kernel
+                .forward_batch_into(matrix, row_len, &mut got, &mut batch_scratch)
+                .expect("valid matrix");
+            let mut want = vec![0.0; matrix.len()];
+            let mut row_scratch = ScratchBuffers::default();
+            for (row, out_row) in matrix.chunks_exact(row_len).zip(want.chunks_exact_mut(row_len)) {
+                kernel.forward_into(row, out_row, &mut row_scratch).expect("non-empty row");
+            }
+            prop_assert_eq!(
+                got, want,
+                "{} batch diverged from row path at {}x{}",
+                kernel.name(), n_rows, row_len
+            );
+        }
+    }
+
+    /// NaN scores never desynchronize the batch path from the row path:
+    /// whatever a kernel does with NaN (saturate, propagate), batch and
+    /// sequential execution do it identically, bit for bit.
+    #[test]
+    fn batch_path_handles_nan_rows_like_the_row_path(
+        values in vec(-20.0f64..20.0, 24..25),
+        nan_at in 0usize..24,
+    ) {
+        let mut matrix = values;
+        matrix[nan_at] = f64::NAN;
+        let row_len = 6; // 4 rows of 6, one of them poisoned
+        for kernel in &KernelRegistry::with_builtins() {
+            let mut row_scratch = ScratchBuffers::default();
+            let sequential: Vec<_> = matrix
+                .chunks_exact(row_len)
+                .map(|row| {
+                    let mut out = vec![0.0; row_len];
+                    kernel.forward_into(row, &mut out, &mut row_scratch).map(|()| out)
+                })
+                .collect();
+            let mut got = vec![0.0; matrix.len()];
+            let batch = kernel.forward_batch_into(
+                &matrix,
+                row_len,
+                &mut got,
+                &mut BatchScratch::default(),
+            );
+            if sequential.iter().all(Result::is_ok) {
+                prop_assert!(batch.is_ok(), "{}: batch errored where rows did not", kernel.name());
+                let want: Vec<u64> = sequential
+                    .iter()
+                    .flat_map(|r| r.as_ref().expect("checked").iter().map(|v| v.to_bits()))
+                    .collect();
+                let got_bits: Vec<u64> = got.iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(got_bits, want, "{}: NaN handling diverged", kernel.name());
+            } else {
+                prop_assert!(batch.is_err(), "{}: batch swallowed a row error", kernel.name());
+            }
+        }
+    }
+
     /// Shift invariance holds for the full-precision kernels (the
     /// low-precision ones legitimately break it — that is the fp16
     /// input-format story the paper tells).
@@ -93,6 +163,33 @@ proptest! {
             for (pa, pb) in a.iter().zip(&b) {
                 prop_assert!((pa - pb).abs() < 1e-9, "{}: {pa} vs {pb}", kernel.name());
             }
+        }
+    }
+}
+
+/// Batch geometry errors are uniform across every kernel: a non-empty
+/// matrix of zero-length rows errors (an empty row is undefined), while
+/// the empty matrix is a valid no-op whatever `row_len` says.
+#[test]
+fn batch_geometry_errors_are_uniform() {
+    for kernel in &KernelRegistry::with_builtins() {
+        let mut scratch = BatchScratch::default();
+        assert!(
+            kernel
+                .forward_batch_into(&[1.0, 2.0], 0, &mut [0.0, 0.0], &mut scratch)
+                .is_err(),
+            "{} accepted zero-length rows",
+            kernel.name()
+        );
+        for row_len in [0, 1, 5] {
+            kernel
+                .forward_batch_into(&[], row_len, &mut [], &mut scratch)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "{} rejected the empty matrix at row_len {row_len}: {e}",
+                        kernel.name()
+                    )
+                });
         }
     }
 }

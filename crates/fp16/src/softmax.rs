@@ -45,6 +45,73 @@ pub fn softmax_fp16(scores: &[f64]) -> Option<Vec<f64>> {
     Some(exps.iter().map(|&e| (e / sum).to_f64()).collect())
 }
 
+/// Allocation-free [`softmax_fp16`]: the binary16 intermediates are staged
+/// as raw bit patterns in the caller's `i64` lane buffers (`xs` for the
+/// converted scores, `exps` for the exponentials), so a caller amortizing
+/// the buffers across rows performs no per-row heap allocations.
+///
+/// The arithmetic — conversion, comparator-tree max, exponential pass,
+/// sequential FP16 accumulation, division pass — is operation-for-operation
+/// identical to [`softmax_fp16`], so the two are **bit-identical**.
+///
+/// Returns `None` for an empty row (like [`softmax_fp16`]).
+///
+/// # Panics
+///
+/// Panics if `out.len() != scores.len()`.
+///
+/// # Example
+///
+/// ```
+/// use softermax_fp16::softmax::{softmax_fp16, softmax_fp16_into};
+///
+/// let row = [2.0, 1.0, 3.0];
+/// let (mut xs, mut exps) = (Vec::new(), Vec::new());
+/// let mut p = [0.0; 3];
+/// softmax_fp16_into(&row, &mut p, &mut xs, &mut exps).expect("non-empty");
+/// assert_eq!(p.to_vec(), softmax_fp16(&row).expect("non-empty"));
+/// ```
+pub fn softmax_fp16_into(
+    scores: &[f64],
+    out: &mut [f64],
+    xs: &mut Vec<i64>,
+    exps: &mut Vec<i64>,
+) -> Option<()> {
+    assert_eq!(out.len(), scores.len(), "output buffer length mismatch");
+    if scores.is_empty() {
+        return None;
+    }
+    xs.clear();
+    xs.extend(
+        scores
+            .iter()
+            .map(|&v| i64::from(Half::from_f64(v).to_bits())),
+    );
+
+    // Pass 1: explicit max (FP comparator tree).
+    let mut max = Half::from_bits(xs[0] as u16);
+    for &x in &xs[1..] {
+        max = max.max(Half::from_bits(x as u16));
+    }
+
+    // Pass 2: exponentials and their FP16 sum.
+    exps.clear();
+    exps.extend(
+        xs.iter()
+            .map(|&x| i64::from((Half::from_bits(x as u16) - max).exp().to_bits())),
+    );
+    let mut sum = Half::ZERO;
+    for &e in exps.iter() {
+        sum = sum + Half::from_bits(e as u16);
+    }
+
+    // Pass 3: FP16 division.
+    for (o, &e) in out.iter_mut().zip(exps.iter()) {
+        *o = (Half::from_bits(e as u16) / sum).to_f64();
+    }
+    Some(())
+}
+
 /// The *unstable* FP16 softmax (no max subtraction) — demonstrates why
 /// the explicit max pass is unavoidable in FP16: `e^x` overflows binary16
 /// at `x ≈ 11.09`, so even modest attention scores produce infinities.
@@ -122,6 +189,26 @@ mod tests {
             (mass - 3000.0 / 2048.0).abs() < 1e-9,
             "expected stuck-at-2048 mass, got {mass}"
         );
+    }
+
+    #[test]
+    fn into_path_is_bit_identical_with_allocating_path() {
+        let rows: [&[f64]; 4] = [
+            &[2.0, 1.0, 3.0],
+            &[0.1, -0.2, 0.3, 0.0, -5.0],
+            &[8.0, 7.9, 7.8, -8.0],
+            &[20.0, 19.0, 18.0],
+        ];
+        let (mut xs, mut exps) = (Vec::new(), Vec::new());
+        for row in rows {
+            let want = softmax_fp16(row).expect("non-empty");
+            let mut got = vec![0.0; row.len()];
+            // Run twice to exercise lane-buffer reuse across rows.
+            softmax_fp16_into(row, &mut got, &mut xs, &mut exps).expect("non-empty");
+            softmax_fp16_into(row, &mut got, &mut xs, &mut exps).expect("non-empty");
+            assert_eq!(got, want, "diverged on {row:?}");
+        }
+        assert!(softmax_fp16_into(&[], &mut [], &mut xs, &mut exps).is_none());
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Engine geometry: thread count and the hardware-derived chunk shape.
+
+use softermax::{Result, SoftmaxError};
+use softermax_hw::pe::PeConfig;
+
+/// Configuration of a [`BatchEngine`](crate::BatchEngine).
+///
+/// The chunk geometry is derived from the paper's PE model rather than
+/// picked ad hoc: a PE computes [`PeConfig::n_lanes`] score rows in
+/// parallel, each feeding a softmax unit that consumes
+/// [`PeConfig::softmax_width`] elements per cycle. One engine *chunk* —
+/// the unit of work-stealing — is therefore `n_lanes` consecutive rows:
+/// the block of rows one "software PE" (worker thread turn) owns, exactly
+/// as the hardware's unit parallelism partitions a score matrix.
+///
+/// # Example
+///
+/// ```
+/// use softermax_hw::pe::PeConfig;
+/// use softermax_serve::ServeConfig;
+///
+/// let cfg = ServeConfig::new(4);
+/// assert_eq!(cfg.threads, 4);
+/// assert_eq!(cfg.chunk_rows, PeConfig::paper_32().n_lanes);
+/// assert_eq!(cfg.vector_width, 32);
+/// assert!(cfg.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Number of worker threads in the fixed pool.
+    pub threads: usize,
+    /// Rows per work-stealing chunk (the PE's lane parallelism).
+    pub chunk_rows: usize,
+    /// Slice width of the modelled softmax unit (the PE's vector size) —
+    /// recorded so reports can relate software chunks to hardware slices.
+    pub vector_width: usize,
+}
+
+impl ServeConfig {
+    /// Engine geometry for `threads` workers, with the chunk shape of the
+    /// paper's 32-wide PE ([`PeConfig::paper_32`]).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Self::from_pe(&PeConfig::paper_32(), threads)
+    }
+
+    /// Derives the chunk geometry from an explicit PE model: one chunk is
+    /// the `n_lanes`-row block the PE processes in parallel, sliced
+    /// `softmax_width` elements at a time.
+    #[must_use]
+    pub fn from_pe(pe: &PeConfig, threads: usize) -> Self {
+        Self {
+            threads,
+            chunk_rows: pe.n_lanes,
+            vector_width: pe.softmax_width(),
+        }
+    }
+
+    /// Overrides the rows-per-chunk geometry (benchmark sweeps).
+    #[must_use]
+    pub fn with_chunk_rows(mut self, chunk_rows: usize) -> Self {
+        self.chunk_rows = chunk_rows;
+        self
+    }
+
+    /// Checks the configuration is usable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SoftmaxError::InvalidConfig`] when `threads` or
+    /// `chunk_rows` is zero.
+    pub fn validate(&self) -> Result<()> {
+        if self.threads == 0 {
+            return Err(SoftmaxError::InvalidConfig(
+                "serve engine needs at least one worker thread".to_string(),
+            ));
+        }
+        if self.chunk_rows == 0 {
+            return Err(SoftmaxError::InvalidConfig(
+                "serve chunk must hold at least one row".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_pe_geometry_is_the_default() {
+        let cfg = ServeConfig::new(2);
+        assert_eq!(cfg.chunk_rows, 32);
+        assert_eq!(cfg.vector_width, 32);
+        let cfg16 = ServeConfig::from_pe(&PeConfig::paper_16(), 2);
+        assert_eq!(cfg16.chunk_rows, 16);
+        assert_eq!(cfg16.vector_width, 16);
+    }
+
+    #[test]
+    fn zero_geometry_is_rejected() {
+        assert!(ServeConfig::new(0).validate().is_err());
+        assert!(ServeConfig::new(1).with_chunk_rows(0).validate().is_err());
+        assert!(ServeConfig::new(1).with_chunk_rows(1).validate().is_ok());
+    }
+}

@@ -1,0 +1,450 @@
+//! The batched execution engine: a fixed worker pool fanning row chunks
+//! out through per-worker work-stealing deques.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use softermax::kernel::{check_batch_geometry, BatchScratch, SoftmaxKernel};
+use softermax::{Result, SoftmaxError};
+
+use crate::config::ServeConfig;
+use crate::stats::{EngineStats, KernelServeStats};
+
+/// A contiguous range of matrix rows: the unit of scheduling.
+type Chunk = Range<usize>;
+
+/// A fixed pool of worker threads serving whole score matrices through
+/// any [`SoftmaxKernel`].
+///
+/// One engine is built once and serves many matrices (and many kernels):
+/// workers are long-lived, each owns a persistent [`BatchScratch`] that
+/// reaches steady-state capacity after the first batches, and every
+/// dispatch fans the matrix out as [`ServeConfig::chunk_rows`]-row chunks
+/// over per-worker deques — a worker drains its own deque from the front
+/// and, when empty, *steals* from the back of a sibling's, so an uneven
+/// chunk distribution (or an unlucky descheduling) cannot strand work.
+///
+/// Output is **bit-identical** to sequential row-at-a-time execution at
+/// any thread count: rows never interact, each output row is written by
+/// exactly one worker, and the kernels' batch paths are bit-exact with
+/// their row paths by contract.
+pub struct BatchEngine {
+    config: ServeConfig,
+    senders: Vec<Sender<Arc<Job>>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Mutex<BTreeMap<String, KernelServeStats>>,
+}
+
+impl BatchEngine {
+    /// Spawns the worker pool described by `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SoftmaxError::InvalidConfig`] when the configuration
+    /// fails [`ServeConfig::validate`].
+    pub fn new(config: ServeConfig) -> Result<Self> {
+        config.validate()?;
+        let mut senders = Vec::with_capacity(config.threads);
+        let mut workers = Vec::with_capacity(config.threads);
+        for index in 0..config.threads {
+            let (tx, rx): (Sender<Arc<Job>>, Receiver<Arc<Job>>) = channel();
+            senders.push(tx);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("softermax-serve-{index}"))
+                    .spawn(move || worker_loop(index, &rx))
+                    .expect("spawn serve worker"),
+            );
+        }
+        Ok(Self {
+            config,
+            senders,
+            workers,
+            stats: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// A pool of `threads` workers with the default (paper-PE) chunk
+    /// geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SoftmaxError::InvalidConfig`] when `threads == 0`.
+    pub fn with_threads(threads: usize) -> Result<Self> {
+        Self::new(ServeConfig::new(threads))
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Row-wise softmax of a flattened row-major matrix, into a fresh
+    /// buffer.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`BatchEngine::forward_matrix_into`].
+    pub fn forward_matrix(
+        &self,
+        kernel: &Arc<dyn SoftmaxKernel>,
+        rows: &[f64],
+        row_len: usize,
+    ) -> Result<Vec<f64>> {
+        let mut out = vec![0.0; rows.len()];
+        self.forward_matrix_into(kernel, rows, row_len, &mut out)?;
+        Ok(out)
+    }
+
+    /// Row-wise softmax of a flattened row-major matrix into a
+    /// caller-provided buffer, fanned out across the worker pool.
+    ///
+    /// Blocks until every chunk is done (or the batch is cancelled by the
+    /// first failing row). An empty matrix is a valid no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`SoftmaxError::EmptyInput`] when `row_len == 0` and the matrix is
+    /// non-empty, plus the first per-row kernel error observed (remaining
+    /// chunks are cancelled, so `out` is unspecified after an error).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != rows.len()` or `rows.len()` is not a
+    /// multiple of `row_len`.
+    pub fn forward_matrix_into(
+        &self,
+        kernel: &Arc<dyn SoftmaxKernel>,
+        rows: &[f64],
+        row_len: usize,
+        out: &mut [f64],
+    ) -> Result<()> {
+        let n_rows = check_batch_geometry(rows.len(), row_len, out.len())?;
+        let wall = Instant::now();
+        if n_rows == 0 {
+            self.record(kernel.name(), 0, 0, 0, elapsed_ns(wall));
+            return Ok(());
+        }
+
+        let job = Arc::new(Job {
+            kernel: Arc::clone(kernel),
+            rows: rows.as_ptr(),
+            out: out.as_mut_ptr(),
+            row_len,
+            queues: self.partition(n_rows),
+            pending: Mutex::new(self.senders.len()),
+            done: Condvar::new(),
+            error: Mutex::new(None),
+            cancelled: AtomicBool::new(false),
+            busy_ns: AtomicU64::new(0),
+            rows_done: AtomicU64::new(0),
+        });
+        for sender in &self.senders {
+            sender.send(Arc::clone(&job)).expect("serve worker alive");
+        }
+
+        // The input/output borrows must outlive every worker access: block
+        // until the last worker has checked out of this job.
+        let mut pending = job.pending.lock().expect("job lock");
+        while *pending > 0 {
+            pending = job.done.wait(pending).expect("job lock");
+        }
+        drop(pending);
+
+        // Only rows whose chunks actually completed are credited — a
+        // cancelled batch must not inflate the throughput counters.
+        let rows_done = job.rows_done.load(Ordering::Relaxed);
+        self.record(
+            kernel.name(),
+            rows_done,
+            rows_done * row_len as u64,
+            job.busy_ns.load(Ordering::Relaxed),
+            elapsed_ns(wall),
+        );
+        let error = job.error.lock().expect("error lock").take();
+        match error {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Splits `n_rows` into chunk deques, one per worker: contiguous spans
+    /// round-robined so every worker starts with local work and thieves
+    /// take from the far end of a victim's span.
+    fn partition(&self, n_rows: usize) -> Vec<Mutex<VecDeque<Chunk>>> {
+        let workers = self.senders.len();
+        let mut queues: Vec<VecDeque<Chunk>> = (0..workers).map(|_| VecDeque::new()).collect();
+        let chunk_rows = self.config.chunk_rows;
+        let mut start = 0;
+        let mut worker = 0;
+        while start < n_rows {
+            let end = (start + chunk_rows).min(n_rows);
+            queues[worker].push_back(start..end);
+            worker = (worker + 1) % workers;
+            start = end;
+        }
+        queues.into_iter().map(Mutex::new).collect()
+    }
+
+    /// A snapshot of the per-kernel serving counters.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        EngineStats::from_map(self.stats.lock().expect("stats lock").clone())
+    }
+
+    /// Clears the per-kernel serving counters.
+    pub fn reset_stats(&self) {
+        self.stats.lock().expect("stats lock").clear();
+    }
+
+    fn record(&self, kernel: &str, rows: u64, elements: u64, busy_ns: u64, wall_ns: u64) {
+        let mut stats = self.stats.lock().expect("stats lock");
+        let entry = stats.entry(kernel.to_string()).or_default();
+        entry.batches += 1;
+        entry.rows += rows;
+        entry.elements += elements;
+        entry.busy_ns += busy_ns;
+        entry.wall_ns += wall_ns;
+    }
+}
+
+impl Drop for BatchEngine {
+    fn drop(&mut self) {
+        // Hanging up the channels ends each worker's recv loop.
+        self.senders.clear();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for BatchEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchEngine")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// One dispatched matrix: the kernel, the raw input/output views, the
+/// stealable chunk deques and the completion/error protocol.
+///
+/// The raw pointers make `Job` `Send`/`Sync` by hand; the safety argument
+/// is structural:
+///
+/// * chunks are disjoint row ranges, so no two workers ever touch the
+///   same output element, and the input is only read;
+/// * [`BatchEngine::forward_matrix_into`] keeps the underlying borrows
+///   alive and blocked until `pending` reaches zero, which each worker
+///   signals only *after* its last access — so no access outlives the
+///   borrow.
+struct Job {
+    kernel: Arc<dyn SoftmaxKernel>,
+    rows: *const f64,
+    out: *mut f64,
+    row_len: usize,
+    /// One stealable deque per worker: owners pop the front, thieves the
+    /// back.
+    queues: Vec<Mutex<VecDeque<Chunk>>>,
+    /// Workers that have not yet checked out of this job.
+    pending: Mutex<usize>,
+    done: Condvar,
+    /// First per-row error observed (sticky).
+    error: Mutex<Option<SoftmaxError>>,
+    /// Raised on error so remaining chunks are abandoned.
+    cancelled: AtomicBool,
+    /// Summed per-worker busy time on this job, nanoseconds.
+    busy_ns: AtomicU64,
+    /// Rows whose chunks completed successfully (the number the stats
+    /// credit — abandoned chunks of a cancelled batch never count).
+    rows_done: AtomicU64,
+}
+
+// SAFETY: see the struct documentation — disjoint chunk writes, read-only
+// input, and the dispatcher blocks past the last worker access.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Takes the next chunk: own deque first (front), then a steal sweep
+    /// over the siblings (back).
+    fn next_chunk(&self, worker: usize) -> Option<Chunk> {
+        if let Some(chunk) = self.queues[worker].lock().expect("queue lock").pop_front() {
+            return Some(chunk);
+        }
+        let n = self.queues.len();
+        for offset in 1..n {
+            let victim = (worker + offset) % n;
+            if let Some(chunk) = self.queues[victim].lock().expect("queue lock").pop_back() {
+                return Some(chunk);
+            }
+        }
+        None
+    }
+
+    /// Runs one chunk through the kernel's batch path.
+    fn run_chunk(&self, chunk: &Chunk, scratch: &mut BatchScratch) {
+        let elems = chunk.len() * self.row_len;
+        let offset = chunk.start * self.row_len;
+        // SAFETY: `chunk` is a row range validated against the matrix
+        // geometry, disjoint from every other chunk; the dispatcher keeps
+        // both borrows alive until this worker checks out.
+        let rows = unsafe { std::slice::from_raw_parts(self.rows.add(offset), elems) };
+        let out = unsafe { std::slice::from_raw_parts_mut(self.out.add(offset), elems) };
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            self.kernel
+                .forward_batch_into(rows, self.row_len, out, scratch)
+        }));
+        match outcome {
+            Ok(Ok(())) => {
+                self.rows_done
+                    .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+            }
+            Ok(Err(e)) => self.fail(e),
+            Err(_) => self.fail(SoftmaxError::InvalidConfig(format!(
+                "kernel '{}' panicked while serving rows {}..{}",
+                self.kernel.name(),
+                chunk.start,
+                chunk.end
+            ))),
+        }
+    }
+
+    fn fail(&self, e: SoftmaxError) {
+        self.cancelled.store(true, Ordering::Relaxed);
+        let mut slot = self.error.lock().expect("error lock");
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    }
+
+    /// Marks one worker done; the last one wakes the dispatcher.
+    fn check_out(&self) {
+        let mut pending = self.pending.lock().expect("job lock");
+        *pending -= 1;
+        if *pending == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// The worker body: serve jobs until the engine hangs up, keeping one
+/// scratch space alive across every chunk of every job.
+fn worker_loop(index: usize, jobs: &Receiver<Arc<Job>>) {
+    let mut scratch = BatchScratch::default();
+    while let Ok(job) = jobs.recv() {
+        let t0 = Instant::now();
+        while let Some(chunk) = job.next_chunk(index) {
+            if job.cancelled.load(Ordering::Relaxed) {
+                break;
+            }
+            job.run_chunk(&chunk, &mut scratch);
+        }
+        job.busy_ns.fetch_add(elapsed_ns(t0), Ordering::Relaxed);
+        job.check_out();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softermax::KernelRegistry;
+
+    fn engine(threads: usize) -> BatchEngine {
+        BatchEngine::with_threads(threads).expect("valid config")
+    }
+
+    #[test]
+    fn zero_threads_is_rejected() {
+        assert!(BatchEngine::with_threads(0).is_err());
+    }
+
+    #[test]
+    fn serves_a_matrix_identically_to_sequential() {
+        let registry = KernelRegistry::global();
+        let kernel = registry.get("softermax").expect("built-in");
+        let rows: Vec<f64> = (0..37 * 5).map(|i| f64::from(i % 13) / 2.0 - 3.0).collect();
+        let engine = engine(3);
+        let got = engine.forward_matrix(&kernel, &rows, 5).expect("serve");
+        for (row, got_row) in rows.chunks_exact(5).zip(got.chunks_exact(5)) {
+            assert_eq!(got_row.to_vec(), kernel.forward(row).expect("row"));
+        }
+    }
+
+    #[test]
+    fn empty_matrix_is_a_noop_and_still_accounted() {
+        let kernel = KernelRegistry::global()
+            .get("reference-e")
+            .expect("built-in");
+        let engine = engine(2);
+        engine
+            .forward_matrix_into(&kernel, &[], 0, &mut [])
+            .expect("empty matrix is fine");
+        let stats = engine.stats();
+        assert_eq!(stats.kernel("reference-e").expect("recorded").batches, 1);
+        assert_eq!(stats.kernel("reference-e").expect("recorded").rows, 0);
+    }
+
+    #[test]
+    fn zero_length_rows_error() {
+        let kernel = KernelRegistry::global()
+            .get("reference-e")
+            .expect("built-in");
+        let engine = engine(2);
+        let rows = [1.0, 2.0];
+        let mut out = [0.0, 0.0];
+        assert!(engine
+            .forward_matrix_into(&kernel, &rows, 0, &mut out)
+            .is_err());
+    }
+
+    #[test]
+    fn stats_accumulate_per_kernel_and_reset() {
+        let registry = KernelRegistry::global();
+        let engine = engine(2);
+        let rows: Vec<f64> = (0..64 * 8).map(|i| f64::from(i % 7) - 3.0).collect();
+        for name in ["softermax", "reference-2", "softermax"] {
+            let kernel = registry.get(name).expect("built-in");
+            engine.forward_matrix(&kernel, &rows, 8).expect("serve");
+        }
+        let stats = engine.stats();
+        let sm = stats.kernel("softermax").expect("served");
+        assert_eq!(sm.batches, 2);
+        assert_eq!(sm.rows, 128);
+        assert_eq!(sm.elements, 1024);
+        assert!(sm.wall_ns > 0);
+        assert_eq!(stats.kernel("reference-2").expect("served").rows, 64);
+        assert_eq!(stats.total().rows, 192);
+        engine.reset_stats();
+        assert!(engine.stats().is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_chunks_is_fine() {
+        let kernel = KernelRegistry::global().get("online-2").expect("built-in");
+        let engine = engine(8);
+        // One row: seven workers find their deques empty and nothing to
+        // steal, and must still check out cleanly.
+        let got = engine
+            .forward_matrix(&kernel, &[1.0, 2.0, 3.0], 3)
+            .expect("serve");
+        assert_eq!(got, kernel.forward(&[1.0, 2.0, 3.0]).expect("row"));
+    }
+
+    #[test]
+    fn engine_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BatchEngine>();
+    }
+}

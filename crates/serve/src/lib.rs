@@ -1,0 +1,65 @@
+//! The batched, multi-threaded serving layer over the softmax backend
+//! registry (`softermax-serve`).
+//!
+//! The paper's accelerator never computes softmax a row at a time: whole
+//! attention score matrices stream through parallel Softermax units, one
+//! slice per cycle per unit. This crate is the software mirror of that
+//! execution model, promoting the per-row
+//! [`SoftmaxKernel`](softermax::SoftmaxKernel) calls to matrix-at-a-time
+//! serving:
+//!
+//! * [`BatchEngine`] — a fixed pool of worker threads (std threads and
+//!   channels only, no external runtime) that fans the rows of a flattened
+//!   score matrix out as *chunks* through per-worker work-stealing deques,
+//!   runs each chunk through the kernel's vectorized
+//!   [`forward_batch_into`](softermax::SoftmaxKernel::forward_batch_into)
+//!   path, and accounts throughput/latency per kernel;
+//! * [`ServeConfig`] — engine geometry. The chunk size is *derived from
+//!   the hardware model*: one chunk is the block of rows a paper PE's lane
+//!   array processes in parallel ([`PeConfig::n_lanes`]), so software
+//!   batching mirrors the accelerator's unit parallelism;
+//! * [`EngineStats`] / [`KernelServeStats`] — per-kernel rows/s, element
+//!   throughput, batch latency and worker utilization accounting;
+//! * [`traffic`] — deterministic synthetic attention-score traffic for
+//!   load generation (the CLI `serve` subcommand and the `throughput
+//!   --batch` harness both drive the engine with it).
+//!
+//! # Determinism
+//!
+//! Scheduling is free-running (workers steal chunks), but results are not:
+//! every kernel's batch path is **bit-identical** with its sequential
+//! row-at-a-time path, each output row is written by exactly one worker,
+//! and no reduction crosses rows — so engine output is bit-identical to
+//! sequential execution at every thread count. The property tests in
+//! `tests/determinism.rs` hold all registered kernels to that contract at
+//! 1, 2, 4 and 8 threads.
+//!
+//! # Example
+//!
+//! ```
+//! use softermax::KernelRegistry;
+//! use softermax_serve::{BatchEngine, ServeConfig};
+//!
+//! let engine = BatchEngine::new(ServeConfig::new(2))?;
+//! let kernel = KernelRegistry::global().get("softermax").expect("built-in");
+//! // Two rows of three scores, flattened row-major.
+//! let rows = [2.0, 1.0, 3.0, 0.0, 0.5, -0.5];
+//! let probs = engine.forward_matrix(&kernel, &rows, 3)?;
+//! assert_eq!(probs.len(), 6);
+//! let first_row_mass: f64 = probs[..3].iter().sum();
+//! assert!((first_row_mass - 1.0).abs() < 0.05);
+//! let stats = engine.stats();
+//! assert_eq!(stats.kernel("softermax").expect("served").rows, 2);
+//! # Ok::<(), softermax::SoftmaxError>(())
+//! ```
+//!
+//! [`PeConfig::n_lanes`]: softermax_hw::pe::PeConfig
+
+mod config;
+mod engine;
+mod stats;
+pub mod traffic;
+
+pub use config::ServeConfig;
+pub use engine::BatchEngine;
+pub use stats::{EngineStats, KernelServeStats};

@@ -1,0 +1,180 @@
+//! Per-kernel serving accounting: throughput, latency, utilization.
+
+use std::collections::BTreeMap;
+
+/// Accumulated serving counters for one kernel.
+///
+/// `wall_ns` is end-to-end engine time (dispatch to last worker done);
+/// `busy_ns` is the *sum* of per-worker compute time, so with `t` threads
+/// perfectly busy, `busy_ns ≈ t × wall_ns`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelServeStats {
+    /// Matrices served.
+    pub batches: u64,
+    /// Softmax rows computed.
+    pub rows: u64,
+    /// Score elements consumed.
+    pub elements: u64,
+    /// Summed worker busy time, nanoseconds.
+    pub busy_ns: u64,
+    /// Summed end-to-end batch time, nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl KernelServeStats {
+    /// Served rows per second of wall time.
+    #[must_use]
+    pub fn rows_per_sec(&self) -> f64 {
+        per_sec(self.rows, self.wall_ns)
+    }
+
+    /// Score elements per second of wall time.
+    #[must_use]
+    pub fn elements_per_sec(&self) -> f64 {
+        per_sec(self.elements, self.wall_ns)
+    }
+
+    /// Mean end-to-end latency of one served matrix, nanoseconds.
+    #[must_use]
+    pub fn mean_batch_latency_ns(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.wall_ns as f64 / self.batches as f64
+        }
+    }
+
+    /// Fraction of `threads × wall` the workers spent computing — 1.0 is
+    /// a perfectly parallel, scheduling-overhead-free engine.
+    #[must_use]
+    pub fn utilization(&self, threads: usize) -> f64 {
+        let capacity = self.wall_ns.saturating_mul(threads as u64);
+        if capacity == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / capacity as f64
+        }
+    }
+
+    /// Folds another counter set into this one.
+    pub fn absorb(&mut self, other: &KernelServeStats) {
+        self.batches += other.batches;
+        self.rows += other.rows;
+        self.elements += other.elements;
+        self.busy_ns += other.busy_ns;
+        self.wall_ns += other.wall_ns;
+    }
+}
+
+fn per_sec(count: u64, ns: u64) -> f64 {
+    if ns == 0 {
+        0.0
+    } else {
+        count as f64 / ns as f64 * 1e9
+    }
+}
+
+/// A snapshot of every kernel's serving counters, ordered by kernel name.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    per_kernel: BTreeMap<String, KernelServeStats>,
+}
+
+impl EngineStats {
+    pub(crate) fn from_map(per_kernel: BTreeMap<String, KernelServeStats>) -> Self {
+        Self { per_kernel }
+    }
+
+    /// Counters for one kernel, if it has been served.
+    #[must_use]
+    pub fn kernel(&self, name: &str) -> Option<&KernelServeStats> {
+        self.per_kernel.get(name)
+    }
+
+    /// All `(kernel name, counters)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &KernelServeStats)> {
+        self.per_kernel.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of kernels with recorded traffic.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.per_kernel.len()
+    }
+
+    /// Whether any traffic has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.per_kernel.is_empty()
+    }
+
+    /// Counters summed across every kernel.
+    #[must_use]
+    pub fn total(&self) -> KernelServeStats {
+        let mut total = KernelServeStats::default();
+        for stats in self.per_kernel.values() {
+            total.absorb(stats);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_and_latency() {
+        let s = KernelServeStats {
+            batches: 2,
+            rows: 1000,
+            elements: 64_000,
+            busy_ns: 1_500_000,
+            wall_ns: 1_000_000,
+        };
+        assert!((s.rows_per_sec() - 1e6).abs() < 1e-3);
+        assert!((s.elements_per_sec() - 6.4e7).abs() < 1.0);
+        assert!((s.mean_batch_latency_ns() - 500_000.0).abs() < 1e-9);
+        assert!((s.utilization(2) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counters_do_not_divide_by_zero() {
+        let s = KernelServeStats::default();
+        assert_eq!(s.rows_per_sec(), 0.0);
+        assert_eq!(s.mean_batch_latency_ns(), 0.0);
+        assert_eq!(s.utilization(4), 0.0);
+    }
+
+    #[test]
+    fn totals_absorb_every_kernel() {
+        let mut map = BTreeMap::new();
+        map.insert(
+            "a".to_string(),
+            KernelServeStats {
+                batches: 1,
+                rows: 10,
+                elements: 100,
+                busy_ns: 5,
+                wall_ns: 7,
+            },
+        );
+        map.insert(
+            "b".to_string(),
+            KernelServeStats {
+                batches: 2,
+                rows: 20,
+                elements: 200,
+                busy_ns: 6,
+                wall_ns: 8,
+            },
+        );
+        let stats = EngineStats::from_map(map);
+        assert_eq!(stats.len(), 2);
+        let total = stats.total();
+        assert_eq!(total.batches, 3);
+        assert_eq!(total.rows, 30);
+        assert_eq!(total.elements, 300);
+        assert_eq!(total.wall_ns, 15);
+    }
+}

@@ -1,0 +1,54 @@
+//! Deterministic synthetic attention-score traffic for load generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a flattened row-major matrix of calibrated attention scores:
+/// Box–Muller Gaussians with the requested spread, clamped into the
+/// Q(6,2) representable range the fixed-point kernels are calibrated for
+/// (the same distribution the bench harness rows use).
+///
+/// Deterministic in `seed`, so serving runs are reproducible and the
+/// bit-identity guards of the CLI/bench harnesses are meaningful.
+///
+/// # Example
+///
+/// ```
+/// let m = softermax_serve::traffic::synthetic_matrix(16, 64, 2.5, 42);
+/// assert_eq!(m.len(), 16 * 64);
+/// assert!(m.iter().all(|v| (-32.0..=31.75).contains(v)));
+/// assert_eq!(m, softermax_serve::traffic::synthetic_matrix(16, 64, 2.5, 42));
+/// ```
+#[must_use]
+pub fn synthetic_matrix(rows: usize, row_len: usize, std_dev: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..rows * row_len)
+        .map(|_| {
+            let u1: f64 = rng.gen_range(1e-9..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (z * std_dev).clamp(-32.0, 31.75)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_bounded() {
+        let a = synthetic_matrix(8, 32, 3.0, 7);
+        let b = synthetic_matrix(8, 32, 3.0, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 256);
+        assert!(a.iter().all(|v| (-32.0..=31.75).contains(v)));
+        assert_ne!(a, synthetic_matrix(8, 32, 3.0, 8));
+    }
+
+    #[test]
+    fn empty_shapes_are_empty() {
+        assert!(synthetic_matrix(0, 64, 2.5, 1).is_empty());
+        assert!(synthetic_matrix(64, 0, 2.5, 1).is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! Error propagation through the serving layer: a failing row anywhere in
+//! a batch fails the whole dispatch, at every thread count, without
+//! wedging the engine.
+
+use std::sync::Arc;
+
+use softermax::kernel::{
+    BaseKind, KernelDescriptor, NormalizationKind, RowAccumulator, SoftmaxKernel,
+};
+use softermax::{reference, Result, SoftmaxError};
+use softermax_serve::{BatchEngine, ServeConfig};
+
+/// A kernel that rejects rows containing NaN with an error (the built-in
+/// kernels saturate or propagate NaN instead of erroring, so engine error
+/// paths need a purpose-built backend).
+#[derive(Debug)]
+struct NanRejectingKernel {
+    descriptor: KernelDescriptor,
+}
+
+impl NanRejectingKernel {
+    fn new() -> Self {
+        Self {
+            descriptor: KernelDescriptor {
+                name: "nan-rejecting".to_string(),
+                aliases: vec![],
+                base: BaseKind::E,
+                normalization: NormalizationKind::ThreePass,
+                bitwidth: None,
+                input_passes: 2,
+                mass_tol_abs: 1e-9,
+                mass_tol_per_element: 0.0,
+            },
+        }
+    }
+}
+
+struct Buffered<'k> {
+    kernel: &'k NanRejectingKernel,
+    buf: Vec<f64>,
+}
+
+impl RowAccumulator for Buffered<'_> {
+    fn push(&mut self, x: f64) {
+        self.buf.push(x);
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn finish(self: Box<Self>) -> Result<Vec<f64>> {
+        self.kernel.forward(&self.buf)
+    }
+}
+
+impl SoftmaxKernel for NanRejectingKernel {
+    fn descriptor(&self) -> &KernelDescriptor {
+        &self.descriptor
+    }
+
+    fn forward(&self, row: &[f64]) -> Result<Vec<f64>> {
+        if row.iter().any(|v| v.is_nan()) {
+            return Err(SoftmaxError::InvalidConfig("NaN score".to_string()));
+        }
+        reference::softmax(row)
+    }
+
+    fn begin_row(&self) -> Box<dyn RowAccumulator + '_> {
+        Box::new(Buffered {
+            kernel: self,
+            buf: Vec::new(),
+        })
+    }
+}
+
+#[test]
+fn a_failing_row_fails_the_batch_and_the_engine_survives() {
+    let kernel: Arc<dyn SoftmaxKernel> = Arc::new(NanRejectingKernel::new());
+    for threads in [1, 2, 4] {
+        let engine =
+            BatchEngine::new(ServeConfig::new(threads).with_chunk_rows(2)).expect("valid config");
+        // 16 rows of 4; a NaN in row 11 (an arbitrary mid-batch chunk).
+        let mut matrix = vec![0.5f64; 16 * 4];
+        matrix[11 * 4 + 2] = f64::NAN;
+        let err = engine
+            .forward_matrix(&kernel, &matrix, 4)
+            .expect_err("NaN row must fail the batch");
+        assert!(matches!(err, SoftmaxError::InvalidConfig(_)), "{err:?}");
+
+        // The engine is not wedged: a clean batch on the same pool works,
+        // and the failed batch was still accounted.
+        let clean = vec![0.25f64; 8 * 4];
+        let probs = engine
+            .forward_matrix(&kernel, &clean, 4)
+            .expect("clean batch");
+        assert_eq!(probs.len(), clean.len());
+        let stats = engine.stats();
+        let s = stats.kernel("nan-rejecting").expect("recorded");
+        assert_eq!(s.batches, 2);
+        // The poisoned chunk (and any abandoned ones) must not be
+        // credited: at most 15 of the failed batch's 16 rows plus the 8
+        // clean rows, and never fewer than the clean batch alone.
+        assert!(
+            (8..=8 + 15).contains(&s.rows),
+            "served-row accounting off: {} rows",
+            s.rows
+        );
+        assert_eq!(s.elements, s.rows * 4);
+    }
+}
+
+#[test]
+fn empty_rows_error_at_the_dispatch_boundary() {
+    let kernel: Arc<dyn SoftmaxKernel> = Arc::new(NanRejectingKernel::new());
+    let engine = BatchEngine::with_threads(2).expect("valid config");
+    assert!(matches!(
+        engine.forward_matrix(&kernel, &[1.0, 2.0, 3.0], 0),
+        Err(SoftmaxError::EmptyInput)
+    ));
+}

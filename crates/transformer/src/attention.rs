@@ -11,10 +11,10 @@
 //! fixed-point quantization, exactly as in the paper's fine-tuning setup.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use rand::Rng;
-use softermax::kernel::{ScratchBuffers, SoftmaxKernel};
+use softermax::kernel::{BatchScratch, SoftmaxKernel};
 use softermax::{KernelRegistry, SoftermaxConfig};
 
 use crate::nn::Linear;
@@ -70,9 +70,30 @@ pub trait AttentionSoftmax: fmt::Debug + Send + Sync {
 /// # use softermax_transformer::attention::AttentionSoftmax;
 /// # let _ = backend.name();
 /// ```
-#[derive(Clone)]
 pub struct KernelSoftmax {
     kernel: Arc<dyn SoftmaxKernel>,
+    /// Persistent working memory for the batch dispatch: flattened
+    /// score/probability staging plus the kernel's [`BatchScratch`], all
+    /// at steady-state capacity after the first matrix. Behind a `Mutex`
+    /// because the [`AttentionSoftmax`] surface is `&self` and shared
+    /// across layers; contention is nil (one forward at a time per
+    /// backend instance).
+    scratch: Mutex<AttnScratch>,
+}
+
+/// Reused buffers of one [`KernelSoftmax`] instance.
+#[derive(Default)]
+struct AttnScratch {
+    batch: BatchScratch,
+    rows: Vec<f64>,
+    probs: Vec<f64>,
+}
+
+impl Clone for KernelSoftmax {
+    fn clone(&self) -> Self {
+        // Scratch is working memory, not state: clones start empty.
+        Self::from_kernel(Arc::clone(&self.kernel))
+    }
 }
 
 impl fmt::Debug for KernelSoftmax {
@@ -87,7 +108,10 @@ impl KernelSoftmax {
     /// Wraps an explicit kernel instance.
     #[must_use]
     pub fn from_kernel(kernel: Arc<dyn SoftmaxKernel>) -> Self {
-        Self { kernel }
+        Self {
+            kernel,
+            scratch: Mutex::new(AttnScratch::default()),
+        }
     }
 
     /// Looks a backend up in the shared built-in [`KernelRegistry`] by
@@ -138,7 +162,14 @@ impl AttentionSoftmax for KernelSoftmax {
     }
 
     fn forward(&self, scores: &Matrix) -> Matrix {
-        rowwise(scores, self.kernel.as_ref())
+        // Poisoning is irrelevant here: the scratch is pure working memory
+        // that every use resizes/overwrites, so recover the guard rather
+        // than masking a caller's panic with a lock error.
+        let mut scratch = self
+            .scratch
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        batched(scores, self.kernel.as_ref(), &mut scratch)
     }
 
     fn grad_scale(&self) -> f32 {
@@ -146,25 +177,35 @@ impl AttentionSoftmax for KernelSoftmax {
     }
 }
 
-/// Row-wise kernel dispatch over a score matrix through the
-/// allocation-free [`SoftmaxKernel::forward_into`] path: one scratch space
-/// and one row/probability buffer pair are reused across every row of the
-/// matrix, so an `n × n` attention matrix performs no per-row allocations.
-fn rowwise(scores: &Matrix, kernel: &dyn SoftmaxKernel) -> Matrix {
+/// Whole-matrix kernel dispatch through the batched
+/// [`SoftmaxKernel::forward_batch_into`] path: the score matrix is
+/// flattened once and handed to the kernel as a single batch, so backends
+/// with a vectorized batch pipeline hoist their per-row setup matrix-wide
+/// (and the per-row trait dispatch of the old row loop disappears). All
+/// staging buffers live in the backend's persistent scratch, so repeated
+/// forwards (one per layer per training step) allocate nothing at steady
+/// state; outputs are bit-identical to row-at-a-time dispatch by the
+/// batch contract.
+fn batched(scores: &Matrix, kernel: &dyn SoftmaxKernel, scratch: &mut AttnScratch) -> Matrix {
+    let row_len = scores.cols();
+    scratch.rows.clear();
+    scratch
+        .rows
+        .extend(scores.as_slice().iter().map(|&v| f64::from(v)));
+    // resize alone: only growth beyond the largest matrix seen zero-fills;
+    // the kernel overwrites every element anyway.
+    scratch.probs.resize(scratch.rows.len(), 0.0);
+    kernel
+        .forward_batch_into(
+            &scratch.rows,
+            row_len,
+            &mut scratch.probs,
+            &mut scratch.batch,
+        )
+        .expect("non-empty attention rows");
     let mut out = Matrix::zeros(scores.rows(), scores.cols());
-    let mut scratch = ScratchBuffers::default();
-    let mut row = vec![0.0f64; scores.cols()];
-    let mut probs = vec![0.0f64; scores.cols()];
-    for r in 0..scores.rows() {
-        for (dst, &v) in row.iter_mut().zip(scores.row(r)) {
-            *dst = f64::from(v);
-        }
-        kernel
-            .forward_into(&row, &mut probs, &mut scratch)
-            .expect("non-empty attention row");
-        for (c, &p) in probs.iter().enumerate() {
-            out.set(r, c, p as f32);
-        }
+    for (dst, &p) in out.as_mut_slice().iter_mut().zip(&scratch.probs) {
+        *dst = p as f32;
     }
     out
 }
@@ -343,6 +384,26 @@ mod tests {
         for r in 0..2 {
             let sum: f32 = p.row(r).iter().sum();
             assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matrix_dispatch_is_bit_identical_with_per_row_dispatch() {
+        let scores = Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0, -0.5],
+            &[-1.0, 0.0, 1.0, 4.25],
+            &[0.5, 0.5, 0.5, 0.5],
+        ]);
+        for name in ["reference-e", "online-intmax", "fp16", "lut8", "softermax"] {
+            let s = KernelSoftmax::by_name(name).expect("built-in");
+            let p = s.forward(&scores);
+            for r in 0..scores.rows() {
+                let row: Vec<f64> = scores.row(r).iter().map(|&v| f64::from(v)).collect();
+                let want = s.kernel().forward(&row).expect("non-empty row");
+                for (c, &w) in want.iter().enumerate() {
+                    assert_eq!(p.get(r, c), w as f32, "{name} row {r} col {c}");
+                }
+            }
         }
     }
 
