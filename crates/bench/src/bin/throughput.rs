@@ -1,6 +1,7 @@
-//! Softmax throughput harness: per-row vs vectorized vs batched/threaded.
+//! Softmax throughput harness: per-row vs vectorized vs batched/threaded
+//! vs tiled-streamed attention.
 //!
-//! Two modes, both sweeping every registered kernel at row lengths
+//! Three modes, all sweeping every registered kernel at row lengths
 //! {64, 256, 1024, 4096}:
 //!
 //! * **row mode** (default) — scalar `SoftmaxKernel::forward` vs the
@@ -16,18 +17,26 @@
 //!   `forward_batch_into` call), and **threaded** (the
 //!   `softermax-serve` [`BatchEngine`] fanning chunks over a worker
 //!   pool); written to `BENCH_PR3.json`.
+//! * **stream mode** (`--stream`) — whole attention heads through two
+//!   paths: **materialized** (the full O(n²) score matrix staged through
+//!   `matmul_nt` → batched softmax → `P·V`) and **tiled-streamed**
+//!   (QK^T column tiles fed straight into one reused per-head
+//!   `StreamSession`, so no score/probability matrix ever exists and
+//!   per-head scratch is O(n + tile)); attention rows/s per kernel,
+//!   written to `BENCH_PR4.json`.
 //!
 //! Before anything is timed, each faster path's output is asserted
-//! **bit-identical** to the per-row path, so the CI smoke runs are real
+//! **bit-identical** to the baseline path, so the CI smoke runs are real
 //! correctness gates even though timings are never asserted (they'd be
 //! flaky).
 //!
 //! ```text
-//! usage: throughput [--batch] [--threads N] [--smoke] [--out PATH]
+//! usage: throughput [--batch | --stream] [--threads N] [--smoke] [--out PATH]
 //!   --batch     compare per-row vs batched vs threaded serving paths
+//!   --stream    compare materialized vs tiled-streamed attention heads
 //!   --threads   worker threads for the threaded path (default 4)
 //!   --smoke     short measurement budgets (CI smoke test)
-//!   --out       output JSON path (default BENCH_PR2.json / BENCH_PR3.json)
+//!   --out       output JSON path (BENCH_PR2/PR3/PR4.json by mode)
 //! ```
 
 use std::time::Duration;
@@ -36,6 +45,10 @@ use criterion::{black_box, measure};
 use softermax::kernel::{BatchScratch, ScratchBuffers};
 use softermax_bench::{attention_scores, print_header, print_row, registry};
 use softermax_serve::{BatchEngine, ServeConfig};
+use softermax_transformer::attention::{
+    attention_head_materialized, attention_head_streamed, head_scratch_estimates, KernelSoftmax,
+};
+use softermax_transformer::tensor::Matrix;
 
 /// Row lengths swept by the harness (the paper's sequence-length scale).
 const ROW_LENS: [usize; 4] = [64, 256, 1024, 4096];
@@ -47,8 +60,17 @@ const ROW_LENS: [usize; 4] = [64, 256, 1024, 4096];
 /// single busy worker.
 const BATCH_ELEMS: usize = 64 * 1024;
 
+/// Head dimension of the stream-mode attention benchmark: small enough
+/// that the QK^T cost does not drown the softmax paths being compared at
+/// row length 4096, large enough to be a real head.
+const STREAM_D_HEAD: usize = 16;
+
+/// Column-tile width of the streamed attention path in stream mode.
+const STREAM_TILE: usize = 64;
+
 fn main() {
     let mut batch_mode = false;
+    let mut stream_mode = false;
     let mut threads = 4usize;
     let mut out_path: Option<String> = None;
     let (mut warmup_ms, mut measure_ms) = (30u64, 160u64);
@@ -56,6 +78,7 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--batch" => batch_mode = true,
+            "--stream" => stream_mode = true,
             "--threads" => {
                 threads = args
                     .next()
@@ -78,16 +101,28 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown flag '{other}' (usage: throughput [--batch] [--threads N] [--smoke] [--out PATH])"
+                    "unknown flag '{other}' (usage: throughput [--batch | --stream] [--threads N] [--smoke] [--out PATH])"
                 );
                 std::process::exit(2);
             }
         }
     }
+    if batch_mode && stream_mode {
+        eprintln!("--batch and --stream are mutually exclusive");
+        std::process::exit(2);
+    }
     let warmup = Duration::from_millis(warmup_ms);
     let budget = Duration::from_millis(measure_ms);
 
-    if batch_mode {
+    if stream_mode {
+        stream_harness(
+            warmup,
+            budget,
+            warmup_ms,
+            measure_ms,
+            &out_path.unwrap_or_else(|| "BENCH_PR4.json".to_string()),
+        );
+    } else if batch_mode {
         batch_harness(
             threads,
             warmup,
@@ -331,6 +366,123 @@ fn batch_harness(
         "threads": threads,
         "chunk_rows": engine.config().chunk_rows,
         "vector_width": engine.config().vector_width,
+        "warmup_ms": warmup_ms,
+        "measure_ms": measure_ms,
+        "results": serde_json::Value::Array(entries),
+    });
+    write_report(out_path, &report);
+}
+
+/// The PR-4 comparison: materialized attention heads (full score matrix)
+/// vs tiled-streamed heads (`StreamSession`s fed straight off QK^T
+/// column tiles, no score matrix ever materialized).
+fn stream_harness(
+    warmup: Duration,
+    budget: Duration,
+    warmup_ms: u64,
+    measure_ms: u64,
+    out_path: &str,
+) {
+    println!(
+        "# Attention throughput: materialized score matrix vs tiled-streamed sessions \
+         (d_head {STREAM_D_HEAD}, tile {STREAM_TILE})\n"
+    );
+    print_header(&[
+        "kernel",
+        "seq",
+        "materialized Krows/s",
+        "streamed Krows/s",
+        "streamed/materialized",
+        "scratch elems (mat)",
+        "scratch elems (stream)",
+    ]);
+
+    let registry = registry();
+    let mut entries: Vec<serde_json::Value> = Vec::new();
+    for kernel in &registry {
+        let backend = KernelSoftmax::from_kernel(std::sync::Arc::clone(kernel));
+        for &seq in &ROW_LENS {
+            // Deterministic Q/K/V from the shared traffic sampler; the
+            // three seeds make the matrices independent.
+            let qkv: Vec<Matrix> = (0..3)
+                .map(|m| {
+                    let vals =
+                        softermax_serve::traffic::synthetic_matrix(seq, STREAM_D_HEAD, 1.0, 7 + m);
+                    Matrix::from_vec(seq, STREAM_D_HEAD, vals.iter().map(|&v| v as f32).collect())
+                })
+                .collect();
+            let (q, k, v) = (&qkv[0], &qkv[1], &qkv[2]);
+            let scale = 1.0 / (STREAM_D_HEAD as f32).sqrt();
+
+            // Guard before timing: the streamed head must be bit-identical
+            // to the materialized head for every tile-tail geometry.
+            let want = attention_head_materialized(&backend, q, k, v, scale);
+            let got = attention_head_streamed(kernel.as_ref(), q, k, v, scale, STREAM_TILE);
+            assert_eq!(
+                got,
+                want,
+                "{} streamed attention diverged from materialized at seq {seq}",
+                kernel.name()
+            );
+
+            let materialized = measure(warmup, budget, || {
+                black_box(attention_head_materialized(
+                    &backend,
+                    black_box(q),
+                    black_box(k),
+                    black_box(v),
+                    scale,
+                ))
+            });
+            let streamed = measure(warmup, budget, || {
+                black_box(attention_head_streamed(
+                    kernel.as_ref(),
+                    black_box(q),
+                    black_box(k),
+                    black_box(v),
+                    scale,
+                    STREAM_TILE,
+                ))
+            });
+
+            let rows_per_s = |ns_per_head: f64| seq as f64 / ns_per_head * 1e9;
+            let mat_rows = rows_per_s(materialized.ns_per_iter);
+            let stream_rows = rows_per_s(streamed.ns_per_iter);
+            let ratio = materialized.ns_per_iter / streamed.ns_per_iter;
+            let (mat_scratch, stream_scratch) =
+                head_scratch_estimates(kernel.descriptor(), seq, STREAM_TILE);
+            print_row(&[
+                kernel.name().to_string(),
+                seq.to_string(),
+                format!("{:.1}", mat_rows / 1e3),
+                format!("{:.1}", stream_rows / 1e3),
+                softermax_bench::fmt_ratio(ratio),
+                mat_scratch.to_string(),
+                stream_scratch.to_string(),
+            ]);
+            entries.push(serde_json::json!({
+                "kernel": kernel.name(),
+                "row_len": seq,
+                "d_head": STREAM_D_HEAD,
+                "tile": STREAM_TILE,
+                "materialized_ns_per_head": materialized.ns_per_iter,
+                "streamed_ns_per_head": streamed.ns_per_iter,
+                "materialized_rows_per_s": mat_rows,
+                "streamed_rows_per_s": stream_rows,
+                "streamed_speedup_vs_materialized": ratio,
+                "materialized_scratch_elems": mat_scratch,
+                "streamed_scratch_elems": stream_scratch,
+                "bit_identical": true,
+            }));
+        }
+    }
+
+    let report = serde_json::json!({
+        "benchmark": "attention_stream_throughput",
+        "description": "materialized attention heads (O(n^2) score matrix -> batched softmax -> P*V) vs tiled-streamed heads (QK^T column tiles into reused per-head StreamSessions, O(n + tile) scratch), ns per head",
+        "row_lens": ROW_LENS.to_vec(),
+        "d_head": STREAM_D_HEAD,
+        "tile": STREAM_TILE,
         "warmup_ms": warmup_ms,
         "measure_ms": measure_ms,
         "results": serde_json::Value::Array(entries),

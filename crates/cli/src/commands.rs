@@ -7,12 +7,16 @@
 
 use std::sync::Arc;
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use softermax::kernel::{BaseKind, BatchScratch, KernelRegistry, ScratchBuffers, SoftmaxKernel};
 use softermax::{metrics, SoftermaxConfig};
 use softermax_hw::accel::Accelerator;
 use softermax_hw::pe::PeConfig;
 use softermax_hw::workload::AttentionShape;
 use softermax_serve::{traffic, BatchEngine, ServeConfig};
+use softermax_transformer::attention::{head_scratch_estimates, KernelSoftmax, MultiHeadAttention};
+use softermax_transformer::tensor::Matrix;
 
 /// Usage text printed on errors.
 pub const USAGE: &str = "usage:
@@ -21,7 +25,14 @@ pub const USAGE: &str = "usage:
   softermax kernels                                 list registered backends
   softermax serve [--backend <name>|all] [--rows N] [--len N]
                   [--threads T1,T2,..] [--chunk-rows N] [--repeat N] [--seed N]
-                                                    batched serving benchmark
+                  [--streaming] [--stream-chunk N]   batched serving benchmark
+                                                    (--streaming also runs the
+                                                    chunked StreamSession path)
+  softermax attention [--backend <name>|all] [--seq N] [--heads H] [--dim D]
+                      [--tile N] [--seed N] [--streaming]
+                                                    attention demo; --streaming
+                                                    adds the tiled no-score-
+                                                    matrix path + parity check
   softermax hw [--width 16|32] [--seq N]            hardware comparison report
   softermax config                                  print the paper configuration
 
@@ -44,6 +55,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         Some("serve") => cmd_serve(&args[1..]),
+        Some("attention") => cmd_attention(&args[1..]),
         Some("hw") => cmd_hw(&args[1..]),
         Some("config") => {
             cmd_config();
@@ -135,13 +147,13 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
 fn cmd_kernels() {
     let registry = KernelRegistry::global();
     println!(
-        "{:<16} {:<8} {:<18} {:<8} {:<7} aliases",
-        "name", "base", "normalization", "bits", "passes"
+        "{:<16} {:<8} {:<18} {:<8} {:<7} {:<10} aliases",
+        "name", "base", "normalization", "bits", "passes", "streaming"
     );
     for kernel in registry {
         let d = kernel.descriptor();
         println!(
-            "{:<16} {:<8} {:<18} {:<8} {:<7} {}",
+            "{:<16} {:<8} {:<18} {:<8} {:<7} {:<10} {}",
             d.name,
             match d.base {
                 BaseKind::E => "e",
@@ -151,6 +163,7 @@ fn cmd_kernels() {
             d.bitwidth
                 .map_or_else(|| "f64".to_string(), |b| b.to_string()),
             d.input_passes,
+            format!("{:?}", d.streaming),
             d.aliases.join(", "),
         );
     }
@@ -169,6 +182,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut chunk_rows: Option<usize> = None;
     let mut repeat = 3usize;
     let mut seed = 42u64;
+    let mut streaming = false;
+    let mut stream_chunk: Option<usize> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -184,6 +199,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 chunk_rows = Some(parse_count(&value("--chunk-rows")?, "--chunk-rows")?)
             }
             "--repeat" => repeat = parse_count(&value("--repeat")?, "--repeat")?,
+            "--streaming" => streaming = true,
+            "--stream-chunk" => {
+                stream_chunk = Some(parse_count(&value("--stream-chunk")?, "--stream-chunk")?)
+            }
             "--seed" => {
                 seed = value("--seed")?
                     .parse()
@@ -288,6 +307,50 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 "speedup_vs_sequential": speedup,
                 "bit_identical": true,
             }));
+
+            if streaming {
+                // The chunked StreamSession path on the same pool: rows are
+                // served in `chunk`-score pushes, exactly as a QK^T tiler
+                // would hand them over.
+                let chunk = stream_chunk.unwrap_or_else(|| engine.config().vector_width.max(1));
+                let mut streamed = vec![0.0; matrix.len()];
+                let stream_start = std::time::Instant::now();
+                for _ in 0..repeat {
+                    engine
+                        .forward_matrix_streamed_into(kernel, &matrix, len, chunk, &mut streamed)
+                        .map_err(|e| e.to_string())?;
+                }
+                let stream_rows_per_s =
+                    (rows * repeat) as f64 / stream_start.elapsed().as_secs_f64().max(1e-12);
+                if streamed != sequential {
+                    return Err(format!(
+                        "{} at {t} thread(s): streamed output diverged from sequential execution",
+                        kernel.name()
+                    ));
+                }
+                let desc = kernel.descriptor();
+                let session_elems = desc.stream_scratch_elems(len, chunk);
+                println!(
+                    "{:<16} {:>8} {:>12.0}   streamed({chunk}/push, {:?}): bit-identical; \
+                     per-row session scratch ~{session_elems} elems vs {} matrix elems",
+                    format!("  {}", kernel.name()),
+                    t,
+                    stream_rows_per_s,
+                    desc.streaming,
+                    rows * len,
+                );
+                results.push(serde_json::json!({
+                    "kernel": kernel.name(),
+                    "threads": t,
+                    "path": "streamed",
+                    "stream_chunk": chunk,
+                    "streaming_class": format!("{:?}", desc.streaming),
+                    "rows_per_s": stream_rows_per_s,
+                    "session_scratch_elems": session_elems,
+                    "materialized_matrix_elems": rows * len,
+                    "bit_identical": true,
+                }));
+            }
         }
     }
 
@@ -304,6 +367,133 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             // hw-PE-derived shape unless --chunk-rows overrode it.
             "chunk_rows": engines[0].config().chunk_rows,
             "vector_width": engines[0].config().vector_width,
+            "results": serde_json::Value::Array(results),
+        })
+    );
+    Ok(())
+}
+
+/// The `attention` subcommand: multi-head attention demo over a seeded
+/// random sequence. The materialized path (full score matrix → batched
+/// softmax → P·V) always runs; `--streaming` additionally runs the tiled
+/// path — QK^T column tiles streamed straight into per-head
+/// `StreamSession`s, no score matrix ever materialized — and reports
+/// bit-parity plus the peak-scratch comparison per kernel.
+fn cmd_attention(args: &[String]) -> Result<(), String> {
+    let mut backend = "softermax".to_string();
+    let mut seq = 64usize;
+    let mut heads = 2usize;
+    let mut dim = 32usize;
+    let mut tile = softermax_transformer::attention::DEFAULT_TILE;
+    let mut seed = 42u64;
+    let mut streaming = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))
+                .cloned()
+        };
+        match flag.as_str() {
+            "--backend" => backend = value("--backend")?,
+            "--seq" => seq = parse_count(&value("--seq")?, "--seq")?,
+            "--heads" => heads = parse_count(&value("--heads")?, "--heads")?,
+            "--dim" => dim = parse_count(&value("--dim")?, "--dim")?,
+            "--tile" => tile = parse_count(&value("--tile")?, "--tile")?,
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer".to_string())?;
+            }
+            "--streaming" => streaming = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if !dim.is_multiple_of(heads) {
+        return Err(format!("--dim {dim} must be divisible by --heads {heads}"));
+    }
+
+    let registry = KernelRegistry::global();
+    let kernels: Vec<Arc<dyn SoftmaxKernel>> = if backend == "all" {
+        registry.kernels().to_vec()
+    } else {
+        vec![registry
+            .get(&backend)
+            .ok_or_else(|| format!("unknown backend '{backend}' (see `softermax kernels`)"))?]
+    };
+
+    println!("# softermax attention: seq {seq} x dim {dim}, {heads} head(s), tile {tile}\n");
+    let mut results: Vec<serde_json::Value> = Vec::new();
+    for kernel in &kernels {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let softmax = Arc::new(KernelSoftmax::from_kernel(Arc::clone(kernel)));
+        let mut mha = MultiHeadAttention::new(dim, heads, softmax, &mut rng);
+        let x = Matrix::xavier(seq, dim, &mut rng);
+
+        let mat_start = std::time::Instant::now();
+        let materialized = mha.forward(&x);
+        let mat_ms = mat_start.elapsed().as_secs_f64() * 1e3;
+        let (mat_scratch, stream_scratch) = head_scratch_estimates(kernel.descriptor(), seq, tile);
+
+        if streaming {
+            let stream_start = std::time::Instant::now();
+            let streamed = mha.forward_streamed(&x, tile);
+            let stream_ms = stream_start.elapsed().as_secs_f64() * 1e3;
+            let parity = streamed == materialized;
+            let desc = kernel.descriptor();
+            println!(
+                "{:<16} parity={} ({:?})  scratch/head: streamed ~{} elems vs materialized {} \
+                 elems  ({:.2} ms vs {:.2} ms)",
+                kernel.name(),
+                if parity { "bit-identical" } else { "DIVERGED" },
+                desc.streaming,
+                stream_scratch,
+                mat_scratch,
+                stream_ms,
+                mat_ms,
+            );
+            if !parity {
+                return Err(format!(
+                    "{}: streamed attention diverged from materialized attention",
+                    kernel.name()
+                ));
+            }
+            results.push(serde_json::json!({
+                "kernel": kernel.name(),
+                "streaming_class": format!("{:?}", desc.streaming),
+                "bit_identical": true,
+                "materialized_ms": mat_ms,
+                "streamed_ms": stream_ms,
+                "materialized_scratch_elems_per_head": mat_scratch,
+                "streamed_scratch_elems_per_head": stream_scratch,
+            }));
+        } else {
+            println!(
+                "{:<16} materialized forward: {:.2} ms  (scratch/head {} elems; \
+                 add --streaming for the tiled no-score-matrix path)",
+                kernel.name(),
+                mat_ms,
+                mat_scratch,
+            );
+            results.push(serde_json::json!({
+                "kernel": kernel.name(),
+                "materialized_ms": mat_ms,
+                "materialized_scratch_elems_per_head": mat_scratch,
+            }));
+        }
+    }
+
+    println!();
+    println!(
+        "{}",
+        serde_json::json!({
+            "command": "attention",
+            "seq": seq,
+            "dim": dim,
+            "heads": heads,
+            "tile": tile,
+            "seed": seed,
+            "streaming": streaming,
             "results": serde_json::Value::Array(results),
         })
     );
@@ -487,6 +677,66 @@ mod tests {
             "2"
         ]))
         .is_ok());
+    }
+
+    #[test]
+    fn serve_streaming_toggle_guards_parity() {
+        assert!(run(&s(&[
+            "serve",
+            "--rows",
+            "32",
+            "--len",
+            "8",
+            "--threads",
+            "2",
+            "--repeat",
+            "1",
+            "--streaming",
+            "--stream-chunk",
+            "3"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn attention_demo_runs_and_guards_parity() {
+        assert!(run(&s(&[
+            "attention",
+            "--seq",
+            "12",
+            "--heads",
+            "2",
+            "--dim",
+            "8",
+            "--tile",
+            "5",
+            "--streaming"
+        ]))
+        .is_ok());
+        assert!(run(&s(&["attention", "--seq", "8", "--dim", "8"])).is_ok());
+        assert!(run(&s(&[
+            "attention",
+            "--backend",
+            "all",
+            "--seq",
+            "6",
+            "--dim",
+            "4",
+            "--heads",
+            "2",
+            "--tile",
+            "1",
+            "--streaming"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn attention_rejects_bad_flags() {
+        assert!(run(&s(&["attention", "--dim", "6", "--heads", "4"])).is_err());
+        assert!(run(&s(&["attention", "--backend", "nope"])).is_err());
+        assert!(run(&s(&["attention", "--tile", "0"])).is_err());
+        assert!(run(&s(&["attention", "--bogus"])).is_err());
     }
 
     #[test]

@@ -10,13 +10,21 @@
 //! `Softermax::forward` directly.
 //!
 //! * [`SoftmaxKernel::forward`] — one-shot row softmax;
-//! * [`SoftmaxKernel::begin_row`] — a streaming accumulator handle,
-//!   mirroring the hardware's slice-at-a-time operation (genuinely
-//!   streaming for the Softermax pipeline and the online normalizer,
-//!   buffering for the inherently multi-pass backends);
+//! * [`SoftmaxKernel::forward_into`] / [`SoftmaxKernel::forward_batch_into`]
+//!   — the allocation-free vectorized row and matrix paths;
+//! * [`SoftmaxKernel::stream_session`] — a reusable [`StreamSession`]
+//!   mirroring the hardware's chunk-at-a-time operation: created once per
+//!   worker/head, `reset` per row, fed score chunks straight off the
+//!   QK^T tiles, finished into a caller buffer. Genuinely streaming
+//!   ([`StreamingClass::Online`]) for the Softermax pipeline and the
+//!   online normalizers — a running max plus a rescaled running sum
+//!   advance chunk by chunk, so no score matrix ever exists — and an
+//!   explicit buffered fallback ([`StreamingClass::Buffered`]) for the
+//!   inherently multi-pass reference/fp16/LUT backends;
 //! * [`KernelDescriptor`] — machine-readable metadata (base, bitwidth,
-//!   normalization strategy, pass count, documented mass tolerance) so
-//!   harnesses can group/compare backends without name matching;
+//!   normalization strategy, pass count, streaming class, documented mass
+//!   tolerance) so harnesses can group/compare backends without name
+//!   matching;
 //! * [`KernelRegistry`] — enumerates all built-in variants by name (with
 //!   the historical CLI aliases) and accepts custom registrations, e.g.
 //!   ablation configurations.
@@ -33,24 +41,28 @@
 //! let probs = kernel.forward(&[2.0, 1.0, 3.0])?;
 //! assert!((probs.iter().sum::<f64>() - 1.0).abs() < 0.05);
 //!
-//! // Streaming, slice by slice, gives the same answer.
-//! let mut row = kernel.begin_row();
-//! row.extend(&[2.0, 1.0]);
-//! row.extend(&[3.0]);
-//! assert_eq!(row.finish()?, probs);
+//! // Streaming the row in chunks gives the bit-identical answer, and the
+//! // session is reusable: reset it and stream the next row.
+//! let mut session = kernel.stream_session();
+//! session.reset(3);
+//! session.push_chunk(&[2.0, 1.0]);
+//! session.push_chunk(&[3.0]);
+//! let mut streamed = [0.0; 3];
+//! session.finish_into(&mut streamed)?;
+//! assert_eq!(streamed.to_vec(), probs);
 //! # Ok::<(), softermax::SoftmaxError>(())
 //! ```
 
 use std::fmt;
 use std::sync::Arc;
 
-use softermax_fixed::{Fixed, Rounding};
 use softermax_fp16::softmax::{softmax_fp16, softmax_fp16_into};
 
 use crate::baselines::LutSoftmax;
 use crate::config::{Base, MaxMode};
 use crate::online::OnlineNormalizer;
 use crate::reference;
+use crate::softermax::SoftermaxStream;
 use crate::{Result, Softermax, SoftermaxConfig, SoftmaxError};
 
 /// Which exponential base a kernel normalizes with.
@@ -72,6 +84,20 @@ impl BaseKind {
             BaseKind::Two => std::f64::consts::LN_2,
         }
     }
+}
+
+/// How a kernel's [`StreamSession`] consumes a row — the property tiled
+/// attention and the serving layer key their scratch planning on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamingClass {
+    /// Truly streaming: a running max and a rescaled running sum advance
+    /// chunk by chunk in one input pass; only the per-element numerators
+    /// (which the output pass needs anyway) are retained.
+    Online,
+    /// Inherently multi-pass: the session buffers the whole row and runs
+    /// the kernel's allocation-free `forward_into` at finish, reusing one
+    /// internal scratch across rows.
+    Buffered,
 }
 
 /// How a kernel computes the stabilizing maximum.
@@ -104,6 +130,8 @@ pub struct KernelDescriptor {
     pub bitwidth: Option<u32>,
     /// Passes over the input row (1 = online, 2 = explicit max).
     pub input_passes: u32,
+    /// How this backend's [`StreamSession`] consumes a row.
+    pub streaming: StreamingClass,
     /// Documented bound on `|Σp - 1|` for a row of length 1.
     pub mass_tol_abs: f64,
     /// Additional mass-error allowance per row element (low-precision
@@ -122,6 +150,21 @@ impl KernelDescriptor {
     #[must_use]
     pub fn answers_to(&self, name: &str) -> bool {
         self.name == name || self.aliases.iter().any(|a| a == name)
+    }
+
+    /// Rough peak working-set estimate, in elements, of one
+    /// [`StreamSession`] streaming a row of `len` scores in `chunk`-sized
+    /// pushes: retained numerators (plus the buffered row and its forward
+    /// scratch for [`StreamingClass::Buffered`] backends) and the chunk
+    /// staging. The point of the number is the comparison the CLI prints:
+    /// a consumer streaming `n` rows holds O(`len` + `chunk`) scratch per
+    /// row instead of the O(`n · len`) of a materialized score matrix.
+    #[must_use]
+    pub fn stream_scratch_elems(&self, len: usize, chunk: usize) -> usize {
+        match self.streaming {
+            StreamingClass::Online => len + chunk,
+            StreamingClass::Buffered => 2 * len + chunk,
+        }
     }
 }
 
@@ -328,61 +371,107 @@ pub trait SoftmaxKernel: fmt::Debug + Send + Sync {
         Ok(())
     }
 
-    /// Starts a streaming accumulation of one row.
+    /// Creates a streaming session for this backend.
     ///
-    /// The default contract: pushing the elements of `row` in order and
-    /// calling [`RowAccumulator::finish`] produces exactly
-    /// `self.forward(row)`.
-    fn begin_row(&self) -> Box<dyn RowAccumulator + '_>;
+    /// The session is built **once per worker/head** and reused across an
+    /// arbitrary number of rows via [`StreamSession::reset`]; its contract
+    /// is that for any chunking of `row`,
+    /// `reset` → `push_chunk`* → `finish_into(out)` writes exactly
+    /// `self.forward(row)`, bit for bit. Backends whose descriptor says
+    /// [`StreamingClass::Online`] consume chunks as the hardware does
+    /// (running max + rescaled running sum, no row buffering); the
+    /// multi-pass backends return an explicit [`BufferedSession`].
+    fn stream_session(&self) -> Box<dyn StreamSession + '_>;
 }
 
-/// Streaming state for one softmax row (see [`SoftmaxKernel::begin_row`]).
-pub trait RowAccumulator {
-    /// Absorbs one score.
-    fn push(&mut self, x: f64);
+/// Reusable chunk-streaming state for softmax rows (see
+/// [`SoftmaxKernel::stream_session`]).
+///
+/// The lifecycle is `reset(row_hint)` → `push_chunk`(s) → `finish_into`,
+/// repeated: one session amortizes all of its working memory across every
+/// row a worker or attention head processes. A fresh session behaves as if
+/// `reset(0)` had been called; after `finish_into` the absorbed state is
+/// spent and `reset` must precede the next row.
+pub trait StreamSession: fmt::Debug + Send {
+    /// Prepares for a new row, recycling internal buffers. `row_hint` is
+    /// the expected row length (0 when unknown) and affects only buffer
+    /// reservations, never results.
+    fn reset(&mut self, row_hint: usize);
 
-    /// Absorbs a slice of scores.
-    fn extend(&mut self, xs: &[f64]) {
-        for &x in xs {
-            self.push(x);
-        }
-    }
+    /// Absorbs a chunk of scores — the streaming primitive (there is no
+    /// per-element push; a 1-element chunk is the degenerate case). An
+    /// empty chunk is a no-op.
+    fn push_chunk(&mut self, chunk: &[f64]);
 
-    /// Number of scores absorbed so far.
+    /// Number of scores absorbed since the last reset.
     fn len(&self) -> usize;
 
-    /// Whether no score has been absorbed yet.
+    /// Whether no score has been absorbed since the last reset.
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Completes the row and returns the probabilities.
+    /// Completes the row, writing the probabilities into `out` —
+    /// bit-identical with the kernel's `forward` of the concatenated
+    /// chunks, with no per-row allocation at steady state.
     ///
     /// # Errors
     ///
-    /// Returns [`SoftmaxError::EmptyInput`] if nothing was absorbed.
-    fn finish(self: Box<Self>) -> Result<Vec<f64>>;
+    /// Returns [`SoftmaxError::EmptyInput`] if nothing was absorbed since
+    /// the last reset, plus any backend-specific row error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.len()`.
+    fn finish_into(&mut self, out: &mut [f64]) -> Result<()>;
 }
 
-/// Buffering accumulator for backends that are inherently multi-pass
-/// (three-pass reference, fp16 baseline, LUT baseline): scores are
-/// collected and the kernel's `forward` runs at `finish`.
-struct BufferedRow<'k> {
+/// The explicit buffering fallback session for backends that are
+/// inherently multi-pass (three-pass reference, fp16 baseline, LUT
+/// baseline): chunks are collected into one reused row buffer and the
+/// kernel's allocation-free [`SoftmaxKernel::forward_into`] runs at
+/// finish, against one reused [`ScratchBuffers`] — so even the fallback
+/// allocates nothing per row at steady state.
+///
+/// Custom kernels can return this from their
+/// [`SoftmaxKernel::stream_session`] in one line:
+/// `Box::new(BufferedSession::new(self))`.
+#[derive(Debug)]
+pub struct BufferedSession<'k> {
     kernel: &'k dyn SoftmaxKernel,
     buf: Vec<f64>,
+    scratch: ScratchBuffers,
 }
 
-impl RowAccumulator for BufferedRow<'_> {
-    fn push(&mut self, x: f64) {
-        self.buf.push(x);
+impl<'k> BufferedSession<'k> {
+    /// A fresh session buffering rows for `kernel`.
+    #[must_use]
+    pub fn new(kernel: &'k dyn SoftmaxKernel) -> Self {
+        Self {
+            kernel,
+            buf: Vec::new(),
+            scratch: ScratchBuffers::default(),
+        }
+    }
+}
+
+impl StreamSession for BufferedSession<'_> {
+    fn reset(&mut self, row_hint: usize) {
+        self.buf.clear();
+        self.buf.reserve(row_hint);
+    }
+
+    fn push_chunk(&mut self, chunk: &[f64]) {
+        self.buf.extend_from_slice(chunk);
     }
 
     fn len(&self) -> usize {
         self.buf.len()
     }
 
-    fn finish(self: Box<Self>) -> Result<Vec<f64>> {
-        self.kernel.forward(&self.buf)
+    fn finish_into(&mut self, out: &mut [f64]) -> Result<()> {
+        assert_eq!(out.len(), self.buf.len(), "output buffer length mismatch");
+        self.kernel.forward_into(&self.buf, out, &mut self.scratch)
     }
 }
 
@@ -407,6 +496,7 @@ impl ReferenceKernel {
                 normalization: NormalizationKind::ThreePass,
                 bitwidth: None,
                 input_passes: 2,
+                streaming: StreamingClass::Buffered,
                 mass_tol_abs: 1e-9,
                 mass_tol_per_element: 0.0,
             },
@@ -426,6 +516,7 @@ impl ReferenceKernel {
                 normalization: NormalizationKind::ThreePass,
                 bitwidth: None,
                 input_passes: 2,
+                streaming: StreamingClass::Buffered,
                 mass_tol_abs: 1e-9,
                 mass_tol_per_element: 0.0,
             },
@@ -470,11 +561,9 @@ impl SoftmaxKernel for ReferenceKernel {
         )
     }
 
-    fn begin_row(&self) -> Box<dyn RowAccumulator + '_> {
-        Box::new(BufferedRow {
-            kernel: self,
-            buf: Vec::new(),
-        })
+    fn stream_session(&self) -> Box<dyn StreamSession + '_> {
+        // Three passes need the whole row: the explicit buffered fallback.
+        Box::new(BufferedSession::new(self))
     }
 }
 
@@ -501,6 +590,7 @@ impl OnlineKernel {
                 normalization: NormalizationKind::Online,
                 bitwidth: None,
                 input_passes: 1,
+                streaming: StreamingClass::Online,
                 mass_tol_abs: 1e-9,
                 mass_tol_per_element: 0.0,
             },
@@ -520,6 +610,7 @@ impl OnlineKernel {
                 normalization: NormalizationKind::Online,
                 bitwidth: None,
                 input_passes: 1,
+                streaming: StreamingClass::Online,
                 mass_tol_abs: 1e-9,
                 mass_tol_per_element: 0.0,
             },
@@ -540,6 +631,7 @@ impl OnlineKernel {
                 normalization: NormalizationKind::OnlineIntegerMax,
                 bitwidth: None,
                 input_passes: 1,
+                streaming: StreamingClass::Online,
                 mass_tol_abs: 1e-9,
                 mass_tol_per_element: 0.0,
             },
@@ -603,34 +695,47 @@ impl SoftmaxKernel for OnlineKernel {
         )
     }
 
-    fn begin_row(&self) -> Box<dyn RowAccumulator + '_> {
-        Box::new(OnlineRow {
+    fn stream_session(&self) -> Box<dyn StreamSession + '_> {
+        Box::new(OnlineSession {
             normalizer: self.normalizer(),
             inputs: Vec::new(),
         })
     }
 }
 
-/// Streaming state for [`OnlineKernel`]: the running max/sum pair is
-/// maintained online; inputs are retained only for the final division
-/// pass (as the hardware retains unnormed numerators).
-struct OnlineRow {
+/// Truly-streaming session for [`OnlineKernel`]: the running max/sum pair
+/// advances chunk by chunk (renormalizing the accumulated sum whenever a
+/// chunk raises the max); inputs are retained only for the final division
+/// pass, exactly as the hardware retains unnormed numerators. Reset
+/// recycles both the recurrence state and the retained-input buffer.
+#[derive(Debug)]
+struct OnlineSession {
     normalizer: OnlineNormalizer,
     inputs: Vec<f64>,
 }
 
-impl RowAccumulator for OnlineRow {
-    fn push(&mut self, x: f64) {
-        self.normalizer.push(x);
-        self.inputs.push(x);
+impl StreamSession for OnlineSession {
+    fn reset(&mut self, row_hint: usize) {
+        self.normalizer.reset();
+        self.inputs.clear();
+        self.inputs.reserve(row_hint);
+    }
+
+    fn push_chunk(&mut self, chunk: &[f64]) {
+        // Element order within and across chunks is exactly `forward`'s
+        // push order, so any chunking is bit-identical to one-shot.
+        for &x in chunk {
+            self.normalizer.push(x);
+        }
+        self.inputs.extend_from_slice(chunk);
     }
 
     fn len(&self) -> usize {
         self.inputs.len()
     }
 
-    fn finish(self: Box<Self>) -> Result<Vec<f64>> {
-        self.normalizer.finalize(&self.inputs)
+    fn finish_into(&mut self, out: &mut [f64]) -> Result<()> {
+        self.normalizer.finalize_into(&self.inputs, out)
     }
 }
 
@@ -655,6 +760,7 @@ impl Fp16Kernel {
                 normalization: NormalizationKind::ThreePass,
                 bitwidth: Some(16),
                 input_passes: 2,
+                streaming: StreamingClass::Buffered,
                 // FP16 rounding of each output plus accumulation error;
                 // grows with row length (the sum sticks once its ULP
                 // exceeds the addends).
@@ -692,11 +798,8 @@ impl SoftmaxKernel for Fp16Kernel {
             .ok_or(SoftmaxError::EmptyInput)
     }
 
-    fn begin_row(&self) -> Box<dyn RowAccumulator + '_> {
-        Box::new(BufferedRow {
-            kernel: self,
-            buf: Vec::new(),
-        })
+    fn stream_session(&self) -> Box<dyn StreamSession + '_> {
+        Box::new(BufferedSession::new(self))
     }
 }
 
@@ -733,6 +836,7 @@ impl LutKernel {
                 normalization: NormalizationKind::ThreePass,
                 bitwidth: Some(8),
                 input_passes: 2,
+                streaming: StreamingClass::Buffered,
                 mass_tol_abs: 0.01,
                 mass_tol_per_element: 1e-4,
             },
@@ -765,11 +869,8 @@ impl SoftmaxKernel for LutKernel {
         self.lut.forward_into(row, out)
     }
 
-    fn begin_row(&self) -> Box<dyn RowAccumulator + '_> {
-        Box::new(BufferedRow {
-            kernel: self,
-            buf: Vec::new(),
-        })
+    fn stream_session(&self) -> Box<dyn StreamSession + '_> {
+        Box::new(BufferedSession::new(self))
     }
 }
 
@@ -826,6 +927,7 @@ impl SoftermaxFixedKernel {
                 normalization,
                 bitwidth,
                 input_passes: 1,
+                streaming: StreamingClass::Online,
                 mass_tol_abs: 0.05,
                 mass_tol_per_element: lsb,
             },
@@ -873,50 +975,29 @@ impl SoftmaxKernel for SoftermaxFixedKernel {
             .forward_batch_into(rows, row_len, out, &mut scratch.row)
     }
 
-    fn begin_row(&self) -> Box<dyn RowAccumulator + '_> {
-        Box::new(SoftermaxRow {
-            sm: &self.sm,
-            acc: self.sm.accumulator(),
-            slice: Vec::with_capacity(self.sm.config().slice_width),
-            count: 0,
-        })
+    fn stream_session(&self) -> Box<dyn StreamSession + '_> {
+        // The vectorized raw-lane streaming pipeline: chunks are grouped
+        // into hardware slices, so any chunking shares `forward`'s slice
+        // boundaries and the result is bit-identical with one-shot.
+        Box::new(self.sm.stream())
     }
 }
 
-/// Streaming state for [`SoftermaxFixedKernel`]: scores are quantized to
-/// the input format and fed to the genuinely streaming fixed-point
-/// accumulator (running integer max, shift-renormalized running sum).
-/// Elements are grouped into full hardware slices before they hit the
-/// accumulator, so the running sum is requantized on exactly the same
-/// slice boundaries as [`Softermax::forward`] — streaming and one-shot
-/// results are bit-identical.
-struct SoftermaxRow<'k> {
-    sm: &'k Softermax,
-    acc: crate::SoftermaxAccumulator<'k>,
-    slice: Vec<Fixed>,
-    count: usize,
-}
+impl StreamSession for SoftermaxStream<'_> {
+    fn reset(&mut self, row_hint: usize) {
+        SoftermaxStream::reset(self, row_hint);
+    }
 
-impl RowAccumulator for SoftermaxRow<'_> {
-    fn push(&mut self, x: f64) {
-        let q = Fixed::from_f64(x, self.sm.config().input_format, Rounding::Nearest);
-        self.slice.push(q);
-        self.count += 1;
-        if self.slice.len() == self.sm.config().slice_width {
-            self.acc.push_slice(&self.slice);
-            self.slice.clear();
-        }
+    fn push_chunk(&mut self, chunk: &[f64]) {
+        SoftermaxStream::push_chunk(self, chunk);
     }
 
     fn len(&self) -> usize {
-        self.count
+        SoftermaxStream::len(self)
     }
 
-    fn finish(mut self: Box<Self>) -> Result<Vec<f64>> {
-        if !self.slice.is_empty() {
-            self.acc.push_slice(&self.slice);
-        }
-        Ok(self.acc.finalize()?.probs_f64())
+    fn finish_into(&mut self, out: &mut [f64]) -> Result<()> {
+        SoftermaxStream::finish_into(self, out)
     }
 }
 
@@ -1188,14 +1269,42 @@ mod tests {
         let row = [1.5, -2.25, 0.5, 3.0, 2.75, -0.25, 0.0];
         for k in &KernelRegistry::with_builtins() {
             let one_shot = k.forward(&row).unwrap();
-            let mut acc = k.begin_row();
-            assert!(acc.is_empty());
-            acc.extend(&row[..3]);
-            acc.push(row[3]);
-            acc.extend(&row[4..]);
-            assert_eq!(acc.len(), row.len());
-            let streamed = acc.finish().unwrap();
+            let mut session = k.stream_session();
+            assert!(session.is_empty());
+            session.push_chunk(&row[..3]);
+            session.push_chunk(&row[3..4]);
+            session.push_chunk(&[]);
+            session.push_chunk(&row[4..]);
+            assert_eq!(session.len(), row.len());
+            let mut streamed = vec![0.0; row.len()];
+            session.finish_into(&mut streamed).unwrap();
             assert_eq!(streamed, one_shot, "{} streaming diverged", k.name());
+        }
+    }
+
+    #[test]
+    fn sessions_are_reusable_across_rows() {
+        let rows: [&[f64]; 3] = [
+            &[1.5, -2.25, 0.5, 3.0, 2.75, -0.25, 0.0],
+            &[0.25],
+            &[4.0, -31.0, 2.5, 2.5, 1.0, 0.25, -3.0, 7.75, 7.5],
+        ];
+        for k in &KernelRegistry::with_builtins() {
+            let mut session = k.stream_session();
+            for row in rows {
+                session.reset(row.len());
+                for piece in row.chunks(2) {
+                    session.push_chunk(piece);
+                }
+                let mut streamed = vec![0.0; row.len()];
+                session.finish_into(&mut streamed).unwrap();
+                assert_eq!(
+                    streamed,
+                    k.forward(row).unwrap(),
+                    "{} reused session diverged",
+                    k.name()
+                );
+            }
         }
     }
 
@@ -1203,11 +1312,18 @@ mod tests {
     fn empty_rows_error_for_every_builtin() {
         for k in &KernelRegistry::with_builtins() {
             assert!(k.forward(&[]).is_err(), "{} accepted empty row", k.name());
+            let mut session = k.stream_session();
             assert!(
-                k.begin_row().finish().is_err(),
-                "{} accumulator accepted empty row",
+                session.finish_into(&mut []).is_err(),
+                "{} session accepted empty row",
                 k.name()
             );
+            // Reset after the error: the session stays usable.
+            session.reset(2);
+            session.push_chunk(&[1.0, 2.0]);
+            let mut out = [0.0; 2];
+            session.finish_into(&mut out).unwrap();
+            assert_eq!(out.to_vec(), k.forward(&[1.0, 2.0]).unwrap());
         }
     }
 
@@ -1216,12 +1332,21 @@ mod tests {
         for k in &KernelRegistry::with_builtins() {
             let d = k.descriptor();
             match d.normalization {
-                NormalizationKind::ThreePass => assert_eq!(d.input_passes, 2, "{}", d.name),
+                NormalizationKind::ThreePass => {
+                    assert_eq!(d.input_passes, 2, "{}", d.name);
+                    assert_eq!(d.streaming, StreamingClass::Buffered, "{}", d.name);
+                }
                 NormalizationKind::Online | NormalizationKind::OnlineIntegerMax => {
                     assert_eq!(d.input_passes, 1, "{}", d.name);
+                    assert_eq!(d.streaming, StreamingClass::Online, "{}", d.name);
                 }
             }
             assert!(d.mass_tolerance(64) >= d.mass_tolerance(1), "{}", d.name);
+            assert!(
+                d.stream_scratch_elems(1024, 64) < 1024 * 1024,
+                "{}: session scratch must be far below a 1024x1024 score matrix",
+                d.name
+            );
         }
     }
 

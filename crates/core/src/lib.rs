@@ -56,10 +56,10 @@ pub mod softermax;
 pub use config::{Base, MaxMode, SoftermaxConfig, SoftermaxConfigBuilder};
 pub use error::SoftmaxError;
 pub use kernel::{
-    check_batch_geometry, BatchScratch, KernelDescriptor, KernelRegistry, RowAccumulator,
-    ScratchBuffers, SoftmaxKernel,
+    check_batch_geometry, BatchScratch, BufferedSession, KernelDescriptor, KernelRegistry,
+    ScratchBuffers, SoftmaxKernel, StreamSession, StreamingClass,
 };
-pub use softermax::{Softermax, SoftermaxAccumulator, SoftermaxRowOutput};
+pub use softermax::{Softermax, SoftermaxAccumulator, SoftermaxRowOutput, SoftermaxStream};
 
 /// Result alias for fallible softmax operations.
 pub type Result<T> = std::result::Result<T, SoftmaxError>;

@@ -132,6 +132,15 @@ impl OnlineNormalizer {
         (e * self.ln_base).exp()
     }
 
+    /// Clears the running state for a new row, keeping the base and max
+    /// mode: the reuse primitive of the streaming sessions (one normalizer
+    /// per worker/head, reset per row).
+    pub fn reset(&mut self) {
+        self.running_max = f64::NEG_INFINITY;
+        self.normalizer = 0.0;
+        self.count = 0;
+    }
+
     /// Absorbs one value, updating the running max and renormalizing the
     /// running sum if the max changed.
     pub fn push(&mut self, x: f64) {

@@ -204,21 +204,17 @@ impl Softermax {
         Ok(())
     }
 
-    /// Stage 0 of the vectorized pipeline: quantizes `values` into raw
-    /// input-format lanes in `scratch.lanes_a`, applying the optional
-    /// base-e pre-scale (bit-exact with `Fixed::mul_into`).
-    fn quantize_lanes(&self, values: &[f64], scratch: &mut ScratchBuffers) {
+    /// Stage 0 of the vectorized pipeline for an arbitrary lane buffer:
+    /// quantizes `values` into raw input-format lanes (replacing the
+    /// buffer's contents), applying the optional base-e pre-scale
+    /// (bit-exact with `Fixed::mul_into`).
+    fn quantize_into_lanes(&self, values: &[f64], lanes: &mut Vec<i64>) {
         let cfg = &self.config;
-        vecops::quantize_raw_into(
-            values,
-            cfg.input_format,
-            Rounding::Nearest,
-            &mut scratch.lanes_a,
-        );
+        vecops::quantize_raw_into(values, cfg.input_format, Rounding::Nearest, lanes);
         if cfg.base == Base::E {
             let mant = self.log2_e.raw();
             let shift = self.log2_e.format().frac_bits();
-            for lane in &mut scratch.lanes_a {
+            for lane in lanes {
                 let prod = *lane as i128 * mant as i128;
                 *lane = cfg
                     .input_format
@@ -227,107 +223,112 @@ impl Softermax {
         }
     }
 
-    /// Stages 1–3 plus the Normalization unit for one row whose quantized
-    /// lanes occupy `scratch.lanes_a[lane_start..lane_start + len]`.
-    fn forward_lanes_row(
+    /// Stage 0 of the vectorized pipeline: quantizes `values` into raw
+    /// input-format lanes in `scratch.lanes_a`.
+    fn quantize_lanes(&self, values: &[f64], scratch: &mut ScratchBuffers) {
+        self.quantize_into_lanes(values, &mut scratch.lanes_a);
+    }
+
+    /// Stages 1–3 of the vectorized pipeline for **one hardware slice** of
+    /// quantized input lanes `xs`: the IntMax unit (slice reference max),
+    /// the Power-of-Two unit plus wide summation tree, and the Reduction
+    /// unit merging `(max, sum)` into the running row state. The slice's
+    /// unnormed numerator lanes are appended to `unnormed`; the returned
+    /// value is the slice's reference max (raw, max format).
+    ///
+    /// This is the one implementation both the one-shot/batch path
+    /// ([`Softermax::forward_into`]) and the streaming session
+    /// ([`SoftermaxStream`]) run, so chunked streaming cannot drift from
+    /// the one-shot pipeline.
+    fn slice_stages(
         &self,
-        lane_start: usize,
-        len: usize,
-        out: &mut [f64],
-        scratch: &mut ScratchBuffers,
-    ) -> Result<()> {
+        xs: &[i64],
+        lanes_b: &mut Vec<i64>,
+        lanes_d: &mut Vec<i64>,
+        unnormed: &mut Vec<i64>,
+        running: &mut Option<(Fixed, Fixed)>,
+    ) -> i64 {
         let cfg = &self.config;
         let wide_fmt = wide_sum_format(cfg.unnormed_format);
         let sum_shift = cfg.unnormed_format.frac_bits() - wide_fmt.frac_bits();
-        let mut running_max: Option<Fixed> = None;
-        let mut running_sum = Fixed::zero(cfg.pow_sum_format);
-        scratch.lanes_c.clear();
-        scratch.runs.clear();
 
-        let mut start = 0;
-        while start < len {
-            let end = (start + cfg.slice_width).min(len);
-            let xs = &scratch.lanes_a[lane_start + start..lane_start + end];
-
-            // Stage 1 — IntMax unit: max-format candidates, slice max.
-            vecops::requantize_raw_into(
-                xs,
-                cfg.input_format,
-                cfg.max_format,
-                Rounding::Nearest,
-                &mut scratch.lanes_b,
-            );
-            let local_max_raw = match cfg.max_mode {
-                MaxMode::Integer => {
-                    scratch.lanes_d.clear();
-                    scratch.lanes_d.extend(
-                        scratch
-                            .lanes_b
-                            .iter()
-                            .map(|&r| Fixed::from_raw_saturating(r, cfg.max_format).ceil().raw()),
-                    );
-                    vecops::max_reduce(&scratch.lanes_d).expect("slice is non-empty")
-                }
-                MaxMode::Float => vecops::max_reduce(&scratch.lanes_b).expect("slice is non-empty"),
-            };
-            let local_max = Fixed::from_raw_saturating(local_max_raw, cfg.max_format);
-
-            // Stage 2 — Power-of-Two unit: u_i = 2^(x_i - local_max), then
-            // the wide summation tree.
-            vecops::sub_scalar_saturating(
-                &scratch.lanes_b,
-                local_max_raw,
-                cfg.max_format,
-                &mut scratch.lanes_d,
-            );
-            self.pow2
-                .eval_raw_slice(&scratch.lanes_d, cfg.max_format, &mut scratch.lanes_b);
-            let local_sum_wide = vecops::shift_accumulate(&scratch.lanes_b, sum_shift, wide_fmt, 0);
-            let local_sum = Fixed::from_raw_saturating(local_sum_wide, wide_fmt)
-                .requantize(cfg.pow_sum_format, Rounding::Nearest);
-
-            // Stage 3 — Reduction unit: merge with the running row state.
-            match running_max {
-                None => {
-                    running_max = Some(local_max);
-                    running_sum = local_sum;
-                }
-                Some(prev_max) => {
-                    let new_max = prev_max.max(local_max);
-                    let d_prev = new_max
-                        .saturating_sub(prev_max)
-                        .expect("max-format subtraction");
-                    let d_local = new_max
-                        .saturating_sub(local_max)
-                        .expect("max-format subtraction");
-                    let prev_renorm = self.renorm_down(running_sum, d_prev);
-                    let local_renorm = self.renorm_down(local_sum, d_local);
-                    running_sum = prev_renorm
-                        .saturating_add(local_renorm)
-                        .expect("pow-sum addition");
-                    running_max = Some(new_max);
-                }
+        // Stage 1 — IntMax unit: max-format candidates, slice max.
+        vecops::requantize_raw_into(
+            xs,
+            cfg.input_format,
+            cfg.max_format,
+            Rounding::Nearest,
+            lanes_b,
+        );
+        let local_max_raw = match cfg.max_mode {
+            MaxMode::Integer => {
+                lanes_d.clear();
+                lanes_d.extend(
+                    lanes_b
+                        .iter()
+                        .map(|&r| Fixed::from_raw_saturating(r, cfg.max_format).ceil().raw()),
+                );
+                vecops::max_reduce(lanes_d).expect("slice is non-empty")
             }
-            scratch.lanes_c.extend_from_slice(&scratch.lanes_b);
-            scratch.runs.push((local_max_raw, end));
-            start = end;
-        }
+            MaxMode::Float => vecops::max_reduce(lanes_b).expect("slice is non-empty"),
+        };
+        let local_max = Fixed::from_raw_saturating(local_max_raw, cfg.max_format);
 
-        // Normalization unit: one reciprocal, then per-slice hoisted
-        // renormalization + reciprocal application.
-        let global_max = running_max.expect("row is non-empty");
+        // Stage 2 — Power-of-Two unit: u_i = 2^(x_i - local_max), then
+        // the wide summation tree.
+        vecops::sub_scalar_saturating(lanes_b, local_max_raw, cfg.max_format, lanes_d);
+        self.pow2.eval_raw_slice(lanes_d, cfg.max_format, lanes_b);
+        let local_sum_wide = vecops::shift_accumulate(lanes_b, sum_shift, wide_fmt, 0);
+        let local_sum = Fixed::from_raw_saturating(local_sum_wide, wide_fmt)
+            .requantize(cfg.pow_sum_format, Rounding::Nearest);
+
+        // Stage 3 — Reduction unit: merge with the running row state.
+        match *running {
+            None => *running = Some((local_max, local_sum)),
+            Some((prev_max, prev_sum)) => {
+                let new_max = prev_max.max(local_max);
+                let d_prev = new_max
+                    .saturating_sub(prev_max)
+                    .expect("max-format subtraction");
+                let d_local = new_max
+                    .saturating_sub(local_max)
+                    .expect("max-format subtraction");
+                let prev_renorm = self.renorm_down(prev_sum, d_prev);
+                let local_renorm = self.renorm_down(local_sum, d_local);
+                let new_sum = prev_renorm
+                    .saturating_add(local_renorm)
+                    .expect("pow-sum addition");
+                *running = Some((new_max, new_sum));
+            }
+        }
+        unnormed.extend_from_slice(lanes_b);
+        local_max_raw
+    }
+
+    /// The Normalization unit over a completed row: one reciprocal of the
+    /// accumulated sum, then per-slice hoisted renormalization plans and
+    /// reciprocal application over the retained unnormed numerator lanes.
+    fn normalization_pass(
+        &self,
+        runs: &[(i64, usize)],
+        unnormed_lanes: &[i64],
+        global_max: Fixed,
+        running_sum: Fixed,
+        out: &mut [f64],
+    ) -> Result<()> {
+        let cfg = &self.config;
         let recip = self.recip.reciprocal(running_sum)?;
         let plan = ApplyPlan::new(cfg.unnormed_format, recip, cfg.output_format);
         let out_res = cfg.output_format.resolution();
         let unnormed = cfg.unnormed_format;
         let mut begin = 0;
-        for &(ref_max_raw, end) in &scratch.runs {
+        for &(ref_max_raw, end) in runs {
             let ref_max = Fixed::from_raw_saturating(ref_max_raw, cfg.max_format);
             let d = global_max
                 .saturating_sub(ref_max)
                 .expect("max-format subtraction");
             let (shift, factor) = self.renorm_plan(d);
-            let lanes = &scratch.lanes_c[begin..end];
+            let lanes = &unnormed_lanes[begin..end];
             let outs = &mut out[begin..end];
             match factor {
                 None => {
@@ -353,6 +354,67 @@ impl Softermax {
             begin = end;
         }
         Ok(())
+    }
+
+    /// Stages 1–3 plus the Normalization unit for one row whose quantized
+    /// lanes occupy `scratch.lanes_a[lane_start..lane_start + len]`.
+    fn forward_lanes_row(
+        &self,
+        lane_start: usize,
+        len: usize,
+        out: &mut [f64],
+        scratch: &mut ScratchBuffers,
+    ) -> Result<()> {
+        let mut running: Option<(Fixed, Fixed)> = None;
+        scratch.lanes_c.clear();
+        scratch.runs.clear();
+
+        let mut start = 0;
+        while start < len {
+            let end = (start + self.config.slice_width).min(len);
+            let ScratchBuffers {
+                lanes_a,
+                lanes_b,
+                lanes_c,
+                lanes_d,
+                runs,
+            } = scratch;
+            let local_max_raw = self.slice_stages(
+                &lanes_a[lane_start + start..lane_start + end],
+                lanes_b,
+                lanes_d,
+                lanes_c,
+                &mut running,
+            );
+            runs.push((local_max_raw, end));
+            start = end;
+        }
+
+        let (global_max, running_sum) = running.expect("row is non-empty");
+        self.normalization_pass(
+            &scratch.runs,
+            &scratch.lanes_c,
+            global_max,
+            running_sum,
+            out,
+        )
+    }
+
+    /// Starts a reusable chunk-streaming session over the vectorized
+    /// pipeline: see [`SoftermaxStream`].
+    #[must_use]
+    pub fn stream(&self) -> SoftermaxStream<'_> {
+        SoftermaxStream {
+            sm: self,
+            pending: Vec::new(),
+            stage: Vec::new(),
+            count: 0,
+            lanes_b: Vec::new(),
+            lanes_d: Vec::new(),
+            unnormed: Vec::new(),
+            runs: Vec::new(),
+            running: None,
+        }
     }
 
     /// Pre-scales an input by `log2(e)` when the base-e ablation is active.
@@ -585,6 +647,148 @@ impl SoftermaxAccumulator<'_> {
             pow_sum: self.running_sum,
             recip,
         })
+    }
+}
+
+/// A reusable chunk-streaming session over the vectorized Softermax
+/// pipeline: the software mirror of one hardware Softermax unit consuming
+/// attention scores *as the QK^T array produces them*.
+///
+/// Scores arrive in arbitrary chunks ([`push_chunk`](Self::push_chunk));
+/// internally they are quantized (stage 0) and grouped into full hardware
+/// slices of the configured `slice_width`, each slice running the exact
+/// per-slice stages of [`Softermax::forward_into`] — running integer max,
+/// shift-renormalized running sum — so the result is **bit-identical**
+/// with the one-shot pipeline for *any* chunking.
+/// [`finish_into`](Self::finish_into) runs the Normalization unit into a
+/// caller-provided buffer, and [`reset`](Self::reset) recycles every
+/// internal buffer for the next row: one session serves an arbitrary
+/// number of rows with zero steady-state allocations.
+///
+/// Retained state per row is the unnormed numerator lanes — the hardware
+/// retains exactly these for its own Normalization pass — plus at most
+/// one sub-slice tail of quantized inputs: O(row), never the O(row²) a
+/// materialized score matrix would cost the caller.
+#[derive(Debug, Clone)]
+pub struct SoftermaxStream<'a> {
+    sm: &'a Softermax,
+    /// Quantized input lanes still awaiting a full hardware slice
+    /// (always shorter than `slice_width`; consumed lanes are dropped).
+    pending: Vec<i64>,
+    /// Staging buffer for quantizing one incoming chunk.
+    stage: Vec<i64>,
+    /// Scores absorbed since the last reset.
+    count: usize,
+    /// Per-slice staging lanes (max candidates, exponentials).
+    lanes_b: Vec<i64>,
+    /// Per-slice staging lanes (differences, ceiled candidates).
+    lanes_d: Vec<i64>,
+    /// Retained unnormed numerator lanes of the whole row.
+    unnormed: Vec<i64>,
+    /// Per-slice `(reference max raw, end index)` runs.
+    runs: Vec<(i64, usize)>,
+    /// Running `(max, renormalized sum)` of the Reduction unit.
+    running: Option<(Fixed, Fixed)>,
+}
+
+impl SoftermaxStream<'_> {
+    /// Prepares the session for a new row, recycling every internal
+    /// buffer. `row_hint` is the expected row length (0 if unknown) and
+    /// only sizes reservations.
+    pub fn reset(&mut self, row_hint: usize) {
+        self.pending.clear();
+        self.count = 0;
+        self.unnormed.clear();
+        self.unnormed.reserve(row_hint);
+        self.runs.clear();
+        self.running = None;
+    }
+
+    /// Number of scores absorbed since the last reset.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no score has been absorbed since the last reset.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Stages 1–3 for one completed slice of quantized lanes, recording
+    /// its run boundary.
+    fn process_slice(&mut self, xs: &[i64]) {
+        let local_max_raw = self.sm.slice_stages(
+            xs,
+            &mut self.lanes_b,
+            &mut self.lanes_d,
+            &mut self.unnormed,
+            &mut self.running,
+        );
+        self.runs.push((local_max_raw, self.unnormed.len()));
+    }
+
+    /// Absorbs a chunk of scores: quantizes them (stage 0) and runs the
+    /// slice pipeline over every hardware slice completed so far — full
+    /// slices are consumed straight out of the staging buffer, so only a
+    /// sub-slice tail is ever retained as input lanes. An empty chunk is
+    /// a no-op.
+    pub fn push_chunk(&mut self, chunk: &[f64]) {
+        if chunk.is_empty() {
+            return;
+        }
+        let mut stage = std::mem::take(&mut self.stage);
+        self.sm.quantize_into_lanes(chunk, &mut stage);
+        self.count += chunk.len();
+        let width = self.sm.config.slice_width;
+        let mut xs: &[i64] = &stage;
+        if !self.pending.is_empty() {
+            let take = (width - self.pending.len()).min(xs.len());
+            let (head, rest) = xs.split_at(take);
+            self.pending.extend_from_slice(head);
+            xs = rest;
+            if self.pending.len() == width {
+                let pending = std::mem::take(&mut self.pending);
+                self.process_slice(&pending);
+                self.pending = pending;
+                self.pending.clear();
+            }
+        }
+        while xs.len() >= width {
+            let (slice, rest) = xs.split_at(width);
+            self.process_slice(slice);
+            xs = rest;
+        }
+        self.pending.extend_from_slice(xs);
+        self.stage = stage;
+    }
+
+    /// Completes the row: flushes the tail slice (shorter than the
+    /// hardware width, exactly as the one-shot pipeline's last slice) and
+    /// runs the Normalization unit into `out`. Call [`reset`](Self::reset)
+    /// before reusing the session for another row.
+    ///
+    /// # Errors
+    ///
+    /// [`SoftmaxError::EmptyInput`] if nothing was absorbed since the last
+    /// reset, [`SoftmaxError::DivisionByZero`] if the accumulated power
+    /// sum underflowed to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.len()`.
+    pub fn finish_into(&mut self, out: &mut [f64]) -> Result<()> {
+        assert_eq!(out.len(), self.count, "output buffer length mismatch");
+        if !self.pending.is_empty() {
+            let pending = std::mem::take(&mut self.pending);
+            self.process_slice(&pending);
+            self.pending = pending;
+            self.pending.clear();
+        }
+        let (global_max, running_sum) = self.running.ok_or(SoftmaxError::EmptyInput)?;
+        self.sm
+            .normalization_pass(&self.runs, &self.unnormed, global_max, running_sum, out)
     }
 }
 

@@ -1,9 +1,11 @@
 //! Conformance property tests for every registered [`SoftmaxKernel`]:
 //! whatever the backend — full-precision reference, online, fp16, LUT,
 //! or the fixed-point Softermax pipeline — its output must be a
-//! (tolerance-qualified) probability distribution, its streaming
-//! accumulator must agree with its one-shot path, and its descriptor's
-//! documented mass tolerance must actually hold.
+//! (tolerance-qualified) probability distribution, its reusable
+//! [`StreamSession`](softermax::StreamSession) must agree with its
+//! one-shot path, and its descriptor's documented mass tolerance must
+//! actually hold. Exhaustive arbitrary-chunking coverage lives in
+//! `tests/stream_conformance.rs`.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -39,21 +41,26 @@ proptest! {
         }
     }
 
-    /// Streaming accumulation (arbitrary split point) gives exactly the
-    /// one-shot result for every kernel.
+    /// Chunked streaming (arbitrary split point) gives exactly the
+    /// one-shot result for every kernel, with the session reused across
+    /// consecutive rows.
     #[test]
     fn streaming_equals_one_shot(x in arb_scores(48), split in 0usize..48) {
         let split = split.min(x.len());
         for kernel in &KernelRegistry::with_builtins() {
             let one_shot = kernel.forward(&x).expect("non-empty row");
-            let mut acc = kernel.begin_row();
-            acc.extend(&x[..split]);
-            for &v in &x[split..] {
-                acc.push(v);
+            let mut session = kernel.stream_session();
+            let mut streamed = vec![0.0; x.len()];
+            // Two passes through the same session: reuse must not leak
+            // state from the previous row.
+            for _ in 0..2 {
+                session.reset(x.len());
+                session.push_chunk(&x[..split]);
+                session.push_chunk(&x[split..]);
+                prop_assert_eq!(session.len(), x.len());
+                session.finish_into(&mut streamed).expect("non-empty row");
+                prop_assert_eq!(&streamed, &one_shot, "{} streaming diverged", kernel.name());
             }
-            prop_assert_eq!(acc.len(), x.len());
-            let streamed = acc.finish().expect("non-empty row");
-            prop_assert_eq!(streamed, one_shot, "{} streaming diverged", kernel.name());
         }
     }
 

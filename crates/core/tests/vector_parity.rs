@@ -160,19 +160,22 @@ proptest! {
         }
     }
 
-    /// Streaming accumulation still matches the (vectorized) one-shot
-    /// path within documented tolerance — forward_into does not drift
-    /// from the row accumulator contract.
+    /// Chunked streaming still matches the (vectorized) one-shot path —
+    /// forward_into does not drift from the stream-session contract.
     #[test]
-    fn forward_into_matches_streaming(row in arb_row()) {
+    fn forward_into_matches_streaming(row in arb_row(), chunk in 1usize..16) {
         let kernel = KernelRegistry::global().get("softermax").expect("built-in");
         let mut got = vec![0.0; row.len()];
         kernel
             .forward_into(&row, &mut got, &mut ScratchBuffers::default())
             .expect("non-empty row");
-        let mut acc = kernel.begin_row();
-        acc.extend(&row);
-        let streamed = acc.finish().expect("non-empty row");
+        let mut session = kernel.stream_session();
+        session.reset(row.len());
+        for piece in row.chunks(chunk) {
+            session.push_chunk(piece);
+        }
+        let mut streamed = vec![0.0; row.len()];
+        session.finish_into(&mut streamed).expect("non-empty row");
         assert_bits_equal(&got, &streamed, "streaming vs forward_into");
     }
 }

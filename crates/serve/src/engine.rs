@@ -10,7 +10,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use softermax::kernel::{check_batch_geometry, BatchScratch, SoftmaxKernel};
+use softermax::kernel::{check_batch_geometry, BatchScratch, SoftmaxKernel, StreamSession};
 use softermax::{Result, SoftmaxError};
 
 use crate::config::ServeConfig;
@@ -126,6 +126,69 @@ impl BatchEngine {
         row_len: usize,
         out: &mut [f64],
     ) -> Result<()> {
+        self.dispatch(kernel, rows, row_len, out, None)
+    }
+
+    /// Row-wise softmax of a flattened row-major matrix through the
+    /// **chunked-streaming** path, into a fresh buffer.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`BatchEngine::forward_matrix_streamed_into`].
+    pub fn forward_matrix_streamed(
+        &self,
+        kernel: &Arc<dyn SoftmaxKernel>,
+        rows: &[f64],
+        row_len: usize,
+        chunk: usize,
+    ) -> Result<Vec<f64>> {
+        let mut out = vec![0.0; rows.len()];
+        self.forward_matrix_streamed_into(kernel, rows, row_len, chunk, &mut out)?;
+        Ok(out)
+    }
+
+    /// Row-wise softmax of a flattened row-major matrix through the
+    /// **chunked-streaming** path: each worker opens one reusable
+    /// [`StreamSession`](softermax::StreamSession) per dispatched job and
+    /// serves every row of its chunks by `reset` → `push_chunk`
+    /// (`chunk`-score pieces, as a QK^T tiler would produce them) →
+    /// `finish_into`. Output is **bit-identical** to
+    /// [`BatchEngine::forward_matrix_into`] and to sequential execution,
+    /// by the session contract.
+    ///
+    /// # Errors
+    ///
+    /// [`SoftmaxError::InvalidConfig`] when `chunk == 0`, plus exactly the
+    /// errors of [`BatchEngine::forward_matrix_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != rows.len()` or `rows.len()` is not a
+    /// multiple of `row_len`.
+    pub fn forward_matrix_streamed_into(
+        &self,
+        kernel: &Arc<dyn SoftmaxKernel>,
+        rows: &[f64],
+        row_len: usize,
+        chunk: usize,
+        out: &mut [f64],
+    ) -> Result<()> {
+        if chunk == 0 {
+            return Err(SoftmaxError::InvalidConfig(
+                "streaming chunk must be positive".to_string(),
+            ));
+        }
+        self.dispatch(kernel, rows, row_len, out, Some(chunk))
+    }
+
+    fn dispatch(
+        &self,
+        kernel: &Arc<dyn SoftmaxKernel>,
+        rows: &[f64],
+        row_len: usize,
+        out: &mut [f64],
+        stream_chunk: Option<usize>,
+    ) -> Result<()> {
         let n_rows = check_batch_geometry(rows.len(), row_len, out.len())?;
         let wall = Instant::now();
         if n_rows == 0 {
@@ -139,6 +202,7 @@ impl BatchEngine {
             out: out.as_mut_ptr(),
             row_len,
             queues: self.partition(n_rows),
+            stream_chunk,
             pending: Mutex::new(self.senders.len()),
             done: Condvar::new(),
             error: Mutex::new(None),
@@ -257,6 +321,10 @@ struct Job {
     /// One stealable deque per worker: owners pop the front, thieves the
     /// back.
     queues: Vec<Mutex<VecDeque<Chunk>>>,
+    /// `Some(scores_per_push)` routes the job through the
+    /// chunked-streaming path (one `StreamSession` per worker per job)
+    /// instead of the batch path.
+    stream_chunk: Option<usize>,
     /// Workers that have not yet checked out of this job.
     pending: Mutex<usize>,
     done: Condvar,
@@ -321,6 +389,50 @@ impl Job {
         }
     }
 
+    /// Runs one chunk of rows through a worker's streaming session:
+    /// `reset` per row, `chunk_elems`-score pushes, allocation-free
+    /// finish. The session is the caller's so it persists across every
+    /// chunk (and steal) of the job.
+    fn run_chunk_streamed(
+        &self,
+        chunk: &Chunk,
+        session: &mut dyn StreamSession,
+        chunk_elems: usize,
+    ) {
+        let elems = chunk.len() * self.row_len;
+        let offset = chunk.start * self.row_len;
+        // SAFETY: as in `run_chunk` — disjoint validated row ranges, and
+        // the dispatcher outlives every worker access.
+        let rows = unsafe { std::slice::from_raw_parts(self.rows.add(offset), elems) };
+        let out = unsafe { std::slice::from_raw_parts_mut(self.out.add(offset), elems) };
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            for (row, out_row) in rows
+                .chunks_exact(self.row_len)
+                .zip(out.chunks_exact_mut(self.row_len))
+            {
+                session.reset(self.row_len);
+                for piece in row.chunks(chunk_elems) {
+                    session.push_chunk(piece);
+                }
+                session.finish_into(out_row)?;
+            }
+            Ok(())
+        }));
+        match outcome {
+            Ok(Ok(())) => {
+                self.rows_done
+                    .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+            }
+            Ok(Err(e)) => self.fail(e),
+            Err(_) => self.fail(SoftmaxError::InvalidConfig(format!(
+                "kernel '{}' panicked while stream-serving rows {}..{}",
+                self.kernel.name(),
+                chunk.start,
+                chunk.end
+            ))),
+        }
+    }
+
     fn fail(&self, e: SoftmaxError) {
         self.cancelled.store(true, Ordering::Relaxed);
         let mut slot = self.error.lock().expect("error lock");
@@ -345,11 +457,20 @@ fn worker_loop(index: usize, jobs: &Receiver<Arc<Job>>) {
     let mut scratch = BatchScratch::default();
     while let Ok(job) = jobs.recv() {
         let t0 = Instant::now();
+        // A streaming job gets one session per worker, created before the
+        // first chunk and reused across every chunk (and steal) of the
+        // job — sessions borrow the kernel, so they cannot outlive it.
+        let mut session = job.stream_chunk.map(|_| job.kernel.stream_session());
         while let Some(chunk) = job.next_chunk(index) {
             if job.cancelled.load(Ordering::Relaxed) {
                 break;
             }
-            job.run_chunk(&chunk, &mut scratch);
+            match (&mut session, job.stream_chunk) {
+                (Some(session), Some(chunk_elems)) => {
+                    job.run_chunk_streamed(&chunk, session.as_mut(), chunk_elems);
+                }
+                _ => job.run_chunk(&chunk, &mut scratch),
+            }
         }
         job.busy_ns.fetch_add(elapsed_ns(t0), Ordering::Relaxed);
         job.check_out();
@@ -428,6 +549,38 @@ mod tests {
         assert_eq!(stats.total().rows, 192);
         engine.reset_stats();
         assert!(engine.stats().is_empty());
+    }
+
+    #[test]
+    fn streamed_dispatch_matches_batch_dispatch_bitwise() {
+        let registry = KernelRegistry::global();
+        let rows: Vec<f64> = (0..23 * 6).map(|i| f64::from(i % 11) / 2.0 - 2.5).collect();
+        let engine = engine(3);
+        for name in ["softermax", "online-intmax", "reference-e", "fp16"] {
+            let kernel = registry.get(name).expect("built-in");
+            let batch = engine.forward_matrix(&kernel, &rows, 6).expect("serve");
+            for chunk in [1, 4, 6, 64] {
+                let streamed = engine
+                    .forward_matrix_streamed(&kernel, &rows, 6, chunk)
+                    .expect("streamed serve");
+                assert_eq!(streamed, batch, "{name} chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_dispatch_rejects_zero_chunk_and_accepts_empty_matrix() {
+        let kernel = KernelRegistry::global().get("online-2").expect("built-in");
+        let engine = engine(2);
+        assert!(engine
+            .forward_matrix_streamed(&kernel, &[1.0, 2.0], 2, 0)
+            .is_err());
+        assert_eq!(
+            engine
+                .forward_matrix_streamed(&kernel, &[], 4, 8)
+                .expect("empty matrix"),
+            Vec::<f64>::new()
+        );
     }
 
     #[test]

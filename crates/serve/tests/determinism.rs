@@ -85,6 +85,37 @@ proptest! {
             }
         }
     }
+
+    /// The chunked-streaming dispatch (one `StreamSession` per worker per
+    /// job) is bit-identical to sequential execution for all 8 kernels at
+    /// every thread count and arbitrary push-chunk sizes.
+    #[test]
+    fn streamed_engine_is_bit_identical_to_sequential(
+        values in vec(-20.0f64..20.0, MAX_ROWS * MAX_LEN..MAX_ROWS * MAX_LEN + 1),
+        n_rows in 0usize..MAX_ROWS + 1,
+        row_len in 1usize..MAX_LEN + 1,
+        chunk in 1usize..MAX_LEN + 2,
+    ) {
+        let matrix = &values[..n_rows * row_len];
+        for kernel in &KernelRegistry::with_builtins() {
+            let want = sequential(kernel.as_ref(), matrix, row_len);
+            for engine in engines() {
+                let got = engine
+                    .forward_matrix_streamed(kernel, matrix, row_len, chunk)
+                    .expect("valid matrix");
+                prop_assert_eq!(
+                    bits(&got),
+                    bits(&want),
+                    "{} streamed diverged at {} thread(s), {}x{} chunk {}",
+                    kernel.name(),
+                    engine.config().threads,
+                    n_rows,
+                    row_len,
+                    chunk
+                );
+            }
+        }
+    }
 }
 
 #[test]

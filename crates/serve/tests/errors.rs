@@ -5,7 +5,8 @@
 use std::sync::Arc;
 
 use softermax::kernel::{
-    BaseKind, KernelDescriptor, NormalizationKind, RowAccumulator, SoftmaxKernel,
+    BaseKind, BufferedSession, KernelDescriptor, NormalizationKind, SoftmaxKernel, StreamSession,
+    StreamingClass,
 };
 use softermax::{reference, Result, SoftmaxError};
 use softermax_serve::{BatchEngine, ServeConfig};
@@ -28,29 +29,11 @@ impl NanRejectingKernel {
                 normalization: NormalizationKind::ThreePass,
                 bitwidth: None,
                 input_passes: 2,
+                streaming: StreamingClass::Buffered,
                 mass_tol_abs: 1e-9,
                 mass_tol_per_element: 0.0,
             },
         }
-    }
-}
-
-struct Buffered<'k> {
-    kernel: &'k NanRejectingKernel,
-    buf: Vec<f64>,
-}
-
-impl RowAccumulator for Buffered<'_> {
-    fn push(&mut self, x: f64) {
-        self.buf.push(x);
-    }
-
-    fn len(&self) -> usize {
-        self.buf.len()
-    }
-
-    fn finish(self: Box<Self>) -> Result<Vec<f64>> {
-        self.kernel.forward(&self.buf)
     }
 }
 
@@ -66,11 +49,9 @@ impl SoftmaxKernel for NanRejectingKernel {
         reference::softmax(row)
     }
 
-    fn begin_row(&self) -> Box<dyn RowAccumulator + '_> {
-        Box::new(Buffered {
-            kernel: self,
-            buf: Vec::new(),
-        })
+    fn stream_session(&self) -> Box<dyn StreamSession + '_> {
+        // Custom kernels get the explicit buffered fallback in one line.
+        Box::new(BufferedSession::new(self))
     }
 }
 
@@ -111,11 +92,42 @@ fn a_failing_row_fails_the_batch_and_the_engine_survives() {
 }
 
 #[test]
+fn a_failing_row_fails_the_streamed_dispatch_too() {
+    let kernel: Arc<dyn SoftmaxKernel> = Arc::new(NanRejectingKernel::new());
+    for threads in [1, 2, 4] {
+        let engine =
+            BatchEngine::new(ServeConfig::new(threads).with_chunk_rows(2)).expect("valid config");
+        let mut matrix = vec![0.5f64; 16 * 4];
+        matrix[11 * 4 + 2] = f64::NAN;
+        let err = engine
+            .forward_matrix_streamed(&kernel, &matrix, 4, 3)
+            .expect_err("NaN row must fail the streamed batch");
+        assert!(matches!(err, SoftmaxError::InvalidConfig(_)), "{err:?}");
+
+        // The engine (and the per-worker sessions) are not wedged.
+        let clean = vec![0.25f64; 8 * 4];
+        let probs = engine
+            .forward_matrix_streamed(&kernel, &clean, 4, 3)
+            .expect("clean streamed batch");
+        assert_eq!(probs.len(), clean.len());
+    }
+}
+
+#[test]
 fn empty_rows_error_at_the_dispatch_boundary() {
     let kernel: Arc<dyn SoftmaxKernel> = Arc::new(NanRejectingKernel::new());
     let engine = BatchEngine::with_threads(2).expect("valid config");
     assert!(matches!(
         engine.forward_matrix(&kernel, &[1.0, 2.0, 3.0], 0),
         Err(SoftmaxError::EmptyInput)
+    ));
+    assert!(matches!(
+        engine.forward_matrix_streamed(&kernel, &[1.0, 2.0, 3.0], 0, 4),
+        Err(SoftmaxError::EmptyInput)
+    ));
+    // A zero streaming chunk is a config error, not a panic.
+    assert!(matches!(
+        engine.forward_matrix_streamed(&kernel, &[1.0, 2.0, 3.0], 3, 0),
+        Err(SoftmaxError::InvalidConfig(_))
     ));
 }

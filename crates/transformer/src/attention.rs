@@ -14,7 +14,7 @@ use std::fmt;
 use std::sync::{Arc, Mutex};
 
 use rand::Rng;
-use softermax::kernel::{BatchScratch, SoftmaxKernel};
+use softermax::kernel::{BatchScratch, KernelDescriptor, SoftmaxKernel};
 use softermax::{KernelRegistry, SoftermaxConfig};
 
 use crate::nn::Linear;
@@ -35,6 +35,15 @@ pub trait AttentionSoftmax: fmt::Debug + Send + Sync {
     /// base-2 (since `d b^x/dx = ln(b)·b^x`).
     fn grad_scale(&self) -> f32 {
         1.0
+    }
+
+    /// The kernel behind this backend, when it has one: the handle the
+    /// tiled streaming attention path needs to open per-head
+    /// [`softermax::StreamSession`]s. Backends without a kernel (custom
+    /// test doubles) return `None` and fall back to the materialized
+    /// path.
+    fn stream_kernel(&self) -> Option<&dyn SoftmaxKernel> {
+        None
     }
 
     /// Row-wise softmax backward: given the forward output `probs` and
@@ -175,6 +184,10 @@ impl AttentionSoftmax for KernelSoftmax {
     fn grad_scale(&self) -> f32 {
         self.kernel.descriptor().base.grad_scale() as f32
     }
+
+    fn stream_kernel(&self) -> Option<&dyn SoftmaxKernel> {
+        Some(self.kernel.as_ref())
+    }
 }
 
 /// Whole-matrix kernel dispatch through the batched
@@ -206,6 +219,121 @@ fn batched(scores: &Matrix, kernel: &dyn SoftmaxKernel, scratch: &mut AttnScratc
     let mut out = Matrix::zeros(scores.rows(), scores.cols());
     for (dst, &p) in out.as_mut_slice().iter_mut().zip(&scratch.probs) {
         *dst = p as f32;
+    }
+    out
+}
+
+/// Default column-tile width of the streaming attention path: one
+/// hardware-slice-scaled burst of scores per session push.
+pub const DEFAULT_TILE: usize = 64;
+
+/// Per-head peak-scratch estimates, in elements, of the two attention
+/// paths over a `seq`-length head streamed in `tile`-score pushes,
+/// returned as `(materialized, streamed)`: the materialized path stages
+/// the `seq x seq` score and probability matrices, while the streamed
+/// path holds one probability row, one score tile, and the session's own
+/// retained state ([`KernelDescriptor::stream_scratch_elems`]). The one
+/// definition the CLI demo and the stream-mode throughput harness both
+/// report, so published numbers cannot drift apart.
+#[must_use]
+pub fn head_scratch_estimates(
+    descriptor: &KernelDescriptor,
+    seq: usize,
+    tile: usize,
+) -> (usize, usize) {
+    (
+        2 * seq * seq,
+        seq + tile + descriptor.stream_scratch_elems(seq, tile),
+    )
+}
+
+/// One attention head through the materialized path: the full `n × n`
+/// score matrix is built (`q·kᵀ·scale`), handed to the backend's row-wise
+/// softmax, and multiplied into `v`. The ground truth the streamed path
+/// is held bit-identical to.
+#[must_use]
+pub fn attention_head_materialized(
+    softmax: &dyn AttentionSoftmax,
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    scale: f32,
+) -> Matrix {
+    let scores = q.matmul_nt(k).scale(scale);
+    let probs = softmax.forward(&scores);
+    probs.matmul(v)
+}
+
+/// One attention head that **never materializes the score matrix** — the
+/// paper's memory-traffic story at the software level: attention scores
+/// are consumed as the QK^T array produces them, so the O(n²) score
+/// round-trip to memory disappears.
+///
+/// QK^T is evaluated in column tiles of `tile` scores which stream
+/// straight into a kernel [`softermax::StreamSession`] (one session per head,
+/// `reset` per row, reused across all `n` rows); `finish_into` lands the
+/// probabilities in a reused row buffer that is immediately folded into
+/// the output accumulation. Peak scratch per head is O(n + tile) elements
+/// — probability row, score tile, and the session's retained numerators —
+/// versus the O(n²) score and probability matrices of
+/// [`attention_head_materialized`], and the output is **bit-identical**
+/// to it: the tile dot products replay `Matrix::matmul_nt`'s exact
+/// accumulation order, and chunked sessions are bit-identical to
+/// `forward` by the kernel contract.
+///
+/// # Panics
+///
+/// Panics if `tile == 0`, on shape mismatches, or if the kernel rejects a
+/// row (attention rows are non-empty and in-range by construction).
+#[must_use]
+pub fn attention_head_streamed(
+    kernel: &dyn SoftmaxKernel,
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    scale: f32,
+    tile: usize,
+) -> Matrix {
+    assert!(tile > 0, "tile width must be positive");
+    assert_eq!(q.cols(), k.cols(), "q/k head-dimension mismatch");
+    assert_eq!(k.rows(), v.rows(), "k/v sequence-length mismatch");
+    let n = k.rows();
+    let mut out = Matrix::zeros(q.rows(), v.cols());
+    let mut session = kernel.stream_session();
+    let mut chunk = vec![0.0f64; tile.min(n)];
+    let mut probs = vec![0.0f64; n];
+    for r in 0..q.rows() {
+        let qrow = q.row(r);
+        session.reset(n);
+        let mut c0 = 0;
+        while c0 < n {
+            let w = tile.min(n - c0);
+            for (j, slot) in chunk[..w].iter_mut().enumerate() {
+                // The exact per-element accumulation of `matmul_nt`, then
+                // the exact `scale()` multiply: bit-identical scores.
+                let krow = k.row(c0 + j);
+                let dot: f32 = qrow.iter().zip(krow).map(|(&a, &b)| a * b).sum();
+                *slot = f64::from(dot * scale);
+            }
+            session.push_chunk(&chunk[..w]);
+            c0 += w;
+        }
+        session
+            .finish_into(&mut probs)
+            .expect("attention rows are non-empty");
+        // The probability row folds straight into the output accumulation
+        // — `matmul`'s row recurrence (including its zero-skip), so the
+        // probability matrix never materializes either.
+        let out_row = out.row_mut(r);
+        for (j, &p) in probs.iter().enumerate() {
+            let a = p as f32;
+            if a == 0.0 {
+                continue;
+            }
+            for (d, &b) in out_row.iter_mut().zip(v.row(j)) {
+                *d += a * b;
+            }
+        }
     }
     out
 }
@@ -299,6 +427,46 @@ impl MultiHeadAttention {
                 k: kh,
                 v: vh,
                 probs,
+            });
+        }
+        let concat = Matrix::hcat(&head_outputs.iter().collect::<Vec<_>>());
+        self.wo.forward(&concat)
+    }
+
+    /// Forward pass over a sequence `x` of shape `n × d` through the
+    /// **tiled streaming** attention core: no head ever materializes its
+    /// O(n²) score (or probability) matrix — QK^T column tiles of `tile`
+    /// scores stream into one per-head kernel [`softermax::StreamSession`], reused
+    /// across the head's rows, bounding per-head scratch by O(n + tile).
+    ///
+    /// Output is **bit-identical** to [`forward`](Self::forward) for
+    /// kernel-backed softmax backends. Inference-only: the backward cache
+    /// is not populated (calling [`backward`](Self::backward) afterwards
+    /// panics), since caching probabilities is exactly the O(n²)
+    /// materialization this path removes. Backends that expose no kernel
+    /// ([`AttentionSoftmax::stream_kernel`] returns `None`) fall back to
+    /// the materialized head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile == 0`.
+    #[must_use]
+    pub fn forward_streamed(&mut self, x: &Matrix, tile: usize) -> Matrix {
+        assert!(tile > 0, "tile width must be positive");
+        let q = self.wq.forward(x);
+        let k = self.wk.forward(x);
+        let v = self.wv.forward(x);
+        let inv_sqrt = 1.0 / (self.d_head as f32).sqrt();
+
+        self.cache.clear();
+        let mut head_outputs = Vec::with_capacity(self.n_heads);
+        for h in 0..self.n_heads {
+            let qh = q.col_slice(h * self.d_head, self.d_head);
+            let kh = k.col_slice(h * self.d_head, self.d_head);
+            let vh = v.col_slice(h * self.d_head, self.d_head);
+            head_outputs.push(match self.softmax.stream_kernel() {
+                Some(kernel) => attention_head_streamed(kernel, &qh, &kh, &vh, inv_sqrt, tile),
+                None => attention_head_materialized(self.softmax.as_ref(), &qh, &kh, &vh, inv_sqrt),
             });
         }
         let concat = Matrix::hcat(&head_outputs.iter().collect::<Vec<_>>());
@@ -556,6 +724,69 @@ mod tests {
                 gx.get(r, c)
             );
         }
+    }
+
+    #[test]
+    fn streamed_head_is_bit_identical_to_materialized_head() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // A deliberately awkward sequence length: tiles of 1, 3, 5, 16 and
+        // n all exercise ragged tail tiles.
+        let q = Matrix::xavier(13, 4, &mut rng);
+        let k = Matrix::xavier(13, 4, &mut rng);
+        let v = Matrix::xavier(13, 4, &mut rng);
+        let scale = 0.5;
+        for name in [
+            "reference-e",
+            "reference-2",
+            "online-e",
+            "online-2",
+            "online-intmax",
+            "fp16",
+            "lut8",
+            "softermax",
+        ] {
+            let backend = KernelSoftmax::by_name(name).expect("built-in");
+            let want = attention_head_materialized(&backend, &q, &k, &v, scale);
+            for tile in [1, 3, 5, 16, 64] {
+                let got =
+                    attention_head_streamed(backend.kernel().as_ref(), &q, &k, &v, scale, tile);
+                assert_eq!(got, want, "{name} tile {tile} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_streamed_is_bit_identical_to_forward() {
+        for name in ["reference-e", "online-intmax", "softermax"] {
+            let mut rng = StdRng::seed_from_u64(12);
+            let backend = Arc::new(KernelSoftmax::by_name(name).expect("built-in"));
+            let mut mha = MultiHeadAttention::new(8, 2, backend, &mut rng);
+            let x = Matrix::xavier(9, 8, &mut rng);
+            let want = mha.forward(&x);
+            for tile in [1, 4, 9, 64] {
+                let got = mha.forward_streamed(&x, tile);
+                assert_eq!(got, want, "{name} tile {tile} diverged");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn forward_streamed_does_not_populate_the_backward_cache() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut mha = MultiHeadAttention::new(4, 2, Arc::new(KernelSoftmax::exact()), &mut rng);
+        let x = Matrix::xavier(3, 4, &mut rng);
+        let _ = mha.forward_streamed(&x, 2);
+        let _ = mha.backward(&Matrix::zeros(3, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "tile width must be positive")]
+    fn zero_tile_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut mha = MultiHeadAttention::new(4, 1, Arc::new(KernelSoftmax::exact()), &mut rng);
+        let x = Matrix::xavier(3, 4, &mut rng);
+        let _ = mha.forward_streamed(&x, 0);
     }
 
     #[test]
