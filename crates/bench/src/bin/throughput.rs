@@ -24,6 +24,13 @@
 //!   `StreamSession`, so no score/probability matrix ever exists and
 //!   per-head scratch is O(n + tile)); attention rows/s per kernel,
 //!   written to `BENCH_PR4.json`.
+//! * **concurrent mode** (`--concurrent`) — the same fixed pool of
+//!   small request matrices served at every client count × shard count
+//!   combination through the `ShardedRouter` submission API (M client
+//!   threads, blocking admission, one request in flight per client):
+//!   rows/s and p50/p95/p99 request latency per kernel, plus each
+//!   cell's speedup over the 1-client baseline at the same shard
+//!   count; written to `BENCH_PR5.json`.
 //!
 //! Before anything is timed, each faster path's output is asserted
 //! **bit-identical** to the baseline path, so the CI smoke runs are real
@@ -31,12 +38,13 @@
 //! flaky).
 //!
 //! ```text
-//! usage: throughput [--batch | --stream] [--threads N] [--smoke] [--out PATH]
-//!   --batch     compare per-row vs batched vs threaded serving paths
-//!   --stream    compare materialized vs tiled-streamed attention heads
-//!   --threads   worker threads for the threaded path (default 4)
-//!   --smoke     short measurement budgets (CI smoke test)
-//!   --out       output JSON path (BENCH_PR2/PR3/PR4.json by mode)
+//! usage: throughput [--batch | --stream | --concurrent] [--threads N] [--smoke] [--out PATH]
+//!   --batch       compare per-row vs batched vs threaded serving paths
+//!   --stream      compare materialized vs tiled-streamed attention heads
+//!   --concurrent  sweep client count x shard count through the submission API
+//!   --threads     worker threads for the threaded path (default 4)
+//!   --smoke       short measurement budgets (CI smoke test)
+//!   --out         output JSON path (BENCH_PR2/PR3/PR4/PR5.json by mode)
 //! ```
 
 use std::time::Duration;
@@ -44,7 +52,7 @@ use std::time::Duration;
 use criterion::{black_box, measure};
 use softermax::kernel::{BatchScratch, ScratchBuffers};
 use softermax_bench::{attention_scores, print_header, print_row, registry};
-use softermax_serve::{BatchEngine, ServeConfig};
+use softermax_serve::{BatchEngine, RoutePolicy, ServeConfig, ShardedRouter};
 use softermax_transformer::attention::{
     attention_head_materialized, attention_head_streamed, head_scratch_estimates, KernelSoftmax,
 };
@@ -68,9 +76,38 @@ const STREAM_D_HEAD: usize = 16;
 /// Column-tile width of the streamed attention path in stream mode.
 const STREAM_TILE: usize = 64;
 
+/// Request shape of the concurrent-mode sweep: deliberately small (one
+/// scheduling chunk per request), so throughput is limited by how well
+/// the serving layer keeps the pool fed between requests — the
+/// request-level-concurrency effect under test — rather than by one big
+/// matrix saturating every worker on its own.
+const CONC_REQ_ROWS: usize = 4;
+const CONC_REQ_LEN: usize = 32;
+
+/// Client counts and shard counts swept in concurrent mode.
+const CONC_CLIENTS: [usize; 4] = [1, 2, 4, 8];
+const CONC_SHARDS: [usize; 2] = [1, 2];
+
+/// Closed-loop client think time, microseconds: each client idles this
+/// long between requests (the application work a real caller does
+/// around its softmax calls). A single closed-loop client therefore
+/// leaves the engine idle most of the time; the multi-client cells
+/// measure how much of that idle time request-level concurrency
+/// recovers by overlapping other clients' requests into it — until the
+/// engine saturates and the latency percentiles start absorbing the
+/// queueing instead. Think time is *excluded* from the reported request
+/// latencies (they span submit → response) but *included* in the wall
+/// clock, as in any closed-loop load generator.
+const CONC_THINK_US: u64 = 100;
+
+/// Admission bound per shard in concurrent mode.
+const CONC_INFLIGHT: usize = 32;
+
 fn main() {
     let mut batch_mode = false;
     let mut stream_mode = false;
+    let mut concurrent_mode = false;
+    let mut smoke = false;
     let mut threads = 4usize;
     let mut out_path: Option<String> = None;
     let (mut warmup_ms, mut measure_ms) = (30u64, 160u64);
@@ -79,6 +116,7 @@ fn main() {
         match arg.as_str() {
             "--batch" => batch_mode = true,
             "--stream" => stream_mode = true,
+            "--concurrent" => concurrent_mode = true,
             "--threads" => {
                 threads = args
                     .next()
@@ -90,6 +128,7 @@ fn main() {
                     });
             }
             "--smoke" => {
+                smoke = true;
                 warmup_ms = 2;
                 measure_ms = 8;
             }
@@ -101,20 +140,26 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown flag '{other}' (usage: throughput [--batch | --stream] [--threads N] [--smoke] [--out PATH])"
+                    "unknown flag '{other}' (usage: throughput [--batch | --stream | --concurrent] [--threads N] [--smoke] [--out PATH])"
                 );
                 std::process::exit(2);
             }
         }
     }
-    if batch_mode && stream_mode {
-        eprintln!("--batch and --stream are mutually exclusive");
+    if usize::from(batch_mode) + usize::from(stream_mode) + usize::from(concurrent_mode) > 1 {
+        eprintln!("--batch, --stream and --concurrent are mutually exclusive");
         std::process::exit(2);
     }
     let warmup = Duration::from_millis(warmup_ms);
     let budget = Duration::from_millis(measure_ms);
 
-    if stream_mode {
+    if concurrent_mode {
+        concurrent_harness(
+            threads,
+            smoke,
+            &out_path.unwrap_or_else(|| "BENCH_PR5.json".to_string()),
+        );
+    } else if stream_mode {
         stream_harness(
             warmup,
             budget,
@@ -488,6 +533,213 @@ fn stream_harness(
         "results": serde_json::Value::Array(entries),
     });
     write_report(out_path, &report);
+}
+
+/// The PR-5 comparison: the same pool of small requests served at every
+/// client count × shard count through the `ShardedRouter` submission
+/// API. Every cell serves the **same total work** (the full request
+/// pool, striped over the clients; each client runs submit → wait
+/// serially, so "M clients" means M requests in flight), making rows/s
+/// directly comparable across cells; per-request latency percentiles
+/// come from the router's merged accounting.
+fn concurrent_harness(threads: usize, smoke: bool, out_path: &str) {
+    let total_requests = if smoke { 48 } else { 960 };
+    // Best-of-N walls: one preempted run must not masquerade as a
+    // serving-layer slowdown (timings are recorded, never asserted).
+    let attempts = if smoke { 1 } else { 5 };
+    println!(
+        "# Concurrent serving throughput: {total_requests} requests of \
+         {CONC_REQ_ROWS} rows x {CONC_REQ_LEN}, clients {CONC_CLIENTS:?} x shards \
+         {CONC_SHARDS:?}, {threads} thread(s)/shard, closed-loop think time \
+         {CONC_THINK_US} us\n"
+    );
+    print_header(&[
+        "kernel",
+        "clients",
+        "shards",
+        "rows/s",
+        "p50 us",
+        "p95 us",
+        "p99 us",
+        "vs 1 client",
+    ]);
+
+    let registry = registry();
+    let mut entries: Vec<serde_json::Value> = Vec::new();
+    for kernel in &registry {
+        // The shared request pool and its sequential ground truth.
+        let requests: Vec<Vec<f64>> = (0..total_requests)
+            .map(|r| {
+                softermax_serve::traffic::synthetic_matrix(
+                    CONC_REQ_ROWS,
+                    CONC_REQ_LEN,
+                    2.5,
+                    42 + r as u64,
+                )
+            })
+            .collect();
+        let wants: Vec<Vec<f64>> = requests
+            .iter()
+            .map(|matrix| {
+                let mut want = vec![0.0f64; matrix.len()];
+                let mut scratch = BatchScratch::default();
+                for (row, out_row) in matrix
+                    .chunks_exact(CONC_REQ_LEN)
+                    .zip(want.chunks_exact_mut(CONC_REQ_LEN))
+                {
+                    kernel
+                        .forward_into(row, out_row, &mut scratch.row)
+                        .expect("non-empty row");
+                }
+                want
+            })
+            .collect();
+
+        // Guard before timing: the full request pool once through a
+        // 2-client, 2-shard router, every response bit-compared to the
+        // sequential ground truth. This is what makes the CI smoke run a
+        // real correctness gate for the concurrent path.
+        {
+            let router = conc_router(2, threads);
+            let outputs = serve_pool(&router, kernel, &requests, 2);
+            for (r, (got, want)) in outputs.iter().zip(&wants).enumerate() {
+                assert_eq!(
+                    got,
+                    want,
+                    "{} concurrent request {r} diverged from sequential execution",
+                    kernel.name()
+                );
+            }
+        }
+
+        for &shards in &CONC_SHARDS {
+            let mut one_client_rows_per_s = None;
+            for &clients in &CONC_CLIENTS {
+                let router = conc_router(shards, threads);
+                let mut best_wall_s = f64::INFINITY;
+                let mut best_stats = None;
+                for _ in 0..attempts {
+                    // Stats are reset per attempt and the best attempt's
+                    // snapshot is kept, so the reported percentiles and
+                    // the best-of-N wall describe the same run — a
+                    // preempted attempt cannot leak its inflated request
+                    // walls into the latency columns.
+                    router.reset_stats();
+                    let t0 = std::time::Instant::now();
+                    let outputs = serve_pool(&router, kernel, &requests, clients);
+                    let wall_s = t0.elapsed().as_secs_f64().max(1e-12);
+                    assert_eq!(outputs.len(), total_requests);
+                    if wall_s < best_wall_s {
+                        best_wall_s = wall_s;
+                        best_stats = Some(router.stats());
+                    }
+                }
+                let rows_per_s = (total_requests * CONC_REQ_ROWS) as f64 / best_wall_s;
+                let speedup = rows_per_s / one_client_rows_per_s.unwrap_or(rows_per_s);
+                if clients == 1 {
+                    one_client_rows_per_s = Some(rows_per_s);
+                }
+                let stats = best_stats.expect("at least one attempt ran");
+                let s = stats.kernel(kernel.name()).expect("traffic recorded");
+                let [p50, p95, p99] = s.latency_percentiles_ns();
+                print_row(&[
+                    kernel.name().to_string(),
+                    clients.to_string(),
+                    shards.to_string(),
+                    format!("{rows_per_s:.0}"),
+                    format!("{:.1}", p50 as f64 / 1e3),
+                    format!("{:.1}", p95 as f64 / 1e3),
+                    format!("{:.1}", p99 as f64 / 1e3),
+                    softermax_bench::fmt_ratio(speedup),
+                ]);
+                entries.push(serde_json::json!({
+                    "kernel": kernel.name(),
+                    "clients": clients,
+                    "shards": shards,
+                    "threads_per_shard": threads,
+                    "inflight_per_shard": CONC_INFLIGHT,
+                    "requests": total_requests,
+                    "request_rows": CONC_REQ_ROWS,
+                    "request_len": CONC_REQ_LEN,
+                    "rows_per_s": rows_per_s,
+                    "p50_latency_us": p50 as f64 / 1e3,
+                    "p95_latency_us": p95 as f64 / 1e3,
+                    "p99_latency_us": p99 as f64 / 1e3,
+                    "mean_latency_us": s.mean_batch_latency_ns() / 1e3,
+                    "think_time_us": CONC_THINK_US,
+                    "speedup_vs_1_client": speedup,
+                    "bit_identical": true,
+                }));
+            }
+        }
+    }
+
+    let report = serde_json::json!({
+        "benchmark": "concurrent_serving_throughput",
+        "description": "the same request pool served at every client count x shard count through the ShardedRouter submission API (closed-loop clients: think, submit, wait; blocking admission; one request in flight per client); rows/s over identical total work (best wall of N attempts), p50/p95/p99 request latency (submit -> response, think time excluded) from the router's accounting",
+        "clients": CONC_CLIENTS.to_vec(),
+        "shards": CONC_SHARDS.to_vec(),
+        "threads_per_shard": threads,
+        "inflight_per_shard": CONC_INFLIGHT,
+        "requests": total_requests,
+        "request_rows": CONC_REQ_ROWS,
+        "request_len": CONC_REQ_LEN,
+        "think_time_us": CONC_THINK_US,
+        "attempts": attempts,
+        "results": serde_json::Value::Array(entries),
+    });
+    write_report(out_path, &report);
+}
+
+/// A fresh router for one concurrent-mode cell (pool spawn cost stays
+/// out of the timed window; stats start clean).
+fn conc_router(shards: usize, threads: usize) -> ShardedRouter {
+    ShardedRouter::new(
+        shards,
+        ServeConfig::new(threads).with_queue_depth(CONC_INFLIGHT),
+        RoutePolicy::RoundRobin,
+    )
+    .expect("router config")
+}
+
+/// Serves the whole request pool, striped over `clients` threads (each
+/// running submit → wait serially), and returns the responses in pool
+/// order.
+fn serve_pool(
+    router: &ShardedRouter,
+    kernel: &std::sync::Arc<dyn softermax::SoftmaxKernel>,
+    requests: &[Vec<f64>],
+    clients: usize,
+) -> Vec<Vec<f64>> {
+    let collected: Vec<Vec<(usize, Vec<f64>)>> = std::thread::scope(|scope| {
+        // Stripe the pool: client c serves requests c, c+clients, ...
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                scope.spawn(move || {
+                    (client..requests.len())
+                        .step_by(clients)
+                        .map(|index| {
+                            // Closed loop: think, then submit and wait.
+                            std::thread::sleep(Duration::from_micros(CONC_THINK_US));
+                            let ticket = router
+                                .submit_wait(kernel, requests[index].clone(), CONC_REQ_LEN)
+                                .expect("submission admitted");
+                            (index, ticket.wait().expect("request served"))
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let mut outputs: Vec<Vec<f64>> = vec![Vec::new(); requests.len()];
+    for (index, out) in collected.into_iter().flatten() {
+        outputs[index] = out;
+    }
+    outputs
 }
 
 fn write_report(out_path: &str, report: &serde_json::Value) {

@@ -11,6 +11,9 @@ pub enum SoftmaxError {
     InvalidConfig(String),
     /// The accumulated normalizer was zero, so no reciprocal exists.
     DivisionByZero,
+    /// A serving queue is at capacity and rejected the submission
+    /// (backpressure: retry later or use a blocking submit).
+    QueueFull,
 }
 
 impl fmt::Display for SoftmaxError {
@@ -19,6 +22,7 @@ impl fmt::Display for SoftmaxError {
             SoftmaxError::EmptyInput => write!(f, "softmax input is empty"),
             SoftmaxError::InvalidConfig(msg) => write!(f, "invalid softmax configuration: {msg}"),
             SoftmaxError::DivisionByZero => write!(f, "normalizer is zero, reciprocal undefined"),
+            SoftmaxError::QueueFull => write!(f, "serving queue is full, submission rejected"),
         }
     }
 }
@@ -38,6 +42,7 @@ mod tests {
         assert!(SoftmaxError::InvalidConfig("slice width 0".into())
             .to_string()
             .contains("slice width 0"));
+        assert!(SoftmaxError::QueueFull.to_string().contains("full"));
     }
 
     #[test]

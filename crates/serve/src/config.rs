@@ -9,7 +9,7 @@ use softermax_hw::pe::PeConfig;
 /// picked ad hoc: a PE computes [`PeConfig::n_lanes`] score rows in
 /// parallel, each feeding a softmax unit that consumes
 /// [`PeConfig::softmax_width`] elements per cycle. One engine *chunk* —
-/// the unit of work-stealing — is therefore `n_lanes` consecutive rows:
+/// the unit of scheduling — is therefore `n_lanes` consecutive rows:
 /// the block of rows one "software PE" (worker thread turn) owns, exactly
 /// as the hardware's unit parallelism partitions a score matrix.
 ///
@@ -23,18 +23,28 @@ use softermax_hw::pe::PeConfig;
 /// assert_eq!(cfg.threads, 4);
 /// assert_eq!(cfg.chunk_rows, PeConfig::paper_32().n_lanes);
 /// assert_eq!(cfg.vector_width, 32);
+/// assert_eq!(cfg.queue_depth, softermax_serve::DEFAULT_QUEUE_DEPTH);
 /// assert!(cfg.validate().is_ok());
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Number of worker threads in the fixed pool.
     pub threads: usize,
-    /// Rows per work-stealing chunk (the PE's lane parallelism).
+    /// Rows per scheduling chunk (the PE's lane parallelism).
     pub chunk_rows: usize,
     /// Slice width of the modelled softmax unit (the PE's vector size) —
     /// recorded so reports can relate software chunks to hardware slices.
     pub vector_width: usize,
+    /// Admission bound: the maximum number of batches in flight (queued
+    /// or executing) at once. A full engine rejects non-blocking
+    /// submissions with [`SoftmaxError::QueueFull`] and blocks the
+    /// blocking ones until a slot frees up.
+    pub queue_depth: usize,
 }
+
+/// Default admission bound of a [`ServeConfig`]: how many batches may be
+/// in flight on one engine before submissions see backpressure.
+pub const DEFAULT_QUEUE_DEPTH: usize = 64;
 
 impl ServeConfig {
     /// Engine geometry for `threads` workers, with the chunk shape of the
@@ -53,6 +63,7 @@ impl ServeConfig {
             threads,
             chunk_rows: pe.n_lanes,
             vector_width: pe.softmax_width(),
+            queue_depth: DEFAULT_QUEUE_DEPTH,
         }
     }
 
@@ -60,6 +71,13 @@ impl ServeConfig {
     #[must_use]
     pub fn with_chunk_rows(mut self, chunk_rows: usize) -> Self {
         self.chunk_rows = chunk_rows;
+        self
+    }
+
+    /// Overrides the admission bound (maximum batches in flight).
+    #[must_use]
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth;
         self
     }
 
@@ -78,6 +96,11 @@ impl ServeConfig {
         if self.chunk_rows == 0 {
             return Err(SoftmaxError::InvalidConfig(
                 "serve chunk must hold at least one row".to_string(),
+            ));
+        }
+        if self.queue_depth == 0 {
+            return Err(SoftmaxError::InvalidConfig(
+                "serve queue must admit at least one batch".to_string(),
             ));
         }
         Ok(())
@@ -103,5 +126,7 @@ mod tests {
         assert!(ServeConfig::new(0).validate().is_err());
         assert!(ServeConfig::new(1).with_chunk_rows(0).validate().is_err());
         assert!(ServeConfig::new(1).with_chunk_rows(1).validate().is_ok());
+        assert!(ServeConfig::new(1).with_queue_depth(0).validate().is_err());
+        assert!(ServeConfig::new(1).with_queue_depth(1).validate().is_ok());
     }
 }

@@ -1,11 +1,11 @@
-//! The batched execution engine: a fixed worker pool fanning row chunks
-//! out through per-worker work-stealing deques.
+//! The batched execution engine: a fixed worker pool pulling jobs from a
+//! shared, bounded admission queue — many requests safely in flight at
+//! once.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::ops::Range;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -15,6 +15,7 @@ use softermax::{Result, SoftmaxError};
 
 use crate::config::ServeConfig;
 use crate::stats::{EngineStats, KernelServeStats};
+use crate::submit::Ticket;
 
 /// A contiguous range of matrix rows: the unit of scheduling.
 type Chunk = Range<usize>;
@@ -22,23 +23,31 @@ type Chunk = Range<usize>;
 /// A fixed pool of worker threads serving whole score matrices through
 /// any [`SoftmaxKernel`].
 ///
-/// One engine is built once and serves many matrices (and many kernels):
-/// workers are long-lived, each owns a persistent [`BatchScratch`] that
-/// reaches steady-state capacity after the first batches, and every
-/// dispatch fans the matrix out as [`ServeConfig::chunk_rows`]-row chunks
-/// over per-worker deques — a worker drains its own deque from the front
-/// and, when empty, *steals* from the back of a sibling's, so an uneven
-/// chunk distribution (or an unlucky descheduling) cannot strand work.
+/// One engine is built once and serves many matrices (and many kernels)
+/// **concurrently**: callers enqueue jobs — blocking dispatches through
+/// [`BatchEngine::forward_matrix_into`], or ticketed submissions through
+/// [`BatchEngine::submit`](crate::Submission) — onto one shared intake
+/// queue, and every worker pulls chunks from the front job, flowing to
+/// the next job the moment the current one's chunk list runs dry. A
+/// single small matrix therefore never parks the pool (the old model
+/// broadcast every job to every worker and made each worker check in and
+/// out of every job in program order, serializing concurrent callers
+/// behind each other — head-of-line blocking this design removes).
+///
+/// Admission is bounded by [`ServeConfig::queue_depth`]: a full engine
+/// rejects non-blocking submissions with [`SoftmaxError::QueueFull`] and
+/// blocks the blocking ones until a slot frees — backpressure instead of
+/// unbounded queueing.
 ///
 /// Output is **bit-identical** to sequential row-at-a-time execution at
-/// any thread count: rows never interact, each output row is written by
-/// exactly one worker, and the kernels' batch paths are bit-exact with
-/// their row paths by contract.
+/// any thread count and any interleaving of concurrent callers: rows
+/// never interact, each output row is written by exactly one worker, and
+/// the kernels' batch paths are bit-exact with their row paths by
+/// contract.
 pub struct BatchEngine {
     config: ServeConfig,
-    senders: Vec<Sender<Arc<Job>>>,
+    shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
-    stats: Mutex<BTreeMap<String, KernelServeStats>>,
 }
 
 impl BatchEngine {
@@ -47,31 +56,44 @@ impl BatchEngine {
     /// # Errors
     ///
     /// Returns [`SoftmaxError::InvalidConfig`] when the configuration
-    /// fails [`ServeConfig::validate`].
+    /// fails [`ServeConfig::validate`], or when a worker thread cannot be
+    /// spawned — in which case the partially spawned pool is shut down
+    /// and joined before returning, so no worker thread outlives the
+    /// failed constructor.
     pub fn new(config: ServeConfig) -> Result<Self> {
         config.validate()?;
-        let mut senders = Vec::with_capacity(config.threads);
+        let shared = Arc::new(Shared::new(&config));
         let mut workers = Vec::with_capacity(config.threads);
         for index in 0..config.threads {
-            let (tx, rx): (Sender<Arc<Job>>, Receiver<Arc<Job>>) = channel();
-            senders.push(tx);
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("softermax-serve-{index}"))
-                    .spawn(move || worker_loop(index, &rx))
-                    .expect("spawn serve worker"),
-            );
+            let worker_shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("softermax-serve-{index}"))
+                .spawn(move || worker_loop(&worker_shared));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    // A partial pool must not leak: hang up the intake
+                    // and join every already-spawned worker before
+                    // reporting the failure.
+                    shared.shutdown();
+                    for handle in workers.drain(..) {
+                        let _ = handle.join();
+                    }
+                    return Err(SoftmaxError::InvalidConfig(format!(
+                        "failed to spawn serve worker {index}: {e}"
+                    )));
+                }
+            }
         }
         Ok(Self {
             config,
-            senders,
+            shared,
             workers,
-            stats: Mutex::new(BTreeMap::new()),
         })
     }
 
     /// A pool of `threads` workers with the default (paper-PE) chunk
-    /// geometry.
+    /// geometry and queue depth.
     ///
     /// # Errors
     ///
@@ -84,6 +106,21 @@ impl BatchEngine {
     #[must_use]
     pub fn config(&self) -> &ServeConfig {
         &self.config
+    }
+
+    /// Rows currently admitted and not yet completed (queued or
+    /// executing) — the load signal the
+    /// [`ShardedRouter`](crate::ShardedRouter)'s least-loaded policy
+    /// routes on.
+    #[must_use]
+    pub fn load_rows(&self) -> u64 {
+        self.shared.load_rows.load(Ordering::Relaxed)
+    }
+
+    /// Batches currently admitted and not yet completed.
+    #[must_use]
+    pub fn inflight(&self) -> usize {
+        self.shared.intake.lock().expect("intake lock").inflight
     }
 
     /// Row-wise softmax of a flattened row-major matrix, into a fresh
@@ -107,7 +144,9 @@ impl BatchEngine {
     /// caller-provided buffer, fanned out across the worker pool.
     ///
     /// Blocks until every chunk is done (or the batch is cancelled by the
-    /// first failing row). An empty matrix is a valid no-op.
+    /// first failing row). An empty matrix is a valid no-op. Takes one
+    /// admission slot like any other request: when the engine is at
+    /// [`ServeConfig::queue_depth`], the call blocks until a slot frees.
     ///
     /// # Errors
     ///
@@ -148,13 +187,12 @@ impl BatchEngine {
     }
 
     /// Row-wise softmax of a flattened row-major matrix through the
-    /// **chunked-streaming** path: each worker opens one reusable
-    /// [`StreamSession`](softermax::StreamSession) per dispatched job and
-    /// serves every row of its chunks by `reset` → `push_chunk`
-    /// (`chunk`-score pieces, as a QK^T tiler would produce them) →
-    /// `finish_into`. Output is **bit-identical** to
-    /// [`BatchEngine::forward_matrix_into`] and to sequential execution,
-    /// by the session contract.
+    /// **chunked-streaming** path: workers serve every row of the job's
+    /// chunks through a [`StreamSession`](softermax::StreamSession) by
+    /// `reset` → `push_chunk` (`chunk`-score pieces, as a QK^T tiler
+    /// would produce them) → `finish_into`. Output is **bit-identical**
+    /// to [`BatchEngine::forward_matrix_into`] and to sequential
+    /// execution, by the session contract.
     ///
     /// # Errors
     ///
@@ -189,100 +227,100 @@ impl BatchEngine {
         out: &mut [f64],
         stream_chunk: Option<usize>,
     ) -> Result<()> {
+        let started = Instant::now();
         let n_rows = check_batch_geometry(rows.len(), row_len, out.len())?;
-        let wall = Instant::now();
         if n_rows == 0 {
-            self.record(kernel.name(), 0, 0, 0, elapsed_ns(wall));
+            self.shared
+                .record(kernel.name(), false, 0, 0, 0, elapsed_ns(started));
             return Ok(());
         }
-
-        let job = Arc::new(Job {
-            kernel: Arc::clone(kernel),
-            rows: rows.as_ptr(),
-            out: out.as_mut_ptr(),
+        let job = Arc::new(Job::borrowed(
+            Arc::clone(kernel),
+            rows,
+            out,
             row_len,
-            queues: self.partition(n_rows),
+            self.config.chunk_rows,
             stream_chunk,
-            pending: Mutex::new(self.senders.len()),
-            done: Condvar::new(),
-            error: Mutex::new(None),
-            cancelled: AtomicBool::new(false),
-            busy_ns: AtomicU64::new(0),
-            rows_done: AtomicU64::new(0),
-        });
-        for sender in &self.senders {
-            sender.send(Arc::clone(&job)).expect("serve worker alive");
-        }
-
-        // The input/output borrows must outlive every worker access: block
-        // until the last worker has checked out of this job.
-        let mut pending = job.pending.lock().expect("job lock");
-        while *pending > 0 {
-            pending = job.done.wait(pending).expect("job lock");
-        }
-        drop(pending);
-
-        // Only rows whose chunks actually completed are credited — a
-        // cancelled batch must not inflate the throughput counters.
-        let rows_done = job.rows_done.load(Ordering::Relaxed);
-        self.record(
-            kernel.name(),
-            rows_done,
-            rows_done * row_len as u64,
-            job.busy_ns.load(Ordering::Relaxed),
-            elapsed_ns(wall),
-        );
-        let error = job.error.lock().expect("error lock").take();
-        match error {
-            None => Ok(()),
-            Some(e) => Err(e),
-        }
+            started,
+        ));
+        self.shared.reserve_blocking(n_rows)?;
+        self.shared.enqueue(Arc::clone(&job));
+        // The input/output borrows must outlive every worker access:
+        // block until the job completes, which happens only after the
+        // last chunk's worker is done touching the buffers.
+        job.wait_outcome()
     }
 
-    /// Splits `n_rows` into chunk deques, one per worker: contiguous spans
-    /// round-robined so every worker starts with local work and thieves
-    /// take from the far end of a victim's span.
-    fn partition(&self, n_rows: usize) -> Vec<Mutex<VecDeque<Chunk>>> {
-        let workers = self.senders.len();
-        let mut queues: Vec<VecDeque<Chunk>> = (0..workers).map(|_| VecDeque::new()).collect();
-        let chunk_rows = self.config.chunk_rows;
-        let mut start = 0;
-        let mut worker = 0;
-        while start < n_rows {
-            let end = (start + chunk_rows).min(n_rows);
-            queues[worker].push_back(start..end);
-            worker = (worker + 1) % workers;
-            start = end;
+    /// Builds and enqueues an owned-buffer job, the common path behind
+    /// the public submission API ([`crate::Submission`]). `blocking`
+    /// selects the admission behaviour at a full queue: block for a slot,
+    /// or hand the input buffer back as [`EnqueueError::Full`] so the
+    /// caller (e.g. the router) can retry elsewhere.
+    pub(crate) fn enqueue_owned(
+        &self,
+        kernel: &Arc<dyn SoftmaxKernel>,
+        rows: Vec<f64>,
+        row_len: usize,
+        stream_chunk: Option<usize>,
+        blocking: bool,
+    ) -> std::result::Result<Ticket, EnqueueError> {
+        let started = Instant::now();
+        if stream_chunk == Some(0) {
+            return Err(EnqueueError::Fatal(SoftmaxError::InvalidConfig(
+                "streaming chunk must be positive".to_string(),
+            )));
         }
-        queues.into_iter().map(Mutex::new).collect()
+        let n_rows = match check_batch_geometry(rows.len(), row_len, rows.len()) {
+            Ok(n) => n,
+            Err(e) => return Err(EnqueueError::Fatal(e)),
+        };
+        if n_rows == 0 {
+            // Nothing to schedule: a pre-completed ticket, still counted.
+            self.shared
+                .record(kernel.name(), false, 0, 0, 0, elapsed_ns(started));
+            return Ok(Ticket::new(Arc::new(Job::completed(
+                Arc::clone(kernel),
+                row_len,
+                started,
+            ))));
+        }
+        if blocking {
+            if let Err(e) = self.shared.reserve_blocking(n_rows) {
+                return Err(EnqueueError::Fatal(e));
+            }
+        } else if !self.shared.try_reserve(n_rows) {
+            return Err(EnqueueError::Full(rows));
+        }
+        let job = Arc::new(Job::owned(
+            Arc::clone(kernel),
+            rows,
+            row_len,
+            self.config.chunk_rows,
+            stream_chunk,
+            started,
+        ));
+        self.shared.enqueue(Arc::clone(&job));
+        Ok(Ticket::new(job))
     }
 
     /// A snapshot of the per-kernel serving counters.
     #[must_use]
     pub fn stats(&self) -> EngineStats {
-        EngineStats::from_map(self.stats.lock().expect("stats lock").clone())
+        EngineStats::from_map(self.shared.stats.lock().expect("stats lock").clone())
     }
 
     /// Clears the per-kernel serving counters.
     pub fn reset_stats(&self) {
-        self.stats.lock().expect("stats lock").clear();
-    }
-
-    fn record(&self, kernel: &str, rows: u64, elements: u64, busy_ns: u64, wall_ns: u64) {
-        let mut stats = self.stats.lock().expect("stats lock");
-        let entry = stats.entry(kernel.to_string()).or_default();
-        entry.batches += 1;
-        entry.rows += rows;
-        entry.elements += elements;
-        entry.busy_ns += busy_ns;
-        entry.wall_ns += wall_ns;
+        self.shared.stats.lock().expect("stats lock").clear();
     }
 }
 
 impl Drop for BatchEngine {
     fn drop(&mut self) {
-        // Hanging up the channels ends each worker's recv loop.
-        self.senders.clear();
+        // Hanging up the intake ends each worker's loop once the queue
+        // has drained — jobs already admitted (e.g. outstanding tickets)
+        // still complete.
+        self.shared.shutdown();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -297,68 +335,395 @@ impl std::fmt::Debug for BatchEngine {
     }
 }
 
+/// Submission failure modes of the crate-internal enqueue path. `Full`
+/// hands the owned input buffer back so a router can retry the same
+/// submission on another shard without copying.
+pub(crate) enum EnqueueError {
+    Full(Vec<f64>),
+    Fatal(SoftmaxError),
+}
+
+impl EnqueueError {
+    pub(crate) fn into_error(self) -> SoftmaxError {
+        match self {
+            EnqueueError::Full(_) => SoftmaxError::QueueFull,
+            EnqueueError::Fatal(e) => e,
+        }
+    }
+}
+
 fn elapsed_ns(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
-/// One dispatched matrix: the kernel, the raw input/output views, the
-/// stealable chunk deques and the completion/error protocol.
+/// State shared between the engine handle and its workers: the intake
+/// queue with its admission bound, and the serving counters (recorded by
+/// whichever worker completes a job, so ticketed submissions are
+/// accounted without anyone blocking on them).
+struct Shared {
+    intake: Mutex<Intake>,
+    /// Workers wait here for jobs.
+    work: Condvar,
+    /// Submitters wait here for admission slots.
+    slot: Condvar,
+    stats: Mutex<BTreeMap<String, KernelServeStats>>,
+    /// Rows admitted and not yet completed (the router's load signal).
+    load_rows: AtomicU64,
+    threads: usize,
+    depth: usize,
+}
+
+struct Intake {
+    queue: VecDeque<Arc<Job>>,
+    /// Batches admitted and not yet completed.
+    inflight: usize,
+    shutdown: bool,
+}
+
+impl Shared {
+    fn new(config: &ServeConfig) -> Self {
+        Self {
+            intake: Mutex::new(Intake {
+                queue: VecDeque::new(),
+                inflight: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            slot: Condvar::new(),
+            stats: Mutex::new(BTreeMap::new()),
+            load_rows: AtomicU64::new(0),
+            threads: config.threads,
+            depth: config.queue_depth,
+        }
+    }
+
+    /// Claims an admission slot without blocking; `false` means the
+    /// queue is full (or shut down).
+    fn try_reserve(&self, n_rows: usize) -> bool {
+        let mut intake = self.intake.lock().expect("intake lock");
+        if intake.shutdown || intake.inflight >= self.depth {
+            return false;
+        }
+        intake.inflight += 1;
+        drop(intake);
+        self.load_rows.fetch_add(n_rows as u64, Ordering::Relaxed);
+        true
+    }
+
+    /// Claims an admission slot, blocking while the queue is full.
+    fn reserve_blocking(&self, n_rows: usize) -> Result<()> {
+        let mut intake = self.intake.lock().expect("intake lock");
+        while intake.inflight >= self.depth && !intake.shutdown {
+            intake = self.slot.wait(intake).expect("intake lock");
+        }
+        if intake.shutdown {
+            return Err(SoftmaxError::InvalidConfig(
+                "serve engine is shut down".to_string(),
+            ));
+        }
+        intake.inflight += 1;
+        drop(intake);
+        self.load_rows.fetch_add(n_rows as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Queues a reserved job and wakes workers for it. Waking more
+    /// workers than the job has chunks would only buy empty sweeps (the
+    /// old broadcast design woke the whole pool for a 1-chunk matrix),
+    /// so the wakeup fan-out is capped at `min(threads, n_chunks)` —
+    /// idle workers beyond that stay asleep.
+    fn enqueue(&self, job: Arc<Job>) {
+        let wake = job.n_chunks.min(self.threads);
+        {
+            let mut intake = self.intake.lock().expect("intake lock");
+            intake.queue.push_back(job);
+        }
+        for _ in 0..wake {
+            self.work.notify_one();
+        }
+    }
+
+    /// Returns a completed job's admission slot and load contribution.
+    fn release(&self, n_rows: usize) {
+        {
+            let mut intake = self.intake.lock().expect("intake lock");
+            intake.inflight -= 1;
+        }
+        self.load_rows.fetch_sub(n_rows as u64, Ordering::Relaxed);
+        self.slot.notify_all();
+    }
+
+    fn shutdown(&self) {
+        {
+            let mut intake = self.intake.lock().expect("intake lock");
+            intake.shutdown = true;
+        }
+        self.work.notify_all();
+        self.slot.notify_all();
+    }
+
+    /// Accounts one finished batch. Successes feed the throughput and
+    /// latency counters; failures are counted apart (with their partial
+    /// row progress and their wall time) so errors can never inflate
+    /// `rows_per_sec` or the latency percentiles; zero-row no-ops are
+    /// counted apart too (`empty_batches`) — they carry no request
+    /// work, so their ~0 ns walls would drag the latency means and
+    /// percentiles toward zero.
+    fn record(
+        &self,
+        kernel: &str,
+        failed: bool,
+        rows: u64,
+        elements: u64,
+        busy_ns: u64,
+        wall_ns: u64,
+    ) {
+        let mut stats = self.stats.lock().expect("stats lock");
+        let entry = stats.entry(kernel.to_string()).or_default();
+        entry.busy_ns += busy_ns;
+        if failed {
+            entry.failed_batches += 1;
+            entry.failed_rows += rows;
+            entry.failed_wall_ns += wall_ns;
+        } else if rows == 0 {
+            entry.empty_batches += 1;
+        } else {
+            entry.batches += 1;
+            entry.rows += rows;
+            entry.elements += elements;
+            entry.wall_ns += wall_ns;
+            entry.latency.push(wall_ns);
+        }
+    }
+}
+
+/// One admitted matrix: the kernel, the input/output buffer views, the
+/// chunk list and the completion/error protocol.
 ///
 /// The raw pointers make `Job` `Send`/`Sync` by hand; the safety argument
 /// is structural:
 ///
 /// * chunks are disjoint row ranges, so no two workers ever touch the
 ///   same output element, and the input is only read;
-/// * [`BatchEngine::forward_matrix_into`] keeps the underlying borrows
-///   alive and blocked until `pending` reaches zero, which each worker
-///   signals only *after* its last access — so no access outlives the
-///   borrow.
-struct Job {
+/// * for borrowed jobs, [`BatchEngine::forward_matrix_into`] keeps the
+///   underlying borrows alive and blocked until the job completes, which
+///   the finishing worker signals only *after* the last buffer access;
+/// * for owned jobs, the buffers live inside the job itself (`owned`),
+///   are never reallocated while workers run (the output is only taken
+///   by the ticket after completion), and drop with the last `Arc`.
+pub(crate) struct Job {
     kernel: Arc<dyn SoftmaxKernel>,
     rows: *const f64,
     out: *mut f64,
     row_len: usize,
-    /// One stealable deque per worker: owners pop the front, thieves the
-    /// back.
-    queues: Vec<Mutex<VecDeque<Chunk>>>,
+    n_rows: usize,
+    n_chunks: usize,
+    /// Chunks not yet taken, served front-to-back by any worker.
+    chunks: Mutex<VecDeque<Chunk>>,
     /// `Some(scores_per_push)` routes the job through the
-    /// chunked-streaming path (one `StreamSession` per worker per job)
-    /// instead of the batch path.
+    /// chunked-streaming path instead of the batch path.
     stream_chunk: Option<usize>,
-    /// Workers that have not yet checked out of this job.
-    pending: Mutex<usize>,
+    state: Mutex<JobState>,
     done: Condvar,
-    /// First per-row error observed (sticky).
-    error: Mutex<Option<SoftmaxError>>,
-    /// Raised on error so remaining chunks are abandoned.
+    /// Raised on error so untaken chunks are abandoned without compute.
     cancelled: AtomicBool,
     /// Summed per-worker busy time on this job, nanoseconds.
     busy_ns: AtomicU64,
-    /// Rows whose chunks completed successfully (the number the stats
-    /// credit — abandoned chunks of a cancelled batch never count).
+    /// Rows completed successfully (includes rows finished before an
+    /// error elsewhere in the batch — partial progress is credited).
     rows_done: AtomicU64,
+    /// Submission time: end-to-end latency is measured from here to the
+    /// last chunk's completion.
+    started: Instant,
+    /// Present on ticketed submissions: the job owns its buffers.
+    owned: Option<OwnedBuffers>,
+}
+
+struct OwnedBuffers {
+    /// Keeps the input alive for the raw `rows` pointer; never touched
+    /// again after construction.
+    _input: Vec<f64>,
+    /// The output the ticket collects; workers write through the raw
+    /// `out` pointer, the mutex only coordinates the final take.
+    output: Mutex<Vec<f64>>,
+}
+
+struct JobState {
+    /// Chunks not yet finished (completed or abandoned).
+    remaining: usize,
+    complete: bool,
+    /// First per-row error observed (sticky).
+    error: Option<SoftmaxError>,
 }
 
 // SAFETY: see the struct documentation — disjoint chunk writes, read-only
-// input, and the dispatcher blocks past the last worker access.
+// input, and buffer lifetimes pinned by either the blocked dispatcher
+// (borrowed jobs) or the job itself (owned jobs).
 unsafe impl Send for Job {}
 unsafe impl Sync for Job {}
 
+fn chunk_list(n_rows: usize, chunk_rows: usize) -> VecDeque<Chunk> {
+    let mut chunks = VecDeque::with_capacity(n_rows.div_ceil(chunk_rows));
+    let mut start = 0;
+    while start < n_rows {
+        let end = (start + chunk_rows).min(n_rows);
+        chunks.push_back(start..end);
+        start = end;
+    }
+    chunks
+}
+
 impl Job {
-    /// Takes the next chunk: own deque first (front), then a steal sweep
-    /// over the siblings (back).
-    fn next_chunk(&self, worker: usize) -> Option<Chunk> {
-        if let Some(chunk) = self.queues[worker].lock().expect("queue lock").pop_front() {
-            return Some(chunk);
+    /// A job over caller-borrowed buffers; the dispatcher must block
+    /// until completion before the borrows end.
+    fn borrowed(
+        kernel: Arc<dyn SoftmaxKernel>,
+        rows: &[f64],
+        out: &mut [f64],
+        row_len: usize,
+        chunk_rows: usize,
+        stream_chunk: Option<usize>,
+        started: Instant,
+    ) -> Self {
+        let n_rows = rows.len() / row_len;
+        Self::assemble(
+            kernel,
+            rows.as_ptr(),
+            out.as_mut_ptr(),
+            row_len,
+            n_rows,
+            chunk_list(n_rows, chunk_rows),
+            stream_chunk,
+            started,
+            None,
+        )
+    }
+
+    /// A job owning its buffers: the submission path, where many jobs
+    /// from many callers are safely in flight at once.
+    fn owned(
+        kernel: Arc<dyn SoftmaxKernel>,
+        input: Vec<f64>,
+        row_len: usize,
+        chunk_rows: usize,
+        stream_chunk: Option<usize>,
+        started: Instant,
+    ) -> Self {
+        let n_rows = input.len() / row_len;
+        let mut output = vec![0.0; input.len()];
+        // Heap allocations are stable across the moves below, so the raw
+        // views stay valid for the job's whole life.
+        let rows_ptr = input.as_ptr();
+        let out_ptr = output.as_mut_ptr();
+        Self::assemble(
+            kernel,
+            rows_ptr,
+            out_ptr,
+            row_len,
+            n_rows,
+            chunk_list(n_rows, chunk_rows),
+            stream_chunk,
+            started,
+            Some(OwnedBuffers {
+                _input: input,
+                output: Mutex::new(output),
+            }),
+        )
+    }
+
+    /// A zero-row submission: complete before it is ever queued.
+    fn completed(kernel: Arc<dyn SoftmaxKernel>, row_len: usize, started: Instant) -> Self {
+        Self::assemble(
+            kernel,
+            std::ptr::null(),
+            std::ptr::null_mut(),
+            row_len,
+            0,
+            VecDeque::new(),
+            None,
+            started,
+            Some(OwnedBuffers {
+                _input: Vec::new(),
+                output: Mutex::new(Vec::new()),
+            }),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        kernel: Arc<dyn SoftmaxKernel>,
+        rows: *const f64,
+        out: *mut f64,
+        row_len: usize,
+        n_rows: usize,
+        chunks: VecDeque<Chunk>,
+        stream_chunk: Option<usize>,
+        started: Instant,
+        owned: Option<OwnedBuffers>,
+    ) -> Self {
+        let n_chunks = chunks.len();
+        Self {
+            kernel,
+            rows,
+            out,
+            row_len,
+            n_rows,
+            n_chunks,
+            chunks: Mutex::new(chunks),
+            stream_chunk,
+            state: Mutex::new(JobState {
+                remaining: n_chunks,
+                complete: n_chunks == 0,
+                error: None,
+            }),
+            done: Condvar::new(),
+            cancelled: AtomicBool::new(false),
+            busy_ns: AtomicU64::new(0),
+            rows_done: AtomicU64::new(0),
+            started,
+            owned,
         }
-        let n = self.queues.len();
-        for offset in 1..n {
-            let victim = (worker + offset) % n;
-            if let Some(chunk) = self.queues[victim].lock().expect("queue lock").pop_back() {
-                return Some(chunk);
-            }
+    }
+
+    /// Takes the job's next untaken chunk, if any.
+    fn take_chunk(&self) -> Option<Chunk> {
+        self.chunks.lock().expect("chunk queue lock").pop_front()
+    }
+
+    /// Blocks until the job completes; returns its sticky error, if any.
+    pub(crate) fn wait_outcome(&self) -> Result<()> {
+        let mut state = self.state.lock().expect("job lock");
+        while !state.complete {
+            state = self.done.wait(state).expect("job lock");
         }
-        None
+        match state.error.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Non-blocking completion probe: `None` while chunks are still in
+    /// flight, the outcome once the job has completed.
+    pub(crate) fn try_outcome(&self) -> Option<Result<()>> {
+        let mut state = self.state.lock().expect("job lock");
+        if !state.complete {
+            return None;
+        }
+        Some(match state.error.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        })
+    }
+
+    pub(crate) fn is_complete(&self) -> bool {
+        self.state.lock().expect("job lock").complete
+    }
+
+    /// Takes the owned output buffer. Only meaningful on a completed
+    /// owned job (the ticket's contract).
+    pub(crate) fn take_output(&self) -> Vec<f64> {
+        let owned = self.owned.as_ref().expect("ticket jobs own their buffers");
+        std::mem::take(&mut *owned.output.lock().expect("output lock"))
     }
 
     /// Runs one chunk through the kernel's batch path.
@@ -366,8 +731,8 @@ impl Job {
         let elems = chunk.len() * self.row_len;
         let offset = chunk.start * self.row_len;
         // SAFETY: `chunk` is a row range validated against the matrix
-        // geometry, disjoint from every other chunk; the dispatcher keeps
-        // both borrows alive until this worker checks out.
+        // geometry, disjoint from every other chunk; the buffers outlive
+        // the job (see the struct documentation).
         let rows = unsafe { std::slice::from_raw_parts(self.rows.add(offset), elems) };
         let out = unsafe { std::slice::from_raw_parts_mut(self.out.add(offset), elems) };
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
@@ -389,10 +754,9 @@ impl Job {
         }
     }
 
-    /// Runs one chunk of rows through a worker's streaming session:
-    /// `reset` per row, `chunk_elems`-score pushes, allocation-free
-    /// finish. The session is the caller's so it persists across every
-    /// chunk (and steal) of the job.
+    /// Runs one chunk of rows through a streaming session: `reset` per
+    /// row, `chunk_elems`-score pushes, allocation-free finish. Rows
+    /// completed before a mid-chunk error are still credited.
     fn run_chunk_streamed(
         &self,
         chunk: &Chunk,
@@ -402,9 +766,10 @@ impl Job {
         let elems = chunk.len() * self.row_len;
         let offset = chunk.start * self.row_len;
         // SAFETY: as in `run_chunk` — disjoint validated row ranges, and
-        // the dispatcher outlives every worker access.
+        // the buffers outlive the job.
         let rows = unsafe { std::slice::from_raw_parts(self.rows.add(offset), elems) };
         let out = unsafe { std::slice::from_raw_parts_mut(self.out.add(offset), elems) };
+        let mut completed = 0u64;
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
             for (row, out_row) in rows
                 .chunks_exact(self.row_len)
@@ -415,6 +780,7 @@ impl Job {
                     session.push_chunk(piece);
                 }
                 session.finish_into(out_row)?;
+                completed += 1;
             }
             Ok(())
         }));
@@ -423,57 +789,134 @@ impl Job {
                 self.rows_done
                     .fetch_add(chunk.len() as u64, Ordering::Relaxed);
             }
-            Ok(Err(e)) => self.fail(e),
-            Err(_) => self.fail(SoftmaxError::InvalidConfig(format!(
-                "kernel '{}' panicked while stream-serving rows {}..{}",
-                self.kernel.name(),
-                chunk.start,
-                chunk.end
-            ))),
+            Ok(Err(e)) => {
+                self.rows_done.fetch_add(completed, Ordering::Relaxed);
+                self.fail(e);
+            }
+            Err(_) => {
+                self.rows_done.fetch_add(completed, Ordering::Relaxed);
+                self.fail(SoftmaxError::InvalidConfig(format!(
+                    "kernel '{}' panicked while stream-serving rows {}..{}",
+                    self.kernel.name(),
+                    chunk.start,
+                    chunk.end
+                )));
+            }
         }
     }
 
     fn fail(&self, e: SoftmaxError) {
         self.cancelled.store(true, Ordering::Relaxed);
-        let mut slot = self.error.lock().expect("error lock");
-        if slot.is_none() {
-            *slot = Some(e);
-        }
-    }
-
-    /// Marks one worker done; the last one wakes the dispatcher.
-    fn check_out(&self) {
-        let mut pending = self.pending.lock().expect("job lock");
-        *pending -= 1;
-        if *pending == 0 {
-            self.done.notify_all();
+        let mut state = self.state.lock().expect("job lock");
+        if state.error.is_none() {
+            state.error = Some(e);
         }
     }
 }
 
-/// The worker body: serve jobs until the engine hangs up, keeping one
-/// scratch space alive across every chunk of every job.
-fn worker_loop(index: usize, jobs: &Receiver<Arc<Job>>) {
-    let mut scratch = BatchScratch::default();
-    while let Ok(job) = jobs.recv() {
-        let t0 = Instant::now();
-        // A streaming job gets one session per worker, created before the
-        // first chunk and reused across every chunk (and steal) of the
-        // job — sessions borrow the kernel, so they cannot outlive it.
-        let mut session = job.stream_chunk.map(|_| job.kernel.stream_session());
-        while let Some(chunk) = job.next_chunk(index) {
-            if job.cancelled.load(Ordering::Relaxed) {
-                break;
-            }
-            match (&mut session, job.stream_chunk) {
-                (Some(session), Some(chunk_elems)) => {
-                    job.run_chunk_streamed(&chunk, session.as_mut(), chunk_elems);
+/// Marks one of `job`'s chunks finished; the worker that finishes the
+/// last one records the batch into the stats, returns the admission
+/// slot, and wakes everyone waiting on the job.
+fn finish_chunk(shared: &Shared, job: &Job) {
+    let failed = {
+        let mut state = job.state.lock().expect("job lock");
+        state.remaining -= 1;
+        if state.remaining > 0 {
+            return;
+        }
+        state.error.is_some()
+    };
+    // Only one decrement reaches zero, so from here on this worker is
+    // the job's single completer. Stats and the admission slot go first:
+    // anyone woken by `complete` may immediately read them.
+    let rows_done = job.rows_done.load(Ordering::Relaxed);
+    shared.record(
+        job.kernel.name(),
+        failed,
+        rows_done,
+        rows_done * job.row_len as u64,
+        job.busy_ns.load(Ordering::Relaxed),
+        elapsed_ns(job.started),
+    );
+    shared.release(job.n_rows);
+    {
+        let mut state = job.state.lock().expect("job lock");
+        state.complete = true;
+    }
+    job.done.notify_all();
+}
+
+/// Pops the next available chunk off the intake: the front job's next
+/// chunk, skipping (and retiring) jobs whose chunk lists have drained.
+fn take_front_chunk(intake: &mut Intake) -> Option<(Arc<Job>, Chunk)> {
+    loop {
+        let front = intake.queue.front()?;
+        let (chunk, drained) = {
+            let mut chunks = front.chunks.lock().expect("chunk queue lock");
+            let chunk = chunks.pop_front();
+            let drained = chunks.is_empty();
+            (chunk, drained)
+        };
+        match chunk {
+            Some(c) => {
+                let job = Arc::clone(front);
+                if drained {
+                    // Last chunk taken: later arrivals go straight to
+                    // the next job (in-flight chunks finish on their own).
+                    intake.queue.pop_front();
                 }
-                _ => job.run_chunk(&chunk, &mut scratch),
+                return Some((job, c));
+            }
+            None => {
+                intake.queue.pop_front();
             }
         }
-        job.busy_ns.fetch_add(elapsed_ns(t0), Ordering::Relaxed);
-        job.check_out();
+    }
+}
+
+/// The worker body: pull chunks off the shared intake until the engine
+/// hangs up, keeping one scratch space alive across every chunk of every
+/// job. Having claimed a chunk, a worker stays with that job while it
+/// has more (sessions and cache locality persist across its chunks),
+/// then returns to the intake for the next job — so workers flow between
+/// concurrently admitted jobs instead of serializing on any one of them.
+fn worker_loop(shared: &Shared) {
+    let mut scratch = BatchScratch::default();
+    'jobs: loop {
+        let (job, first) = {
+            let mut intake = shared.intake.lock().expect("intake lock");
+            loop {
+                if let Some(found) = take_front_chunk(&mut intake) {
+                    break found;
+                }
+                if intake.shutdown {
+                    return;
+                }
+                intake = shared.work.wait(intake).expect("intake lock");
+            }
+        };
+        // A streaming job gets one session per worker visit, reused
+        // across every chunk the worker serves for it — sessions borrow
+        // the kernel, so they cannot outlive the job.
+        let mut session = job.stream_chunk.map(|_| job.kernel.stream_session());
+        let mut chunk = first;
+        loop {
+            let t0 = Instant::now();
+            if !job.cancelled.load(Ordering::Relaxed) {
+                match (&mut session, job.stream_chunk) {
+                    (Some(session), Some(chunk_elems)) => {
+                        job.run_chunk_streamed(&chunk, session.as_mut(), chunk_elems);
+                    }
+                    _ => job.run_chunk(&chunk, &mut scratch),
+                }
+            }
+            job.busy_ns.fetch_add(elapsed_ns(t0), Ordering::Relaxed);
+            finish_chunk(shared, &job);
+            match job.take_chunk() {
+                Some(next) => chunk = next,
+                None => continue 'jobs,
+            }
+        }
     }
 }
 
@@ -513,8 +956,14 @@ mod tests {
             .forward_matrix_into(&kernel, &[], 0, &mut [])
             .expect("empty matrix is fine");
         let stats = engine.stats();
-        assert_eq!(stats.kernel("reference-e").expect("recorded").batches, 1);
-        assert_eq!(stats.kernel("reference-e").expect("recorded").rows, 0);
+        let s = stats.kernel("reference-e").expect("recorded");
+        // No-ops are visible, but apart: they must not dilute the
+        // latency means/percentiles real batches feed.
+        assert_eq!(s.empty_batches, 1);
+        assert_eq!(s.batches, 0);
+        assert_eq!(s.rows, 0);
+        assert_eq!(s.wall_ns, 0);
+        assert!(s.latency.is_empty());
     }
 
     #[test]
@@ -542,9 +991,12 @@ mod tests {
         let stats = engine.stats();
         let sm = stats.kernel("softermax").expect("served");
         assert_eq!(sm.batches, 2);
+        assert_eq!(sm.failed_batches, 0);
         assert_eq!(sm.rows, 128);
         assert_eq!(sm.elements, 1024);
         assert!(sm.wall_ns > 0);
+        assert_eq!(sm.latency.len(), 2);
+        assert!(sm.p50_latency_ns() > 0);
         assert_eq!(stats.kernel("reference-2").expect("served").rows, 64);
         assert_eq!(stats.total().rows, 192);
         engine.reset_stats();
@@ -587,12 +1039,22 @@ mod tests {
     fn more_threads_than_chunks_is_fine() {
         let kernel = KernelRegistry::global().get("online-2").expect("built-in");
         let engine = engine(8);
-        // One row: seven workers find their deques empty and nothing to
-        // steal, and must still check out cleanly.
+        // One row, one chunk: at most one worker is woken, the other
+        // seven must stay parked (and the engine must still complete).
         let got = engine
             .forward_matrix(&kernel, &[1.0, 2.0, 3.0], 3)
             .expect("serve");
         assert_eq!(got, kernel.forward(&[1.0, 2.0, 3.0]).expect("row"));
+    }
+
+    #[test]
+    fn load_and_inflight_return_to_zero() {
+        let kernel = KernelRegistry::global().get("softermax").expect("built-in");
+        let engine = engine(2);
+        let rows: Vec<f64> = (0..16 * 4).map(|i| f64::from(i % 5) - 2.0).collect();
+        engine.forward_matrix(&kernel, &rows, 4).expect("serve");
+        assert_eq!(engine.load_rows(), 0);
+        assert_eq!(engine.inflight(), 0);
     }
 
     #[test]

@@ -3,36 +3,53 @@
 //!
 //! The paper's accelerator never computes softmax a row at a time: whole
 //! attention score matrices stream through parallel Softermax units, one
-//! slice per cycle per unit. This crate is the software mirror of that
-//! execution model, promoting the per-row
-//! [`SoftmaxKernel`](softermax::SoftmaxKernel) calls to matrix-at-a-time
-//! serving:
+//! slice per cycle per unit — and the inference *serving* workloads that
+//! motivate its low-power datapath hit such an accelerator from many
+//! clients at once. This crate is the software mirror of that execution
+//! model, from matrix-at-a-time batching up to request-level concurrency
+//! (std threads and sync primitives only, no external runtime):
 //!
-//! * [`BatchEngine`] — a fixed pool of worker threads (std threads and
-//!   channels only, no external runtime) that fans the rows of a flattened
-//!   score matrix out as *chunks* through per-worker work-stealing deques,
-//!   runs each chunk through the kernel's vectorized
+//! * [`BatchEngine`] — a fixed pool of worker threads pulling row-chunk
+//!   work from one shared, **bounded** intake queue, so many matrices
+//!   from many callers are in flight at once and a small job never parks
+//!   the pool behind a big one; each chunk runs through the kernel's
+//!   vectorized
 //!   [`forward_batch_into`](softermax::SoftmaxKernel::forward_batch_into)
-//!   path, and accounts throughput/latency per kernel;
+//!   path (or a [`StreamSession`](softermax::StreamSession) for
+//!   streamed jobs);
+//! * [`Submission`] / [`Ticket`] — owned-buffer asynchronous requests:
+//!   [`BatchEngine::submit`] returns immediately with a ticket,
+//!   [`Ticket::wait`]/[`Ticket::try_poll`] collect the probabilities;
+//!   admission is bounded by [`ServeConfig::queue_depth`]
+//!   ([`SoftmaxError::QueueFull`](softermax::SoftmaxError::QueueFull)
+//!   on a full engine, or blocking backpressure via
+//!   [`BatchEngine::submit_wait`]);
+//! * [`ShardedRouter`] — spreads submissions across N independent
+//!   engine shards (round-robin or least-loaded), failing over on full
+//!   shards and merging per-shard stats;
 //! * [`ServeConfig`] — engine geometry. The chunk size is *derived from
-//!   the hardware model*: one chunk is the block of rows a paper PE's lane
-//!   array processes in parallel ([`PeConfig::n_lanes`]), so software
-//!   batching mirrors the accelerator's unit parallelism;
+//!   the hardware model*: one chunk is the block of rows a paper PE's
+//!   lane array processes in parallel ([`PeConfig::n_lanes`]), so
+//!   software batching mirrors the accelerator's unit parallelism;
 //! * [`EngineStats`] / [`KernelServeStats`] — per-kernel rows/s, element
-//!   throughput, batch latency and worker utilization accounting;
+//!   throughput, batch latency means **and p50/p95/p99 percentiles**
+//!   (over a sliding [`LatencyWindow`]), worker utilization, and honest
+//!   failure counters (failed batches never inflate the rates);
 //! * [`traffic`] — deterministic synthetic attention-score traffic for
-//!   load generation (the CLI `serve` subcommand and the `throughput
-//!   --batch` harness both drive the engine with it).
+//!   load generation (the CLI `serve` subcommand and the `throughput`
+//!   harness both drive the engine with it).
 //!
 //! # Determinism
 //!
-//! Scheduling is free-running (workers steal chunks), but results are not:
-//! every kernel's batch path is **bit-identical** with its sequential
-//! row-at-a-time path, each output row is written by exactly one worker,
-//! and no reduction crosses rows — so engine output is bit-identical to
-//! sequential execution at every thread count. The property tests in
-//! `tests/determinism.rs` hold all registered kernels to that contract at
-//! 1, 2, 4 and 8 threads.
+//! Scheduling is free-running (workers pull chunks from whatever job is
+//! at the front of the intake), but results are not: every kernel's
+//! batch path is **bit-identical** with its sequential row-at-a-time
+//! path, each output row is written by exactly one worker, and no
+//! reduction crosses rows — so engine output is bit-identical to
+//! sequential execution at every thread count and under any
+//! interleaving of concurrent submitters. The property tests in
+//! `tests/determinism.rs` and `tests/concurrency.rs` hold all
+//! registered kernels to that contract.
 //!
 //! # Example
 //!
@@ -42,9 +59,11 @@
 //!
 //! let engine = BatchEngine::new(ServeConfig::new(2))?;
 //! let kernel = KernelRegistry::global().get("softermax").expect("built-in");
-//! // Two rows of three scores, flattened row-major.
-//! let rows = [2.0, 1.0, 3.0, 0.0, 0.5, -0.5];
-//! let probs = engine.forward_matrix(&kernel, &rows, 3)?;
+//! // Two rows of three scores, flattened row-major, submitted as an
+//! // owned-buffer request; the ticket collects the probabilities.
+//! let rows = vec![2.0, 1.0, 3.0, 0.0, 0.5, -0.5];
+//! let ticket = engine.submit(&kernel, rows, 3)?;
+//! let probs = ticket.wait()?;
 //! assert_eq!(probs.len(), 6);
 //! let first_row_mass: f64 = probs[..3].iter().sum();
 //! assert!((first_row_mass - 1.0).abs() < 0.05);
@@ -57,9 +76,13 @@
 
 mod config;
 mod engine;
+mod router;
 mod stats;
+mod submit;
 pub mod traffic;
 
-pub use config::ServeConfig;
+pub use config::{ServeConfig, DEFAULT_QUEUE_DEPTH};
 pub use engine::BatchEngine;
-pub use stats::{EngineStats, KernelServeStats};
+pub use router::{RoutePolicy, ShardedRouter};
+pub use stats::{EngineStats, KernelServeStats, LatencyWindow, LATENCY_WINDOW};
+pub use submit::{Admission, Submission, Ticket, TicketPoll};

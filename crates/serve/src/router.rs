@@ -1,0 +1,328 @@
+//! Sharding the serving layer: one [`ShardedRouter`] spreads
+//! submissions across N independent [`BatchEngine`]s.
+//!
+//! Each shard owns its worker pool, admission queue, and stats, so
+//! shards never contend on a lock — the router is a thin, lock-free
+//! routing layer on top. Two policies:
+//!
+//! * [`RoutePolicy::RoundRobin`] — rotate through the shards; uniform
+//!   and cheap, best when requests are similarly sized;
+//! * [`RoutePolicy::LeastLoaded`] — route to the shard with the fewest
+//!   admitted-but-unfinished rows ([`BatchEngine::load_rows`]), best
+//!   when request sizes are skewed.
+//!
+//! On a full shard, a non-blocking submission *fails over*: the router
+//! retries every other shard (reusing the owned buffer, no copy) before
+//! reporting [`SoftmaxError::QueueFull`] — so backpressure means "the
+//! whole router is full", not "one shard got unlucky".
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use softermax::kernel::SoftmaxKernel;
+use softermax::{Result, SoftmaxError};
+
+use crate::engine::{BatchEngine, EnqueueError};
+use crate::stats::EngineStats;
+use crate::submit::{Admission, Submission, Ticket};
+use crate::ServeConfig;
+
+/// How a [`ShardedRouter`] picks the shard for the next submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// Rotate through the shards in order.
+    RoundRobin,
+    /// Route to the shard with the fewest in-flight rows.
+    LeastLoaded,
+}
+
+/// N independent [`BatchEngine`] shards behind one submission front-end.
+#[derive(Debug)]
+pub struct ShardedRouter {
+    shards: Vec<BatchEngine>,
+    policy: RoutePolicy,
+    cursor: AtomicUsize,
+}
+
+impl ShardedRouter {
+    /// Builds `n_shards` engines, each from a clone of `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SoftmaxError::InvalidConfig`] when `n_shards == 0` or
+    /// the config fails [`ServeConfig::validate`] (already-spawned
+    /// shards are dropped — and therefore joined — on the way out).
+    pub fn new(n_shards: usize, config: ServeConfig, policy: RoutePolicy) -> Result<Self> {
+        if n_shards == 0 {
+            return Err(SoftmaxError::InvalidConfig(
+                "router needs at least one shard".to_string(),
+            ));
+        }
+        let shards = (0..n_shards)
+            .map(|_| BatchEngine::new(config.clone()))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self {
+            shards,
+            policy,
+            cursor: AtomicUsize::new(0),
+        })
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's engine (direct access for stats or blocking
+    /// dispatch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.n_shards()`.
+    #[must_use]
+    pub fn shard(&self, index: usize) -> &BatchEngine {
+        &self.shards[index]
+    }
+
+    /// The routing policy.
+    #[must_use]
+    pub fn policy(&self) -> RoutePolicy {
+        self.policy
+    }
+
+    /// Rows admitted and not yet completed, summed over the shards.
+    #[must_use]
+    pub fn load_rows(&self) -> u64 {
+        self.shards.iter().map(BatchEngine::load_rows).sum()
+    }
+
+    fn pick(&self) -> usize {
+        match self.policy {
+            RoutePolicy::RoundRobin => {
+                self.cursor.fetch_add(1, Ordering::Relaxed) % self.shards.len()
+            }
+            RoutePolicy::LeastLoaded => self.least_loaded(),
+        }
+    }
+
+    /// Index of the shard with the fewest in-flight rows right now.
+    fn least_loaded(&self) -> usize {
+        let mut best = 0;
+        let mut best_load = u64::MAX;
+        for (index, shard) in self.shards.iter().enumerate() {
+            let load = shard.load_rows();
+            if load < best_load {
+                best = index;
+                best_load = load;
+            }
+        }
+        best
+    }
+
+    /// Routes an owned score matrix to a shard and returns its
+    /// [`Ticket`], failing over across shards before rejecting.
+    ///
+    /// # Errors
+    ///
+    /// [`SoftmaxError::QueueFull`] when **every** shard's admission
+    /// queue is full, plus the submission errors of
+    /// [`BatchEngine::submit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` is not a multiple of `row_len`.
+    pub fn submit(
+        &self,
+        kernel: &Arc<dyn SoftmaxKernel>,
+        rows: Vec<f64>,
+        row_len: usize,
+    ) -> Result<Ticket> {
+        self.submit_request(Submission::new(kernel, rows, row_len), Admission::Fail)
+    }
+
+    /// Like [`ShardedRouter::submit`], but blocks for a slot on the
+    /// picked shard when every shard is full.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedRouter::submit`], minus [`SoftmaxError::QueueFull`].
+    pub fn submit_wait(
+        &self,
+        kernel: &Arc<dyn SoftmaxKernel>,
+        rows: Vec<f64>,
+        row_len: usize,
+    ) -> Result<Ticket> {
+        self.submit_request(Submission::new(kernel, rows, row_len), Admission::Block)
+    }
+
+    /// Routes a full [`Submission`] (batch or streamed) under the given
+    /// [`Admission`] behaviour.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedRouter::submit`] for [`Admission::Fail`]; blocking
+    /// admission waits on the picked shard instead of rejecting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the submission's matrix is not a whole number of rows.
+    pub fn submit_request(&self, submission: Submission, admission: Admission) -> Result<Ticket> {
+        let Submission {
+            kernel,
+            mut rows,
+            row_len,
+            stream_chunk,
+        } = submission;
+        let first = self.pick();
+        let n = self.shards.len();
+        for offset in 0..n {
+            let shard = &self.shards[(first + offset) % n];
+            match shard.enqueue_owned(&kernel, rows, row_len, stream_chunk, false) {
+                Ok(ticket) => return Ok(ticket),
+                // Full shard: take the buffer back and fail over.
+                Err(EnqueueError::Full(returned)) => rows = returned,
+                Err(EnqueueError::Fatal(e)) => return Err(e),
+            }
+        }
+        match admission {
+            Admission::Fail => Err(SoftmaxError::QueueFull),
+            // Every shard was full at sweep time: block on the shard
+            // with the least work in flight *now* — the one most likely
+            // to free a slot first — rather than the pre-sweep pick,
+            // which may sit behind a long batch while a sibling has
+            // already drained.
+            Admission::Block => self.shards[self.least_loaded()]
+                .enqueue_owned(&kernel, rows, row_len, stream_chunk, true)
+                .map_err(EnqueueError::into_error),
+        }
+    }
+
+    /// Serving counters merged across every shard (latency windows
+    /// included, so the percentiles describe the whole router's recent
+    /// traffic).
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        let mut merged = EngineStats::default();
+        for shard in &self.shards {
+            merged.absorb(&shard.stats());
+        }
+        merged
+    }
+
+    /// Clears every shard's serving counters.
+    pub fn reset_stats(&self) {
+        for shard in &self.shards {
+            shard.reset_stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softermax::KernelRegistry;
+
+    fn tiny_config() -> ServeConfig {
+        ServeConfig::new(1).with_chunk_rows(2)
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        assert!(ShardedRouter::new(0, tiny_config(), RoutePolicy::RoundRobin).is_err());
+        assert!(ShardedRouter::new(1, ServeConfig::new(0), RoutePolicy::RoundRobin).is_err());
+    }
+
+    #[test]
+    fn routed_submissions_are_bit_identical_to_sequential() {
+        let kernel = KernelRegistry::global().get("softermax").expect("built-in");
+        for policy in [RoutePolicy::RoundRobin, RoutePolicy::LeastLoaded] {
+            let router = ShardedRouter::new(3, tiny_config(), policy).expect("valid config");
+            let matrices: Vec<Vec<f64>> = (0..9)
+                .map(|m| (0..5 * 4).map(|i| f64::from((i * m) % 11) - 5.0).collect())
+                .collect();
+            let tickets: Vec<Ticket> = matrices
+                .iter()
+                .map(|rows| {
+                    router
+                        .submit_wait(&kernel, rows.clone(), 4)
+                        .expect("submit")
+                })
+                .collect();
+            for (rows, ticket) in matrices.iter().zip(tickets) {
+                let got = ticket.wait().expect("serve");
+                for (row, got_row) in rows.chunks_exact(4).zip(got.chunks_exact(4)) {
+                    assert_eq!(got_row.to_vec(), kernel.forward(row).expect("row"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_batches_across_shards() {
+        let kernel = KernelRegistry::global()
+            .get("reference-2")
+            .expect("built-in");
+        let router =
+            ShardedRouter::new(2, tiny_config(), RoutePolicy::RoundRobin).expect("valid config");
+        let rows: Vec<f64> = (0..4 * 3).map(|i| f64::from(i % 5) - 2.0).collect();
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|_| {
+                router
+                    .submit_wait(&kernel, rows.clone(), 3)
+                    .expect("submit")
+            })
+            .collect();
+        for ticket in tickets {
+            ticket.wait().expect("serve");
+        }
+        for index in 0..router.n_shards() {
+            let shard_batches = router
+                .shard(index)
+                .stats()
+                .kernel("reference-2")
+                .map_or(0, |s| s.batches);
+            assert_eq!(shard_batches, 3, "shard {index} got an uneven share");
+        }
+        assert_eq!(
+            router
+                .stats()
+                .kernel("reference-2")
+                .expect("served")
+                .batches,
+            6
+        );
+    }
+
+    #[test]
+    fn full_shards_fail_over_before_rejecting() {
+        let kernel = KernelRegistry::global()
+            .get("reference-e")
+            .expect("built-in");
+        // Depth-1 shards and a parked (0-progress) load: filling both
+        // shards requires fail-over; the third submission must reject.
+        let config = tiny_config().with_queue_depth(1);
+        let router = ShardedRouter::new(2, config, RoutePolicy::RoundRobin).expect("valid config");
+        let slow_rows: Vec<f64> = (0..64 * 8).map(|i| f64::from(i % 9) - 4.0).collect();
+        let t1 = router.submit(&kernel, slow_rows.clone(), 8).expect("first");
+        let t2 = router
+            .submit(&kernel, slow_rows.clone(), 8)
+            .expect("fail-over");
+        // Both shards now hold one admitted batch each; whether their
+        // workers have finished is timing-dependent, so only assert that
+        // a rejection, if it happens, is QueueFull — and that the router
+        // always recovers.
+        match router.submit(&kernel, slow_rows.clone(), 8) {
+            Ok(t3) => drop(t3.wait()),
+            Err(e) => assert!(matches!(e, SoftmaxError::QueueFull), "{e:?}"),
+        }
+        t1.wait().expect("serve");
+        t2.wait().expect("serve");
+        // Drained router: submissions flow again.
+        router
+            .submit(&kernel, slow_rows, 8)
+            .expect("submit after drain")
+            .wait()
+            .expect("serve");
+    }
+}

@@ -1,40 +1,159 @@
-//! Per-kernel serving accounting: throughput, latency, utilization.
+//! Per-kernel serving accounting: throughput, latency percentiles,
+//! utilization, and honest failure counters.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Capacity of the per-kernel sliding latency window: percentiles are
+/// computed over the most recent `LATENCY_WINDOW` completed batches.
+pub const LATENCY_WINDOW: usize = 4096;
+
+/// A sliding window of per-batch latencies (nanoseconds), bounded at
+/// [`LATENCY_WINDOW`] samples: old samples fall out as new batches
+/// complete, so percentiles always describe recent traffic rather than
+/// the whole process lifetime.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyWindow {
+    samples: VecDeque<u64>,
+}
+
+impl LatencyWindow {
+    /// Records one completed batch's end-to-end latency.
+    pub fn push(&mut self, ns: u64) {
+        if self.samples.len() == LATENCY_WINDOW {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(ns);
+    }
+
+    /// Number of samples currently in the window.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the window holds no samples yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The `q`-quantile latency (nearest-rank over the window), in
+    /// nanoseconds; `q` is clamped into `[0, 1]`. Returns 0 for an empty
+    /// window.
+    #[must_use]
+    pub fn percentile_ns(&self, q: f64) -> u64 {
+        self.percentiles_ns(&[q])[0]
+    }
+
+    /// Several quantiles at once from a single sorted copy of the window
+    /// — what report sites asking for p50/p95/p99 together should call.
+    #[must_use]
+    pub fn percentiles_ns(&self, qs: &[f64]) -> Vec<u64> {
+        if self.samples.is_empty() {
+            return vec![0; qs.len()];
+        }
+        let mut sorted: Vec<u64> = self.samples.iter().copied().collect();
+        sorted.sort_unstable();
+        qs.iter()
+            .map(|&q| {
+                let q = q.clamp(0.0, 1.0);
+                // Nearest-rank: the smallest sample with at least a `q`
+                // fraction of the window at or below it.
+                let rank = (sorted.len() as f64 * q).ceil() as usize;
+                sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+            })
+            .collect()
+    }
+
+    /// Folds another window's samples into this one. When the combined
+    /// sample count exceeds the bounded capacity, each side keeps a
+    /// share proportional to its size (newest samples first), so merging
+    /// two full windows — e.g. a router folding its shards together —
+    /// represents both instead of letting the second evict the first
+    /// wholesale.
+    pub fn absorb(&mut self, other: &LatencyWindow) {
+        let total = self.samples.len() + other.samples.len();
+        if total <= LATENCY_WINDOW {
+            self.samples.extend(other.samples.iter().copied());
+            return;
+        }
+        let other_keep = (LATENCY_WINDOW * other.samples.len() / total).min(other.samples.len());
+        let self_keep = (LATENCY_WINDOW - other_keep).min(self.samples.len());
+        self.samples.drain(..self.samples.len() - self_keep);
+        self.samples.extend(
+            other
+                .samples
+                .iter()
+                .skip(other.samples.len() - other_keep)
+                .copied(),
+        );
+    }
+}
 
 /// Accumulated serving counters for one kernel.
 ///
-/// `wall_ns` is end-to-end engine time (dispatch to last worker done);
-/// `busy_ns` is the *sum* of per-worker compute time, so with `t` threads
-/// perfectly busy, `busy_ns ≈ t × wall_ns`.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// `wall_ns` is summed end-to-end request time (submission to last chunk
+/// done) over **successful** batches only; `busy_ns` is the sum of
+/// per-worker compute time over every batch (failed ones included — the
+/// workers really were busy), so with `t` threads perfectly busy,
+/// `busy_ns ≈ t × wall_ns`. Failed batches are counted apart
+/// (`failed_batches`, with their completed rows in `failed_rows`) so
+/// errors can never inflate `rows_per_sec` or the latency statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct KernelServeStats {
-    /// Matrices served.
+    /// Matrices served to completion (at least one row each).
     pub batches: u64,
-    /// Softmax rows computed.
+    /// Zero-row no-op requests: accepted and accounted here, but kept
+    /// out of `batches` and all time counters so they cannot drag the
+    /// latency statistics toward zero.
+    pub empty_batches: u64,
+    /// Matrices that failed or were cancelled mid-way.
+    pub failed_batches: u64,
+    /// Softmax rows computed by successful batches.
     pub rows: u64,
-    /// Score elements consumed.
+    /// Rows that completed inside batches which then failed (partial
+    /// progress: real work, but excluded from the throughput rates).
+    pub failed_rows: u64,
+    /// Score elements consumed by successful batches.
     pub elements: u64,
-    /// Summed worker busy time, nanoseconds.
+    /// Summed worker busy time, nanoseconds (all batches).
     pub busy_ns: u64,
-    /// Summed end-to-end batch time, nanoseconds.
+    /// Summed end-to-end latency of successful batches, nanoseconds.
     pub wall_ns: u64,
+    /// Summed end-to-end time of failed batches, nanoseconds — kept out
+    /// of the rates and latency statistics, but part of the utilization
+    /// capacity (the workers really were busy on them).
+    pub failed_wall_ns: u64,
+    /// Sliding window of recent successful-batch latencies.
+    pub latency: LatencyWindow,
 }
 
 impl KernelServeStats {
-    /// Served rows per second of wall time.
+    /// Served rows per second of summed (successful) request wall time.
+    ///
+    /// `wall_ns` sums **per-request** walls, so when requests overlap —
+    /// concurrent submitters on one engine — the summed time exceeds
+    /// elapsed time and this rate is a conservative lower bound on
+    /// engine throughput (it equals real throughput only for serialized
+    /// callers). Multi-client harnesses should measure rows over their
+    /// own elapsed wall clock, as the CLI concurrent mode and
+    /// `throughput --concurrent` do.
     #[must_use]
     pub fn rows_per_sec(&self) -> f64 {
         per_sec(self.rows, self.wall_ns)
     }
 
-    /// Score elements per second of wall time.
+    /// Score elements per second of summed (successful) request wall
+    /// time — the same summed-wall caveat as
+    /// [`KernelServeStats::rows_per_sec`].
     #[must_use]
     pub fn elements_per_sec(&self) -> f64 {
         per_sec(self.elements, self.wall_ns)
     }
 
-    /// Mean end-to-end latency of one served matrix, nanoseconds.
+    /// Mean end-to-end latency of one successfully served matrix,
+    /// nanoseconds. Failed batches are excluded from both numerator and
+    /// denominator.
     #[must_use]
     pub fn mean_batch_latency_ns(&self) -> f64 {
         if self.batches == 0 {
@@ -44,11 +163,46 @@ impl KernelServeStats {
         }
     }
 
+    /// Median per-request latency over the recent window, nanoseconds.
+    #[must_use]
+    pub fn p50_latency_ns(&self) -> u64 {
+        self.latency.percentile_ns(0.50)
+    }
+
+    /// 95th-percentile per-request latency over the recent window.
+    #[must_use]
+    pub fn p95_latency_ns(&self) -> u64 {
+        self.latency.percentile_ns(0.95)
+    }
+
+    /// 99th-percentile per-request latency over the recent window.
+    #[must_use]
+    pub fn p99_latency_ns(&self) -> u64 {
+        self.latency.percentile_ns(0.99)
+    }
+
+    /// `[p50, p95, p99]` per-request latency over the recent window,
+    /// computed from one sorted pass.
+    #[must_use]
+    pub fn latency_percentiles_ns(&self) -> [u64; 3] {
+        let ps = self.latency.percentiles_ns(&[0.50, 0.95, 0.99]);
+        [ps[0], ps[1], ps[2]]
+    }
+
     /// Fraction of `threads × wall` the workers spent computing — 1.0 is
-    /// a perfectly parallel, scheduling-overhead-free engine.
+    /// a perfectly parallel, scheduling-overhead-free engine. The wall
+    /// here spans failed batches too (`busy_ns` includes their compute,
+    /// so the capacity must include their time).
+    ///
+    /// Like the rates, this is meaningful for **serialized** callers:
+    /// under concurrent submissions the per-request walls overlap and
+    /// include queue wait, so the capacity is overstated and this
+    /// *underestimates* how busy the workers really were — for
+    /// multi-client workloads, measure `busy_ns` against an external
+    /// elapsed clock instead.
     #[must_use]
     pub fn utilization(&self, threads: usize) -> f64 {
-        let capacity = self.wall_ns.saturating_mul(threads as u64);
+        let capacity = (self.wall_ns + self.failed_wall_ns).saturating_mul(threads as u64);
         if capacity == 0 {
             0.0
         } else {
@@ -59,10 +213,15 @@ impl KernelServeStats {
     /// Folds another counter set into this one.
     pub fn absorb(&mut self, other: &KernelServeStats) {
         self.batches += other.batches;
+        self.empty_batches += other.empty_batches;
+        self.failed_batches += other.failed_batches;
         self.rows += other.rows;
+        self.failed_rows += other.failed_rows;
         self.elements += other.elements;
         self.busy_ns += other.busy_ns;
         self.wall_ns += other.wall_ns;
+        self.failed_wall_ns += other.failed_wall_ns;
+        self.latency.absorb(&other.latency);
     }
 }
 
@@ -108,7 +267,8 @@ impl EngineStats {
         self.per_kernel.is_empty()
     }
 
-    /// Counters summed across every kernel.
+    /// Counters summed across every kernel (latency windows merged, so
+    /// the percentiles describe all kernels' recent batches together).
     #[must_use]
     pub fn total(&self) -> KernelServeStats {
         let mut total = KernelServeStats::default();
@@ -116,6 +276,17 @@ impl EngineStats {
             total.absorb(stats);
         }
         total
+    }
+
+    /// Folds another snapshot into this one, kernel by kernel — how a
+    /// [`ShardedRouter`](crate::ShardedRouter) merges its shards' stats.
+    pub fn absorb(&mut self, other: &EngineStats) {
+        for (kernel, stats) in &other.per_kernel {
+            self.per_kernel
+                .entry(kernel.clone())
+                .or_default()
+                .absorb(stats);
+        }
     }
 }
 
@@ -131,6 +302,7 @@ mod tests {
             elements: 64_000,
             busy_ns: 1_500_000,
             wall_ns: 1_000_000,
+            ..Default::default()
         };
         assert!((s.rows_per_sec() - 1e6).abs() < 1e-3);
         assert!((s.elements_per_sec() - 6.4e7).abs() < 1.0);
@@ -144,37 +316,145 @@ mod tests {
         assert_eq!(s.rows_per_sec(), 0.0);
         assert_eq!(s.mean_batch_latency_ns(), 0.0);
         assert_eq!(s.utilization(4), 0.0);
+        assert_eq!(s.p50_latency_ns(), 0);
+        assert_eq!(s.p99_latency_ns(), 0);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let mut w = LatencyWindow::default();
+        for ns in 1..=100 {
+            w.push(ns);
+        }
+        assert_eq!(w.len(), 100);
+        assert_eq!(w.percentile_ns(0.50), 50);
+        assert_eq!(w.percentile_ns(0.95), 95);
+        assert_eq!(w.percentile_ns(0.99), 99);
+        assert_eq!(w.percentile_ns(0.0), 1);
+        assert_eq!(w.percentile_ns(1.0), 100);
+        // Out-of-range quantiles clamp instead of panicking.
+        assert_eq!(w.percentile_ns(7.0), 100);
+        assert_eq!(w.percentile_ns(-1.0), 1);
+    }
+
+    #[test]
+    fn window_is_bounded_and_keeps_recent_samples() {
+        let mut w = LatencyWindow::default();
+        for ns in 0..(LATENCY_WINDOW as u64 + 100) {
+            w.push(ns);
+        }
+        assert_eq!(w.len(), LATENCY_WINDOW);
+        // The 100 oldest samples fell out: the minimum is now 100.
+        assert_eq!(w.percentile_ns(0.0), 100);
+    }
+
+    #[test]
+    fn merging_full_windows_keeps_both_sides() {
+        let mut a = LatencyWindow::default();
+        let mut b = LatencyWindow::default();
+        for _ in 0..LATENCY_WINDOW {
+            a.push(1_000);
+            b.push(2_000);
+        }
+        a.absorb(&b);
+        assert_eq!(a.len(), LATENCY_WINDOW);
+        // Proportional shares: half the merged window from each source,
+        // not the second source evicting the first wholesale.
+        assert_eq!(a.percentile_ns(0.25), 1_000);
+        assert_eq!(a.percentile_ns(0.75), 2_000);
+    }
+
+    #[test]
+    fn utilization_capacity_spans_failed_batches() {
+        // One 1 ms success (1 ms busy) plus a failed batch that burned
+        // 10 ms of worker time: utilization must stay <= 1 on 1 thread.
+        let s = KernelServeStats {
+            batches: 1,
+            failed_batches: 1,
+            busy_ns: 11_000_000,
+            wall_ns: 1_000_000,
+            failed_wall_ns: 10_000_000,
+            ..Default::default()
+        };
+        assert!((s.utilization(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_batches_do_not_skew_rates() {
+        let mut s = KernelServeStats {
+            batches: 1,
+            rows: 100,
+            elements: 400,
+            wall_ns: 1_000_000,
+            ..Default::default()
+        };
+        s.latency.push(1_000_000);
+        let rate_before = s.rows_per_sec();
+        let mean_before = s.mean_batch_latency_ns();
+        // A failed batch with partial progress: counters move, rates don't.
+        s.failed_batches += 1;
+        s.failed_rows += 37;
+        s.busy_ns += 123_456;
+        assert_eq!(s.rows_per_sec(), rate_before);
+        assert_eq!(s.mean_batch_latency_ns(), mean_before);
+        assert_eq!(s.p50_latency_ns(), 1_000_000);
     }
 
     #[test]
     fn totals_absorb_every_kernel() {
         let mut map = BTreeMap::new();
-        map.insert(
-            "a".to_string(),
-            KernelServeStats {
-                batches: 1,
-                rows: 10,
-                elements: 100,
-                busy_ns: 5,
-                wall_ns: 7,
-            },
-        );
-        map.insert(
-            "b".to_string(),
-            KernelServeStats {
-                batches: 2,
-                rows: 20,
-                elements: 200,
-                busy_ns: 6,
-                wall_ns: 8,
-            },
-        );
+        let mut a = KernelServeStats {
+            batches: 1,
+            rows: 10,
+            elements: 100,
+            busy_ns: 5,
+            wall_ns: 7,
+            ..Default::default()
+        };
+        a.latency.push(7);
+        let mut b = KernelServeStats {
+            batches: 2,
+            failed_batches: 1,
+            rows: 20,
+            failed_rows: 3,
+            elements: 200,
+            busy_ns: 6,
+            wall_ns: 8,
+            ..Default::default()
+        };
+        b.latency.push(3);
+        b.latency.push(5);
+        map.insert("a".to_string(), a);
+        map.insert("b".to_string(), b);
         let stats = EngineStats::from_map(map);
         assert_eq!(stats.len(), 2);
         let total = stats.total();
         assert_eq!(total.batches, 3);
+        assert_eq!(total.failed_batches, 1);
         assert_eq!(total.rows, 30);
+        assert_eq!(total.failed_rows, 3);
         assert_eq!(total.elements, 300);
         assert_eq!(total.wall_ns, 15);
+        assert_eq!(total.latency.len(), 3);
+        assert_eq!(total.p50_latency_ns(), 5);
+    }
+
+    #[test]
+    fn snapshots_absorb_for_router_merging() {
+        let mut map = BTreeMap::new();
+        map.insert(
+            "softermax".to_string(),
+            KernelServeStats {
+                batches: 4,
+                rows: 40,
+                ..Default::default()
+            },
+        );
+        let mut left = EngineStats::from_map(map.clone());
+        map.get_mut("softermax").expect("present").batches = 6;
+        let right = EngineStats::from_map(map);
+        left.absorb(&right);
+        assert_eq!(left.kernel("softermax").expect("merged").batches, 10);
+        assert_eq!(left.kernel("softermax").expect("merged").rows, 80);
     }
 }

@@ -1,0 +1,359 @@
+//! Request-level submission: owned-buffer [`Submission`]s, bounded
+//! admission with backpressure, and [`Ticket`]s that let many matrices
+//! from many callers be safely in flight on one engine at once.
+//!
+//! The blocking dispatch API ([`forward_matrix_into`]) borrows the
+//! caller's buffers and therefore must block until the batch completes.
+//! A [`Submission`] instead *owns* its score matrix: [`submit`] hands it
+//! to the engine and immediately returns a [`Ticket`], so a client can
+//! keep several requests in flight (or several client threads can share
+//! one engine) and collect each result with [`Ticket::wait`] or poll it
+//! with [`Ticket::try_poll`]. Admission is bounded by
+//! [`ServeConfig::queue_depth`](crate::ServeConfig): [`submit`] rejects
+//! on a full engine with [`SoftmaxError::QueueFull`], while
+//! [`submit_wait`] blocks for a slot — backpressure instead of unbounded
+//! queueing.
+//!
+//! [`forward_matrix_into`]: crate::BatchEngine::forward_matrix_into
+//! [`submit`]: crate::BatchEngine::submit
+//! [`submit_wait`]: crate::BatchEngine::submit_wait
+//! [`SoftmaxError::QueueFull`]: softermax::SoftmaxError::QueueFull
+
+use std::sync::Arc;
+
+use softermax::kernel::SoftmaxKernel;
+use softermax::Result;
+
+use crate::engine::{BatchEngine, EnqueueError, Job};
+
+/// Admission behaviour when the engine's bounded queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Reject immediately with
+    /// [`SoftmaxError::QueueFull`](softermax::SoftmaxError::QueueFull).
+    Fail,
+    /// Block until a slot frees up (backpressure on the submitter).
+    Block,
+}
+
+/// One self-contained softmax request: a kernel, an owned flattened
+/// row-major score matrix, and the execution path (batch by default,
+/// chunked-streaming via [`Submission::streamed`]).
+#[derive(Debug, Clone)]
+pub struct Submission {
+    pub(crate) kernel: Arc<dyn SoftmaxKernel>,
+    pub(crate) rows: Vec<f64>,
+    pub(crate) row_len: usize,
+    pub(crate) stream_chunk: Option<usize>,
+}
+
+impl Submission {
+    /// A batch-path request over `rows` (flattened row-major,
+    /// `row_len`-score rows).
+    #[must_use]
+    pub fn new(kernel: &Arc<dyn SoftmaxKernel>, rows: Vec<f64>, row_len: usize) -> Self {
+        Self {
+            kernel: Arc::clone(kernel),
+            rows,
+            row_len,
+            stream_chunk: None,
+        }
+    }
+
+    /// Routes the request through the chunked-streaming path: every row
+    /// is served through a [`StreamSession`](softermax::StreamSession)
+    /// in `chunk`-score pushes. Bit-identical to the batch path by the
+    /// session contract.
+    #[must_use]
+    pub fn streamed(mut self, chunk: usize) -> Self {
+        self.stream_chunk = Some(chunk);
+        self
+    }
+
+    /// The request's kernel.
+    #[must_use]
+    pub fn kernel(&self) -> &Arc<dyn SoftmaxKernel> {
+        &self.kernel
+    }
+
+    /// Number of rows in the request's matrix.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.rows.len().checked_div(self.row_len).unwrap_or(0)
+    }
+}
+
+/// A handle to one in-flight submission. Collect the probabilities with
+/// [`Ticket::wait`] (blocking) or [`Ticket::try_poll`] (non-blocking);
+/// dropping the ticket abandons the result but never the work — the
+/// batch still completes (and is accounted) behind the scenes.
+pub struct Ticket {
+    job: Arc<Job>,
+}
+
+/// Outcome of a non-blocking [`Ticket::try_poll`].
+#[derive(Debug)]
+pub enum TicketPoll {
+    /// Chunks are still in flight; the ticket is handed back.
+    Pending(Ticket),
+    /// The request completed: the probabilities, or its error.
+    Ready(Result<Vec<f64>>),
+}
+
+impl Ticket {
+    pub(crate) fn new(job: Arc<Job>) -> Self {
+        Self { job }
+    }
+
+    /// Whether the request has completed (successfully or not).
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.job.is_complete()
+    }
+
+    /// Blocks until the request completes and returns its probabilities
+    /// (flattened row-major, same shape as the submitted matrix).
+    ///
+    /// # Errors
+    ///
+    /// The first per-row kernel error observed by the batch (remaining
+    /// chunks were cancelled).
+    pub fn wait(self) -> Result<Vec<f64>> {
+        self.job.wait_outcome()?;
+        Ok(self.job.take_output())
+    }
+
+    /// Non-blocking completion probe: [`TicketPoll::Pending`] hands the
+    /// ticket back while chunks are still in flight.
+    #[must_use]
+    pub fn try_poll(self) -> TicketPoll {
+        match self.job.try_outcome() {
+            None => TicketPoll::Pending(self),
+            Some(Ok(())) => TicketPoll::Ready(Ok(self.job.take_output())),
+            Some(Err(e)) => TicketPoll::Ready(Err(e)),
+        }
+    }
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("done", &self.is_done())
+            .finish_non_exhaustive()
+    }
+}
+
+impl BatchEngine {
+    /// Submits an owned score matrix for asynchronous serving and
+    /// returns a [`Ticket`] for the result, rejecting immediately when
+    /// the engine is at [`queue_depth`](crate::ServeConfig::queue_depth).
+    ///
+    /// # Errors
+    ///
+    /// [`SoftmaxError::QueueFull`](softermax::SoftmaxError::QueueFull)
+    /// when the admission queue is full,
+    /// [`SoftmaxError::EmptyInput`](softermax::SoftmaxError::EmptyInput)
+    /// when `row_len == 0` and the matrix is non-empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` is not a multiple of `row_len`.
+    pub fn submit(
+        &self,
+        kernel: &Arc<dyn SoftmaxKernel>,
+        rows: Vec<f64>,
+        row_len: usize,
+    ) -> Result<Ticket> {
+        self.submit_request(Submission::new(kernel, rows, row_len), Admission::Fail)
+    }
+
+    /// Like [`BatchEngine::submit`], but blocks for an admission slot
+    /// instead of rejecting when the engine is full.
+    ///
+    /// # Errors
+    ///
+    /// As [`BatchEngine::submit`], minus
+    /// [`SoftmaxError::QueueFull`](softermax::SoftmaxError::QueueFull).
+    pub fn submit_wait(
+        &self,
+        kernel: &Arc<dyn SoftmaxKernel>,
+        rows: Vec<f64>,
+        row_len: usize,
+    ) -> Result<Ticket> {
+        self.submit_request(Submission::new(kernel, rows, row_len), Admission::Block)
+    }
+
+    /// Submits a full [`Submission`] (batch or streamed) under the given
+    /// [`Admission`] behaviour.
+    ///
+    /// # Errors
+    ///
+    /// As [`BatchEngine::submit`] for [`Admission::Fail`]; blocking
+    /// admission cannot see
+    /// [`SoftmaxError::QueueFull`](softermax::SoftmaxError::QueueFull).
+    /// A streamed submission with a zero chunk is
+    /// [`SoftmaxError::InvalidConfig`](softermax::SoftmaxError::InvalidConfig).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the submission's matrix is not a whole number of rows.
+    pub fn submit_request(&self, submission: Submission, admission: Admission) -> Result<Ticket> {
+        let Submission {
+            kernel,
+            rows,
+            row_len,
+            stream_chunk,
+        } = submission;
+        self.enqueue_owned(
+            &kernel,
+            rows,
+            row_len,
+            stream_chunk,
+            admission == Admission::Block,
+        )
+        .map_err(EnqueueError::into_error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softermax::{KernelRegistry, SoftmaxError};
+
+    #[test]
+    fn a_submission_round_trips_bit_identically() {
+        let kernel = KernelRegistry::global().get("softermax").expect("built-in");
+        let engine = BatchEngine::with_threads(2).expect("valid config");
+        let rows: Vec<f64> = (0..9 * 4).map(|i| f64::from(i % 7) / 2.0 - 1.5).collect();
+        let ticket = engine.submit(&kernel, rows.clone(), 4).expect("submit");
+        let got = ticket.wait().expect("serve");
+        for (row, got_row) in rows.chunks_exact(4).zip(got.chunks_exact(4)) {
+            assert_eq!(got_row.to_vec(), kernel.forward(row).expect("row"));
+        }
+    }
+
+    #[test]
+    fn many_tickets_in_flight_resolve_independently() {
+        let registry = KernelRegistry::global();
+        let engine = BatchEngine::with_threads(2).expect("valid config");
+        let matrices: Vec<Vec<f64>> = (0..8)
+            .map(|m| (0..6 * 3).map(|i| f64::from((i + m) % 9) - 4.0).collect())
+            .collect();
+        let tickets: Vec<Ticket> = matrices
+            .iter()
+            .enumerate()
+            .map(|(m, rows)| {
+                let kernel = registry
+                    .kernels()
+                    .get(m % registry.len())
+                    .expect("built-in")
+                    .clone();
+                engine.submit(&kernel, rows.clone(), 3).expect("submit")
+            })
+            .collect();
+        // Collect in reverse order: completion order must not matter.
+        for (m, ticket) in tickets.into_iter().enumerate().rev() {
+            let kernel = KernelRegistry::global()
+                .kernels()
+                .get(m % KernelRegistry::global().len())
+                .expect("built-in")
+                .clone();
+            let got = ticket.wait().expect("serve");
+            for (row, got_row) in matrices[m].chunks_exact(3).zip(got.chunks_exact(3)) {
+                assert_eq!(got_row.to_vec(), kernel.forward(row).expect("row"), "{m}");
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_submissions_match_batch_submissions() {
+        let kernel = KernelRegistry::global()
+            .get("online-intmax")
+            .expect("built-in");
+        let engine = BatchEngine::with_threads(2).expect("valid config");
+        let rows: Vec<f64> = (0..7 * 5).map(|i| f64::from(i % 11) / 3.0 - 1.0).collect();
+        let batch = engine
+            .submit(&kernel, rows.clone(), 5)
+            .expect("submit")
+            .wait()
+            .expect("serve");
+        for chunk in [1, 2, 5, 64] {
+            let streamed = engine
+                .submit_request(
+                    Submission::new(&kernel, rows.clone(), 5).streamed(chunk),
+                    Admission::Fail,
+                )
+                .expect("submit")
+                .wait()
+                .expect("serve");
+            assert_eq!(streamed, batch, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn empty_submission_is_ready_immediately() {
+        let kernel = KernelRegistry::global()
+            .get("reference-2")
+            .expect("built-in");
+        let engine = BatchEngine::with_threads(1).expect("valid config");
+        let ticket = engine.submit(&kernel, Vec::new(), 4).expect("submit");
+        assert!(ticket.is_done());
+        match ticket.try_poll() {
+            TicketPoll::Ready(Ok(out)) => assert!(out.is_empty()),
+            other => panic!("expected ready empty output, got {other:?}"),
+        }
+        assert_eq!(
+            engine
+                .stats()
+                .kernel("reference-2")
+                .expect("recorded")
+                .empty_batches,
+            1
+        );
+    }
+
+    #[test]
+    fn bad_submissions_error_at_the_boundary() {
+        let kernel = KernelRegistry::global()
+            .get("reference-e")
+            .expect("built-in");
+        let engine = BatchEngine::with_threads(1).expect("valid config");
+        assert!(matches!(
+            engine.submit(&kernel, vec![1.0, 2.0], 0),
+            Err(SoftmaxError::EmptyInput)
+        ));
+        assert!(matches!(
+            engine.submit_request(
+                Submission::new(&kernel, vec![1.0, 2.0], 2).streamed(0),
+                Admission::Fail,
+            ),
+            Err(SoftmaxError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn dropped_tickets_still_complete_and_account() {
+        let kernel = KernelRegistry::global().get("softermax").expect("built-in");
+        let engine = BatchEngine::with_threads(2).expect("valid config");
+        let rows: Vec<f64> = (0..4 * 4).map(|i| f64::from(i % 3) - 1.0).collect();
+        drop(engine.submit(&kernel, rows, 4).expect("submit"));
+        // The work is not abandoned with the ticket: the batch drains,
+        // the admission slot frees, and the stats record it.
+        for _ in 0..2000 {
+            if engine.inflight() == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(engine.inflight(), 0);
+        assert_eq!(engine.load_rows(), 0);
+        assert_eq!(
+            engine
+                .stats()
+                .kernel("softermax")
+                .expect("recorded")
+                .batches,
+            1
+        );
+    }
+}

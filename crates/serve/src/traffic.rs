@@ -11,6 +11,11 @@ use rand::{Rng, SeedableRng};
 /// Deterministic in `seed`, so serving runs are reproducible and the
 /// bit-identity guards of the CLI/bench harnesses are meaningful.
 ///
+/// Adversarial shapes whose element count overflows `usize`
+/// (`rows * row_len > usize::MAX`) yield an empty matrix instead of
+/// wrapping — mirroring the geometry checks on the serving path, where
+/// an empty matrix is a valid no-op.
+///
 /// # Example
 ///
 /// ```
@@ -21,8 +26,11 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[must_use]
 pub fn synthetic_matrix(rows: usize, row_len: usize, std_dev: f64, seed: u64) -> Vec<f64> {
+    let Some(total) = rows.checked_mul(row_len) else {
+        return Vec::new();
+    };
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..rows * row_len)
+    (0..total)
         .map(|_| {
             let u1: f64 = rng.gen_range(1e-9..1.0);
             let u2: f64 = rng.gen_range(0.0..1.0);
@@ -50,5 +58,15 @@ mod tests {
     fn empty_shapes_are_empty() {
         assert!(synthetic_matrix(0, 64, 2.5, 1).is_empty());
         assert!(synthetic_matrix(64, 0, 2.5, 1).is_empty());
+    }
+
+    #[test]
+    fn overflowing_shapes_are_empty_not_wrapped() {
+        // `usize::MAX * 2` would wrap to an innocuous small count in
+        // release mode; the checked path must yield an empty matrix.
+        assert!(synthetic_matrix(usize::MAX, 2, 2.5, 1).is_empty());
+        assert!(synthetic_matrix(3, usize::MAX / 2, 2.5, 1).is_empty());
+        // `usize::MAX * 0 == 0` is representable: still the empty matrix.
+        assert!(synthetic_matrix(usize::MAX, 0, 2.5, 1).is_empty());
     }
 }

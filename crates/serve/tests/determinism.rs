@@ -4,7 +4,7 @@
 //! shapes — including the empty matrix and single-row matrices.
 //!
 //! Chunking is forced down to 2 rows so even small sampled matrices fan
-//! out across several chunks and the work-stealing scheduler actually
+//! out across several chunks and the shared-queue scheduler actually
 //! interleaves workers.
 
 use std::sync::OnceLock;

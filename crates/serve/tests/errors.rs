@@ -70,7 +70,8 @@ fn a_failing_row_fails_the_batch_and_the_engine_survives() {
         assert!(matches!(err, SoftmaxError::InvalidConfig(_)), "{err:?}");
 
         // The engine is not wedged: a clean batch on the same pool works,
-        // and the failed batch was still accounted.
+        // and the failed batch was accounted as a *failure* — it must not
+        // inflate the success counters the throughput rates divide over.
         let clean = vec![0.25f64; 8 * 4];
         let probs = engine
             .forward_matrix(&kernel, &clean, 4)
@@ -78,16 +79,18 @@ fn a_failing_row_fails_the_batch_and_the_engine_survives() {
         assert_eq!(probs.len(), clean.len());
         let stats = engine.stats();
         let s = stats.kernel("nan-rejecting").expect("recorded");
-        assert_eq!(s.batches, 2);
-        // The poisoned chunk (and any abandoned ones) must not be
-        // credited: at most 15 of the failed batch's 16 rows plus the 8
-        // clean rows, and never fewer than the clean batch alone.
+        assert_eq!(s.batches, 1, "only the clean batch is a success");
+        assert_eq!(s.failed_batches, 1);
+        assert_eq!(s.rows, 8);
+        assert_eq!(s.elements, 32);
+        assert_eq!(s.latency.len(), 1, "failures stay out of the window");
+        // Partial progress of the failed batch is visible, but apart: at
+        // most 15 of its 16 rows can have completed.
         assert!(
-            (8..=8 + 15).contains(&s.rows),
-            "served-row accounting off: {} rows",
-            s.rows
+            s.failed_rows <= 15,
+            "failed-row accounting off: {} rows",
+            s.failed_rows
         );
-        assert_eq!(s.elements, s.rows * 4);
     }
 }
 
@@ -111,6 +114,44 @@ fn a_failing_row_fails_the_streamed_dispatch_too() {
             .expect("clean streamed batch");
         assert_eq!(probs.len(), clean.len());
     }
+}
+
+#[test]
+fn batch_path_credits_chunks_completed_before_the_error() {
+    let kernel: Arc<dyn SoftmaxKernel> = Arc::new(NanRejectingKernel::new());
+    // One worker, 2-row chunks, NaN in row 11: chunks 0..4 (rows 0..10)
+    // complete in order, chunk 5 (rows 10..12) fails, chunks 6..7 are
+    // abandoned — deterministic on a single thread.
+    let engine = BatchEngine::new(ServeConfig::new(1).with_chunk_rows(2)).expect("valid config");
+    let mut matrix = vec![0.5f64; 16 * 4];
+    matrix[11 * 4 + 2] = f64::NAN;
+    engine
+        .forward_matrix(&kernel, &matrix, 4)
+        .expect_err("NaN row must fail the batch");
+    let stats = engine.stats();
+    let s = stats.kernel("nan-rejecting").expect("recorded");
+    assert_eq!(s.batches, 0);
+    assert_eq!(s.failed_batches, 1);
+    assert_eq!(s.rows, 0);
+    assert_eq!(s.failed_rows, 10);
+}
+
+#[test]
+fn streamed_path_credits_rows_completed_before_the_error() {
+    let kernel: Arc<dyn SoftmaxKernel> = Arc::new(NanRejectingKernel::new());
+    // One worker, one 16-row chunk, NaN in row 11: the streamed path
+    // serves row by row, so exactly rows 0..11 complete before the error
+    // — per-row credit the chunk-granular batch path cannot give.
+    let engine = BatchEngine::new(ServeConfig::new(1).with_chunk_rows(16)).expect("valid config");
+    let mut matrix = vec![0.5f64; 16 * 4];
+    matrix[11 * 4 + 2] = f64::NAN;
+    engine
+        .forward_matrix_streamed(&kernel, &matrix, 4, 3)
+        .expect_err("NaN row must fail the streamed batch");
+    let stats = engine.stats();
+    let s = stats.kernel("nan-rejecting").expect("recorded");
+    assert_eq!(s.failed_batches, 1);
+    assert_eq!(s.failed_rows, 11);
 }
 
 #[test]
