@@ -122,6 +122,41 @@ pub fn measure_fidelity(
     out
 }
 
+/// Host and build metadata stamped into every benchmark report: numbers
+/// without the machine, SIMD path and toolchain they came from are not
+/// comparable across runs. Additive — harnesses merge this under a
+/// `"host"` key next to their existing fields.
+#[must_use]
+pub fn host_metadata() -> serde_json::Value {
+    serde_json::json!({
+        "cpu_model": cpu_model(),
+        "cores": std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get),
+        "lane_path": softermax_fixed::lane::path_label(),
+        "simd_impl": softermax_fixed::lane::simd_impl(),
+        "lanes": softermax_fixed::vecops::LANES,
+        "rustc": env!("BENCH_RUSTC_VERSION"),
+        "features": {
+            "portable_simd": cfg!(feature = "portable-simd"),
+        },
+        "os": std::env::consts::OS,
+        "arch": std::env::consts::ARCH,
+    })
+}
+
+/// The CPU model string (`/proc/cpuinfo` on Linux, "unknown" elsewhere).
+fn cpu_model() -> String {
+    if let Ok(info) = std::fs::read_to_string("/proc/cpuinfo") {
+        for line in info.lines() {
+            if let Some(rest) = line.strip_prefix("model name") {
+                if let Some((_, v)) = rest.split_once(':') {
+                    return v.trim().to_string();
+                }
+            }
+        }
+    }
+    "unknown".to_string()
+}
+
 /// Prints a markdown-style table row.
 pub fn print_row(cells: &[String]) {
     println!("| {} |", cells.join(" | "));

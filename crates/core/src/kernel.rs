@@ -192,13 +192,19 @@ impl KernelDescriptor {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ScratchBuffers {
-    /// Row-length input lanes (quantized scores).
+    /// Row-length lanes. The fused Softermax pipeline writes max-format
+    /// candidates here (stage 0) and rewrites them **in place** as
+    /// unnormed exponentials (pass 2); other kernels use it for quantized
+    /// input scores.
     pub lanes_a: Vec<i64>,
-    /// Slice-length staging lanes (max candidates, exponentials).
+    /// Slice-length staging lanes (max candidates, exponentials) — staged
+    /// reference pipeline only.
     pub lanes_b: Vec<i64>,
-    /// Row-length result lanes (unnormed exponentials).
+    /// Row-length result lanes (unnormed exponentials) — staged reference
+    /// pipeline and the fp16 kernel.
     pub lanes_c: Vec<i64>,
-    /// Slice-length staging lanes (differences, ceiled candidates).
+    /// Slice-length staging lanes (differences, ceiled candidates) —
+    /// staged reference pipeline only.
     pub lanes_d: Vec<i64>,
     /// Per-slice `(raw value, end index)` runs (reference maxima).
     pub runs: Vec<(i64, usize)>,

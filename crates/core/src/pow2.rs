@@ -137,6 +137,26 @@ impl Pow2Unit {
         }
     }
 
+    /// [`Pow2Unit::eval_one_raw`] routed through the shift-based fast
+    /// rounding helpers and bare raw arithmetic (no `Fixed` wrappers) —
+    /// bit-identical, used by the fused pipeline's hot loop.
+    #[inline(always)]
+    pub(crate) fn eval_one_raw_fast(&self, plan: &LpwPlan<'_>, raw: i64, in_frac: u32) -> i64 {
+        let int_part = softermax_fixed::floor_shift(raw as i128, in_frac);
+        let lpw_raw = self.out_format.saturate_raw(plan.eval_raw_fast(raw));
+        if int_part >= 0 {
+            // `Fixed::shl_saturating`: widen, shift, clamp, saturate.
+            let wide = (lpw_raw as i128) << int_part.min(63);
+            self.out_format
+                .saturate_raw(softermax_fixed::clamp_i128(wide))
+        } else {
+            // `Fixed::shr` with floor semantics.
+            let k = int_part.unsigned_abs().min(127) as u32;
+            self.out_format
+                .saturate_raw(softermax_fixed::floor_shift(lpw_raw as i128, k))
+        }
+    }
+
     /// Float model of the same datapath (quantized LUT entries, exact
     /// arithmetic), for error analysis.
     #[must_use]
@@ -273,6 +293,33 @@ mod tests {
                 unit.eval_raw_slice(&raws, fmt, &mut raw_out);
                 let want: Vec<i64> = out.iter().map(Fixed::raw).collect();
                 assert_eq!(raw_out, want);
+            }
+        }
+    }
+
+    #[test]
+    fn eval_one_raw_fast_matches_reference() {
+        for unit in [
+            Pow2Unit::paper(),
+            Pow2Unit::new(16, QFormat::unsigned(2, 14)),
+        ] {
+            for fmt in [
+                formats::INPUT,
+                QFormat::signed(6, 10),
+                QFormat::signed(4, 0),
+            ] {
+                let plan = unit.table().plan(fmt);
+                let in_frac = fmt.frac_bits();
+                let step = ((fmt.max_raw() - fmt.min_raw()) / 511).max(1);
+                let mut raw = fmt.min_raw();
+                while raw <= fmt.max_raw() {
+                    assert_eq!(
+                        unit.eval_one_raw_fast(&plan, raw, in_frac),
+                        unit.eval_one_raw(&plan, raw, in_frac),
+                        "fmt={fmt} raw={raw}"
+                    );
+                    raw += step;
+                }
             }
         }
     }

@@ -12,7 +12,7 @@
 //!    shift of `e` (a shifter, thanks to the base-2 design).
 
 use serde::{Deserialize, Serialize};
-use softermax_fixed::{clamp_i128, Fixed, QFormat, Rounding};
+use softermax_fixed::{clamp_i128, floor_shift, nearest_shift, Fixed, QFormat, Rounding};
 
 use crate::lpw::{recip_table, QuantizedLpwTable};
 use crate::{Result, SoftmaxError};
@@ -213,8 +213,10 @@ impl ApplyPlan {
             self.wide.saturate_raw(clamp_i128((prod_raw as i128) << k))
         } else {
             let k = self.exponent.unsigned_abs().min(127);
-            self.wide
-                .saturate_raw(Rounding::Floor.apply_shift(prod_raw as i128, k))
+            // `floor_shift` is the bit-identical fast twin of
+            // `Rounding::Floor.apply_shift` (proven by the fixed crate's
+            // property tests) — this runs per output element.
+            self.wide.saturate_raw(floor_shift(prod_raw as i128, k))
         };
         // Requantize wide -> out, rounding to nearest.
         let wide_frac = self.wide.frac_bits();
@@ -222,7 +224,7 @@ impl ApplyPlan {
         let out_raw = if out_frac >= wide_frac {
             clamp_i128((shifted as i128) << (out_frac - wide_frac))
         } else {
-            Rounding::Nearest.apply_shift(shifted as i128, wide_frac - out_frac)
+            nearest_shift(shifted as i128, wide_frac - out_frac)
         };
         self.out_format.saturate_raw(out_raw)
     }

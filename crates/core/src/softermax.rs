@@ -8,10 +8,11 @@
 //! by the accumulated sum (the Normalization unit).
 
 use serde::{Deserialize, Serialize};
-use softermax_fixed::{vecops, Fixed, QFormat, Rounding};
+use softermax_fixed::{floor_shift, lane, vecops, Fixed, QFormat, Rounding};
 
 use crate::config::{Base, MaxMode, SoftermaxConfig};
 use crate::kernel::ScratchBuffers;
+use crate::lpw::LpwPlan;
 use crate::pow2::Pow2Unit;
 use crate::recip::{apply_reciprocal, ApplyPlan, RecipUnit, Reciprocal};
 use crate::{Result, SoftmaxError};
@@ -36,6 +37,11 @@ pub struct Softermax {
     pow2: Pow2Unit,
     recip: RecipUnit,
     log2_e: Fixed,
+    /// Wide intermediate format of the slice summation tree (hoisted from
+    /// the per-slice loop; derived from the unnormed format).
+    wide_fmt: QFormat,
+    /// Fraction-bit narrowing from unnormed lanes into `wide_fmt`.
+    sum_shift: u32,
 }
 
 impl Softermax {
@@ -59,11 +65,15 @@ impl Softermax {
             QFormat::unsigned(2, 14),
             Rounding::Nearest,
         );
+        let wide_fmt = wide_sum_format(config.unnormed_format);
+        let sum_shift = config.unnormed_format.frac_bits() - wide_fmt.frac_bits();
         Self {
             config,
             pow2,
             recip,
             log2_e,
+            wide_fmt,
+            sum_shift,
         }
     }
 
@@ -129,13 +139,19 @@ impl Softermax {
     /// pipeline runs on raw `i64` lanes held in the caller's
     /// [`ScratchBuffers`], and the probabilities are written into `out`.
     ///
-    /// The per-element work of the scalar path — format lookups, segment
-    /// table setup, the wide product format of the Normalization unit, the
-    /// renormalization plan of each slice — is hoisted to per-slice (or
-    /// per-row) setup, and every intermediate lives in a reused buffer.
-    /// The result is **bit-exact** with [`Softermax::forward`]; the
-    /// property tests in `tests/vector_parity.rs` hold every configuration
-    /// to that contract.
+    /// This is the **fused** SIMD pipeline: the row is swept exactly twice
+    /// before the output pass. Pass 1 fuses quantization, the optional
+    /// base-e pre-scale and the max-format requantization into one sweep
+    /// (`vecops::fused_quantize_into`); pass 2 runs per hardware slice —
+    /// a fused ceil-and-max reduction, then a fused subtract → `2^x` →
+    /// wide-sum sweep that overwrites the lane buffer in place with the
+    /// unnormed numerators. The Normalization unit then reads those lanes
+    /// back once. Every per-element operation chains the identical
+    /// fixed-point primitives of the scalar path, so the result is
+    /// **bit-exact** with [`Softermax::forward`] (and with the retained
+    /// staged pipeline, [`Softermax::forward_into_staged`]); the property
+    /// tests in `tests/vector_parity.rs` hold every configuration to that
+    /// contract.
     ///
     /// # Errors
     ///
@@ -156,6 +172,36 @@ impl Softermax {
         if row.is_empty() {
             return Err(SoftmaxError::EmptyInput);
         }
+        self.quantize_fused_lanes(row, &mut scratch.lanes_a);
+        self.forward_lanes_row_fused(0, row.len(), out, scratch)
+    }
+
+    /// The PR-2 staged vectorized pipeline, retained as a second reference
+    /// implementation: separate quantize, requantize, ceil-map, max,
+    /// subtract, `2^x` and accumulate sweeps over per-stage lane buffers.
+    ///
+    /// Bit-exact with both [`Softermax::forward`] and the fused
+    /// [`Softermax::forward_into`] (the parity proptests assert all three
+    /// agree); the roofline harness benches it as the `vectorized` column
+    /// that the fused pipeline is measured against.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Softermax::forward_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != row.len()`.
+    pub fn forward_into_staged(
+        &self,
+        row: &[f64],
+        out: &mut [f64],
+        scratch: &mut ScratchBuffers,
+    ) -> Result<()> {
+        assert_eq!(out.len(), row.len(), "output buffer length mismatch");
+        if row.is_empty() {
+            return Err(SoftmaxError::EmptyInput);
+        }
         self.quantize_lanes(row, scratch);
         self.forward_lanes_row(0, row.len(), out, scratch)
     }
@@ -163,12 +209,12 @@ impl Softermax {
     /// Matrix-at-a-time [`Softermax::forward_into`]: `rows` is a flattened
     /// row-major matrix of `rows.len() / row_len` independent softmax rows.
     ///
-    /// Stage 0 (quantization and the optional base-e pre-scale) is hoisted
-    /// out of the per-row loop and runs as **one** slice-wide vecops pass
-    /// over the whole flattened matrix; the slice pipeline then consumes
-    /// each row's lane range in place. Per row the arithmetic is exactly
-    /// that of [`Softermax::forward_into`], so batch and row-at-a-time
-    /// results are **bit-identical**.
+    /// Stage 0 (the fused quantize → pre-scale → requantize sweep) is
+    /// hoisted out of the per-row loop and runs as **one** pass over the
+    /// whole flattened matrix; the fused slice pipeline then consumes each
+    /// row's lane range in place. Per row the arithmetic is exactly that
+    /// of [`Softermax::forward_into`], so batch and row-at-a-time results
+    /// are **bit-identical**.
     ///
     /// # Errors
     ///
@@ -192,9 +238,9 @@ impl Softermax {
             return Ok(());
         }
         // Stage 0 once for the whole matrix, then the per-row pipeline.
-        self.quantize_lanes(rows, scratch);
+        self.quantize_fused_lanes(rows, &mut scratch.lanes_a);
         for r in 0..n_rows {
-            self.forward_lanes_row(
+            self.forward_lanes_row_fused(
                 r * row_len,
                 row_len,
                 &mut out[r * row_len..(r + 1) * row_len],
@@ -229,6 +275,139 @@ impl Softermax {
         self.quantize_into_lanes(values, &mut scratch.lanes_a);
     }
 
+    /// The base-e pre-scale as a `(mantissa raw, fraction shift)` plan for
+    /// the fused stage-0 pass (`None` in base-2 mode, where the scalar
+    /// pre-scale is a same-format requantize, i.e. the identity).
+    fn prescale_plan(&self) -> Option<(i64, u32)> {
+        match self.config.base {
+            Base::Two => None,
+            Base::E => Some((self.log2_e.raw(), self.log2_e.format().frac_bits())),
+        }
+    }
+
+    /// Fused stage 0: quantize → optional base-e pre-scale → requantize
+    /// into **max-format** candidate lanes, one sweep over `values`
+    /// (replacing `lanes`). Bit-exact with [`Softermax::quantize_into_lanes`]
+    /// followed by the staged pipeline's max-format requantization, which
+    /// is the only consumer of the input-format lanes — so the fused
+    /// pipeline skips materializing them entirely.
+    fn quantize_fused_lanes(&self, values: &[f64], lanes: &mut Vec<i64>) {
+        vecops::fused_quantize_into(
+            values,
+            self.config.input_format,
+            Rounding::Nearest,
+            self.prescale_plan(),
+            self.config.max_format,
+            lanes,
+        );
+    }
+
+    /// Fused stages 1–3 for **one hardware slice** of max-format candidate
+    /// lanes, transformed **in place** into unnormed numerator lanes:
+    /// a fused ceil-and-max reduction (the IntMax unit; ceiled candidates
+    /// are never materialized), then one sweep fusing the max subtraction,
+    /// the Power-of-Two unit and the wide summation tree, then the
+    /// Reduction-unit merge. Returns the slice's reference max.
+    ///
+    /// Shared verbatim by the one-shot, batched and streaming fused
+    /// datapaths, so they cannot drift from each other; bit-exact with the
+    /// staged [`Softermax::slice_stages`] per element.
+    fn fused_slice_stages(
+        &self,
+        lanes: &mut [i64],
+        plan: &LpwPlan<'_>,
+        running: &mut Option<(Fixed, Fixed)>,
+    ) -> i64 {
+        let cfg = &self.config;
+        let local_max_raw = match cfg.max_mode {
+            MaxMode::Integer => {
+                vecops::max_reduce_ceil(lanes, cfg.max_format).expect("slice is non-empty")
+            }
+            MaxMode::Float => vecops::max_reduce(lanes).expect("slice is non-empty"),
+        };
+        let local_max = Fixed::from_raw_saturating(local_max_raw, cfg.max_format);
+
+        let local_sum_wide = fused_pow2_sum_pass(
+            lanes,
+            local_max_raw,
+            cfg.max_format,
+            &self.pow2,
+            plan,
+            self.sum_shift,
+            self.wide_fmt,
+        );
+        let local_sum = Fixed::from_raw_saturating(local_sum_wide, self.wide_fmt)
+            .requantize(cfg.pow_sum_format, Rounding::Nearest);
+
+        self.merge_running(running, local_max, local_sum);
+        local_max_raw
+    }
+
+    /// Fused stages 1–3 plus the Normalization unit for one row whose
+    /// max-format candidate lanes occupy
+    /// `scratch.lanes_a[lane_start..lane_start + len]`; the lanes are
+    /// rewritten in place as unnormed numerators (pass 2) and read back by
+    /// the output pass — no per-stage lane buffers.
+    fn forward_lanes_row_fused(
+        &self,
+        lane_start: usize,
+        len: usize,
+        out: &mut [f64],
+        scratch: &mut ScratchBuffers,
+    ) -> Result<()> {
+        let mut running: Option<(Fixed, Fixed)> = None;
+        scratch.runs.clear();
+        // Hoisted per row: the LPW segment-table plan for max-format inputs.
+        let plan = self.pow2.table().plan(self.config.max_format);
+
+        let mut start = 0;
+        while start < len {
+            let end = (start + self.config.slice_width).min(len);
+            let slice = &mut scratch.lanes_a[lane_start + start..lane_start + end];
+            let local_max_raw = self.fused_slice_stages(slice, &plan, &mut running);
+            scratch.runs.push((local_max_raw, end));
+            start = end;
+        }
+
+        let (global_max, running_sum) = running.expect("row is non-empty");
+        self.normalization_pass(
+            &scratch.runs,
+            &scratch.lanes_a[lane_start..lane_start + len],
+            global_max,
+            running_sum,
+            out,
+        )
+    }
+
+    /// Stage 3 — the Reduction unit: merges one slice's `(max, sum)` into
+    /// the running row state, renormalizing whichever side has the smaller
+    /// max. Shared by the staged and fused slice pipelines.
+    fn merge_running(
+        &self,
+        running: &mut Option<(Fixed, Fixed)>,
+        local_max: Fixed,
+        local_sum: Fixed,
+    ) {
+        match *running {
+            None => *running = Some((local_max, local_sum)),
+            Some((prev_max, prev_sum)) => {
+                let new_max = prev_max.max(local_max);
+                let d_prev = new_max
+                    .saturating_sub(prev_max)
+                    .expect("max-format subtraction");
+                let d_local = new_max
+                    .saturating_sub(local_max)
+                    .expect("max-format subtraction");
+                let prev_renorm = self.renorm_down(prev_sum, d_prev);
+                let local_renorm = self.renorm_down(local_sum, d_local);
+                let new_sum = prev_renorm
+                    .saturating_add(local_renorm)
+                    .expect("pow-sum addition");
+                *running = Some((new_max, new_sum));
+            }
+        }
+    }
+
     /// Stages 1–3 of the vectorized pipeline for **one hardware slice** of
     /// quantized input lanes `xs`: the IntMax unit (slice reference max),
     /// the Power-of-Two unit plus wide summation tree, and the Reduction
@@ -249,8 +428,7 @@ impl Softermax {
         running: &mut Option<(Fixed, Fixed)>,
     ) -> i64 {
         let cfg = &self.config;
-        let wide_fmt = wide_sum_format(cfg.unnormed_format);
-        let sum_shift = cfg.unnormed_format.frac_bits() - wide_fmt.frac_bits();
+        let (wide_fmt, sum_shift) = (self.wide_fmt, self.sum_shift);
 
         // Stage 1 — IntMax unit: max-format candidates, slice max.
         vecops::requantize_raw_into(
@@ -283,24 +461,7 @@ impl Softermax {
             .requantize(cfg.pow_sum_format, Rounding::Nearest);
 
         // Stage 3 — Reduction unit: merge with the running row state.
-        match *running {
-            None => *running = Some((local_max, local_sum)),
-            Some((prev_max, prev_sum)) => {
-                let new_max = prev_max.max(local_max);
-                let d_prev = new_max
-                    .saturating_sub(prev_max)
-                    .expect("max-format subtraction");
-                let d_local = new_max
-                    .saturating_sub(local_max)
-                    .expect("max-format subtraction");
-                let prev_renorm = self.renorm_down(prev_sum, d_prev);
-                let local_renorm = self.renorm_down(local_sum, d_local);
-                let new_sum = prev_renorm
-                    .saturating_add(local_renorm)
-                    .expect("pow-sum addition");
-                *running = Some((new_max, new_sum));
-            }
-        }
+        self.merge_running(running, local_max, local_sum);
         unnormed.extend_from_slice(lanes_b);
         local_max_raw
     }
@@ -330,11 +491,12 @@ impl Softermax {
             let (shift, factor) = self.renorm_plan(d);
             let lanes = &unnormed_lanes[begin..end];
             let outs = &mut out[begin..end];
+            // `floor_shift` is the bit-identical fast twin of
+            // `Rounding::Floor.apply_shift` — these run per output element.
             match factor {
                 None => {
                     for (o, &u) in outs.iter_mut().zip(lanes) {
-                        let numer =
-                            unnormed.saturate_raw(Rounding::Floor.apply_shift(u as i128, shift));
+                        let numer = unnormed.saturate_raw(floor_shift(u as i128, shift));
                         *o = plan.apply_one(numer) as f64 * out_res;
                     }
                 }
@@ -342,11 +504,9 @@ impl Softermax {
                     let f_raw = f.raw();
                     let f_shift = f.format().frac_bits();
                     for (o, &u) in outs.iter_mut().zip(lanes) {
-                        let shifted =
-                            unnormed.saturate_raw(Rounding::Floor.apply_shift(u as i128, shift));
+                        let shifted = unnormed.saturate_raw(floor_shift(u as i128, shift));
                         let prod = shifted as i128 * f_raw as i128;
-                        let numer =
-                            unnormed.saturate_raw(Rounding::Floor.apply_shift(prod, f_shift));
+                        let numer = unnormed.saturate_raw(floor_shift(prod, f_shift));
                         *o = plan.apply_one(numer) as f64 * out_res;
                     }
                 }
@@ -409,8 +569,6 @@ impl Softermax {
             pending: Vec::new(),
             stage: Vec::new(),
             count: 0,
-            lanes_b: Vec::new(),
-            lanes_d: Vec::new(),
             unnormed: Vec::new(),
             runs: Vec::new(),
             running: None,
@@ -672,18 +830,17 @@ impl SoftermaxAccumulator<'_> {
 #[derive(Debug, Clone)]
 pub struct SoftermaxStream<'a> {
     sm: &'a Softermax,
-    /// Quantized input lanes still awaiting a full hardware slice
-    /// (always shorter than `slice_width`; consumed lanes are dropped).
+    /// Max-format candidate lanes (fused stage 0 output) still awaiting a
+    /// full hardware slice (always shorter than `slice_width`; consumed
+    /// lanes are dropped).
     pending: Vec<i64>,
-    /// Staging buffer for quantizing one incoming chunk.
+    /// Staging buffer for the fused stage-0 sweep over one incoming chunk.
     stage: Vec<i64>,
     /// Scores absorbed since the last reset.
     count: usize,
-    /// Per-slice staging lanes (max candidates, exponentials).
-    lanes_b: Vec<i64>,
-    /// Per-slice staging lanes (differences, ceiled candidates).
-    lanes_d: Vec<i64>,
-    /// Retained unnormed numerator lanes of the whole row.
+    /// Retained unnormed numerator lanes of the whole row; completed
+    /// slices are appended as max-format candidates and rewritten in
+    /// place by the fused pass 2.
     unnormed: Vec<i64>,
     /// Per-slice `(reference max raw, end index)` runs.
     runs: Vec<(i64, usize)>,
@@ -716,30 +873,32 @@ impl SoftermaxStream<'_> {
         self.count == 0
     }
 
-    /// Stages 1–3 for one completed slice of quantized lanes, recording
-    /// its run boundary.
+    /// Fused stages 1–3 for one completed slice of max-format candidate
+    /// lanes: the candidates are appended to the retained row buffer and
+    /// transformed **in place** into unnormed numerators by the shared
+    /// [`Softermax::fused_slice_stages`], recording the run boundary.
     fn process_slice(&mut self, xs: &[i64]) {
-        let local_max_raw = self.sm.slice_stages(
-            xs,
-            &mut self.lanes_b,
-            &mut self.lanes_d,
-            &mut self.unnormed,
-            &mut self.running,
-        );
+        let begin = self.unnormed.len();
+        self.unnormed.extend_from_slice(xs);
+        let plan = self.sm.pow2.table().plan(self.sm.config.max_format);
+        let local_max_raw =
+            self.sm
+                .fused_slice_stages(&mut self.unnormed[begin..], &plan, &mut self.running);
         self.runs.push((local_max_raw, self.unnormed.len()));
     }
 
-    /// Absorbs a chunk of scores: quantizes them (stage 0) and runs the
-    /// slice pipeline over every hardware slice completed so far — full
-    /// slices are consumed straight out of the staging buffer, so only a
-    /// sub-slice tail is ever retained as input lanes. An empty chunk is
-    /// a no-op.
+    /// Absorbs a chunk of scores: runs the fused stage-0 sweep (quantize →
+    /// optional pre-scale → max-format candidates) and the fused slice
+    /// pipeline over every hardware slice completed so far — full slices
+    /// are consumed straight out of the staging buffer, so only a
+    /// sub-slice tail is ever retained as candidate lanes. An empty chunk
+    /// is a no-op.
     pub fn push_chunk(&mut self, chunk: &[f64]) {
         if chunk.is_empty() {
             return;
         }
         let mut stage = std::mem::take(&mut self.stage);
-        self.sm.quantize_into_lanes(chunk, &mut stage);
+        self.sm.quantize_fused_lanes(chunk, &mut stage);
         self.count += chunk.len();
         let width = self.sm.config.slice_width;
         let mut xs: &[i64] = &stage;
@@ -789,6 +948,55 @@ impl SoftermaxStream<'_> {
         let (global_max, running_sum) = self.running.ok_or(SoftmaxError::EmptyInput)?;
         self.sm
             .normalization_pass(&self.runs, &self.unnormed, global_max, running_sum, out)
+    }
+}
+
+softermax_fixed::lane_envelope! {
+    /// Pass 2 of the fused pipeline for one slice: rewrites max-format
+    /// candidate lanes **in place** as unnormed numerator lanes
+    /// `u_i = 2^(x_i - local_max)` and returns the slice's wide running
+    /// sum — the subtract, Power-of-Two and summation-tree stages in a
+    /// single sweep.
+    ///
+    /// Per element this chains exactly the staged primitives: a
+    /// saturating max-format subtraction (`vecops::sub_scalar_saturating`),
+    /// the Power-of-Two unit (`Pow2Unit::eval_one_raw`, via its fast
+    /// bit-identical twin), and the sequential saturating wide
+    /// accumulation (`vecops::shift_accumulate`) — the per-step saturation
+    /// of the summation tree is order-sensitive, so the adds stay
+    /// sequential while the subtract and term staging run as lane blocks.
+    fn fused_pow2_sum_pass(
+        lanes: &mut [i64],
+        local_max_raw: i64,
+        max_format: QFormat,
+        pow2: &Pow2Unit,
+        plan: &LpwPlan<'_>,
+        sum_shift: u32,
+        wide_fmt: QFormat,
+    ) -> i64 {
+        let in_frac = max_format.frac_bits();
+        let (lo, hi) = (max_format.min_raw(), max_format.max_raw());
+        let (wlo, whi) = (wide_fmt.min_raw(), wide_fmt.max_raw());
+        let mut acc = 0i64;
+        let mut chunks = lanes.chunks_exact_mut(lane::LANES);
+        for chunk in chunks.by_ref() {
+            let d = lane::sub_clamp(lane::load(chunk), local_max_raw, lo, hi);
+            let u: lane::Block =
+                std::array::from_fn(|i| pow2.eval_one_raw_fast(plan, d[i], in_frac));
+            chunk.copy_from_slice(&u);
+            let terms = lane::shr_clamp(u, sum_shift, wlo, whi);
+            for t in terms {
+                acc = wide_fmt.saturate_raw(acc.saturating_add(t));
+            }
+        }
+        for x in chunks.into_remainder() {
+            let d = max_format.saturate_raw(x.saturating_sub(local_max_raw));
+            let u = pow2.eval_one_raw_fast(plan, d, in_frac);
+            *x = u;
+            let term = wide_fmt.saturate_raw(floor_shift(u as i128, sum_shift));
+            acc = wide_fmt.saturate_raw(acc.saturating_add(term));
+        }
+        acc
     }
 }
 

@@ -12,6 +12,8 @@
 //! A handful of explicit spot values accompany each checksum so a failure
 //! is debuggable without bisecting the whole sweep.
 
+use softermax::baselines::LutSoftmax;
+use softermax::kernel::{KernelRegistry, ScratchBuffers};
 use softermax::pow2::Pow2Unit;
 use softermax::recip::{apply_reciprocal, RecipUnit};
 use softermax::{Softermax, SoftermaxConfig};
@@ -116,6 +118,75 @@ fn softermax_pipeline_matches_pre_vectorization_golden() {
     assert_eq!(probs, vec![0.2890625, 0.140625, 0.5703125]);
 }
 
+/// Deterministic pseudo-random score row shared by the baseline-kernel
+/// checksums (a fixed LCG so the pins never depend on a RNG crate).
+fn golden_row(len: usize, scale: f64) -> Vec<f64> {
+    let mut state = 0x2545_f491_4f6c_dd1du64;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            // Map the top 32 bits to [-scale, scale).
+            ((state >> 32) as f64 / (1u64 << 32) as f64 - 0.5) * 2.0 * scale
+        })
+        .collect()
+}
+
+#[test]
+fn fp16_kernel_matches_golden() {
+    // The binary16 three-pass kernel through its allocation-free raw-lane
+    // path (`softmax_fp16_into` staging half-precision bits in the scratch
+    // lanes). Every output is an exact binary16 value widened to f64, so
+    // hashing the f64 bits pins the half-precision datapath absolutely.
+    let kernel = KernelRegistry::global().get("fp16").expect("built-in");
+    let mut scratch = ScratchBuffers::default();
+    let mut h = FNV_SEED;
+    for (len, scale) in [(1usize, 4.0), (7, 1.0), (64, 8.0), (200, 12.0)] {
+        let row = golden_row(len, scale);
+        let mut out = vec![0.0; len];
+        kernel
+            .forward_into(&row, &mut out, &mut scratch)
+            .expect("non-empty row");
+        for p in &out {
+            h = fnv(h, p.to_bits() as i64);
+        }
+    }
+    assert_eq!(h, GOLDEN_FP16, "fp16 raw-lane kernel output drifted");
+
+    // Spot value: a uniform row is exactly representable at every stage.
+    let mut out = vec![0.0; 4];
+    kernel
+        .forward_into(&[1.0; 4], &mut out, &mut scratch)
+        .expect("non-empty row");
+    assert_eq!(out, vec![0.25; 4]);
+}
+
+#[test]
+fn lut8_kernel_matches_golden() {
+    // The 256-entry integer-LUT baseline through its raw-lane path: the
+    // Q0.16 exponentials and probabilities are exact integers staged in
+    // the output buffer, so `p * 2^16` recovers the raw lanes losslessly.
+    let lut = LutSoftmax::new(0.25).expect("valid step");
+    let mut h = FNV_SEED;
+    for (len, scale) in [(1usize, 4.0), (7, 1.0), (64, 8.0), (200, 40.0)] {
+        let row = golden_row(len, scale);
+        let mut out = vec![0.0; len];
+        lut.forward_into(&row, &mut out).expect("non-empty row");
+        for p in &out {
+            let p16 = (p * f64::from(1u32 << 16)).round() as i64;
+            assert_eq!(p16 as f64 / f64::from(1u32 << 16), *p, "non-exact lane");
+            h = fnv(h, p16);
+        }
+    }
+    assert_eq!(h, GOLDEN_LUT8, "lut8 raw-lane output drifted");
+
+    // Spot value: a one-hot row saturates to the max LUT entry.
+    let mut out = vec![0.0; 2];
+    lut.forward_into(&[100.0, 0.0], &mut out).expect("row");
+    assert!(out[0] > 0.99 && out[1] == 0.0);
+}
+
 // Captured from the PR-1 scalar implementation (see module docs) by
 // running the same sweeps at commit 2a12872, before the scalar entry
 // points delegated to the hoisted plans.
@@ -123,3 +194,8 @@ const GOLDEN_POW2_Q62: u64 = 0x8e02_a64c_304b_ad54;
 const GOLDEN_POW2_FINE: u64 = 0xc2de_9a56_0c7a_6954;
 const GOLDEN_RECIP: u64 = 0x82aa_4d95_cd97_75b9;
 const GOLDEN_SOFTERMAX_ROW: u64 = 0xb39e_7190_f725_c8c5;
+// Captured from the PR-6 tree (first version with the fused SIMD
+// pipeline); both kernels predate it unchanged, so these pin the
+// baseline datapaths from here on.
+const GOLDEN_FP16: u64 = 0xfc26_139d_2c8d_f865;
+const GOLDEN_LUT8: u64 = 0x948d_c3ef_7515_358c;

@@ -68,6 +68,55 @@ fn arb_config() -> impl Strategy<Value = SoftermaxConfig> {
         )
 }
 
+/// Unconstrained quantization formats for the fused-vs-staged parity
+/// check: any combination [`SoftermaxConfig::validate`] accepts, not just
+/// the curated ablation sets — the max format's integer bits are drawn as
+/// a delta on top of the input's so the range constraint holds by
+/// construction.
+fn arb_wild_config() -> impl Strategy<Value = SoftermaxConfig> {
+    (
+        1usize..=17,
+        prop_oneof![Just(2usize), Just(4), Just(8), Just(16), Just(64)],
+        prop_oneof![Just(2usize), Just(4), Just(8), Just(16)],
+        prop_oneof![Just(MaxMode::Integer), Just(MaxMode::Float)],
+        prop_oneof![Just(Base::Two), Just(Base::E)],
+        (2u32..=8, 0u32..=6),
+        (0u32..=3, 0u32..=6),
+        (1u32..=3, 6u32..=16),
+        (6u32..=12, 2u32..=8),
+        ((1u32..=2, 5u32..=10), (1u32..=2, 5u32..=10)),
+    )
+        .prop_map(
+            |(
+                width,
+                pow2_segs,
+                recip_segs,
+                max_mode,
+                base,
+                (in_int, in_frac),
+                (max_int_delta, max_frac),
+                (un_int, un_frac),
+                (sum_int, sum_frac),
+                ((rc_int, rc_frac), (out_int, out_frac)),
+            )| {
+                SoftermaxConfig::builder()
+                    .slice_width(width)
+                    .pow2_segments(pow2_segs)
+                    .recip_segments(recip_segs)
+                    .max_mode(max_mode)
+                    .base(base)
+                    .input_format(QFormat::signed(in_int, in_frac))
+                    .max_format(QFormat::signed(in_int + max_int_delta, max_frac))
+                    .unnormed_format(QFormat::unsigned(un_int, un_frac))
+                    .pow_sum_format(QFormat::unsigned(sum_int, sum_frac))
+                    .recip_format(QFormat::unsigned(rc_int, rc_frac))
+                    .output_format(QFormat::unsigned(out_int, out_frac))
+                    .build()
+                    .expect("drawn config satisfies the validation rules")
+            },
+        )
+}
+
 fn assert_bits_equal(got: &[f64], want: &[f64], what: &str) {
     assert_eq!(got.len(), want.len(), "{what}: length mismatch");
     for (i, (g, w)) in got.iter().zip(want).enumerate() {
@@ -157,6 +206,49 @@ proptest! {
         for (n, got) in nums.iter().zip(&out) {
             let want = apply_reciprocal(*n, r, formats::OUTPUT);
             prop_assert_eq!(got.raw(), want.raw(), "num={}", n);
+        }
+    }
+
+    /// The fused SIMD pipeline (`forward_into`), the retained staged PR-2
+    /// pipeline (`forward_into_staged`), the batched path and chunked
+    /// streaming are all bit-identical under *randomly drawn* quantization
+    /// formats — the strongest form of the fusion contract: every
+    /// fused pass must chain the identical fixed-point primitives for any
+    /// format geometry, not just the curated sets above.
+    #[test]
+    fn fused_matches_staged_under_random_formats(
+        row in arb_row(),
+        cfg in arb_wild_config(),
+        chunk in 1usize..16,
+    ) {
+        let sm = Softermax::new(cfg);
+        let mut scratch = ScratchBuffers::default();
+        let mut fused = vec![0.0; row.len()];
+        let mut staged = vec![0.0; row.len()];
+        let r_fused = sm.forward_into(&row, &mut fused, &mut scratch);
+        let r_staged = sm.forward_into_staged(&row, &mut staged, &mut scratch);
+        match (&r_fused, &r_staged) {
+            (Ok(()), Ok(())) => assert_bits_equal(&fused, &staged, "fused vs staged"),
+            (Err(a), Err(b)) => prop_assert_eq!(format!("{a:?}"), format!("{b:?}")),
+            (a, b) => prop_assert!(false, "fused {a:?} but staged {b:?}"),
+        }
+        if r_fused.is_ok() {
+            // Batched: two copies of the row must reproduce the row result.
+            let doubled: Vec<f64> = row.iter().chain(&row).copied().collect();
+            let mut batch_out = vec![0.0; doubled.len()];
+            sm.forward_batch_into(&doubled, row.len(), &mut batch_out, &mut scratch)
+                .expect("row path succeeded");
+            assert_bits_equal(&batch_out[..row.len()], &fused, "batch row 0 vs fused");
+            assert_bits_equal(&batch_out[row.len()..], &fused, "batch row 1 vs fused");
+            // Streamed in arbitrary chunks.
+            let mut session = sm.stream();
+            session.reset(row.len());
+            for piece in row.chunks(chunk) {
+                session.push_chunk(piece);
+            }
+            let mut streamed = vec![0.0; row.len()];
+            session.finish_into(&mut streamed).expect("row path succeeded");
+            assert_bits_equal(&streamed, &fused, "streamed vs fused");
         }
     }
 

@@ -35,8 +35,10 @@
 //! let y = x.requantize(QFormat::unsigned(1, 15), Rounding::Nearest);
 //! assert_eq!(y.to_f64(), 0.0); // negative values saturate to 0 in unsigned
 //! ```
+#![cfg_attr(feature = "portable-simd", feature(portable_simd))]
 
 mod error;
+pub mod lane;
 mod qformat;
 mod rounding;
 mod value;
@@ -44,7 +46,7 @@ pub mod vecops;
 
 pub use error::FixedError;
 pub use qformat::{formats, QFormat};
-pub use rounding::{clamp_i128, Rounding};
+pub use rounding::{ceil_shift, clamp_i128, floor_shift, nearest_shift, Rounding};
 pub use value::Fixed;
 pub use vecops::{dequantize_slice, quantize_slice, requantize_slice};
 

@@ -117,6 +117,77 @@ impl Rounding {
     }
 }
 
+impl Rounding {
+    /// Dispatches to the shift-based fast helpers ([`floor_shift`],
+    /// [`nearest_shift`], [`ceil_shift`]); `TowardZero` falls back to the
+    /// reference division. **Bit-identical** with
+    /// [`Rounding::apply_shift`] under the helpers' magnitude bound
+    /// (`|raw| < 2^126`).
+    #[inline(always)]
+    #[must_use]
+    pub fn apply_shift_fast(self, raw: i128, extra_frac: u32) -> i64 {
+        match self {
+            Rounding::Floor => floor_shift(raw, extra_frac),
+            Rounding::Nearest => nearest_shift(raw, extra_frac),
+            Rounding::Ceil => ceil_shift(raw, extra_frac),
+            Rounding::TowardZero => self.apply_shift(raw, extra_frac),
+        }
+    }
+}
+
+/// Shift-based fast path of `Rounding::Floor.apply_shift`.
+///
+/// Floor division by `2^k` is exactly an arithmetic right shift for any
+/// sign, so this replaces the generic euclidean division of
+/// [`Rounding::apply_shift`] with two instructions. **Bit-identical** for
+/// every input (`tests/properties.rs` holds it to that contract); the
+/// huge-shift sign collapse is delegated to the reference path.
+#[inline(always)]
+#[must_use]
+pub fn floor_shift(raw: i128, k: u32) -> i64 {
+    if k >= 127 {
+        return Rounding::Floor.apply_shift(raw, k);
+    }
+    clamp_i128(raw >> k)
+}
+
+/// Shift-based fast path of `Rounding::Nearest.apply_shift` (ties away
+/// from zero). **Bit-identical** with the reference for every `raw` whose
+/// magnitude stays below `2^126` — true of every product of two 32-bit
+/// fixed-point encodings.
+#[inline(always)]
+#[must_use]
+pub fn nearest_shift(raw: i128, k: u32) -> i64 {
+    if k == 0 {
+        return clamp_i128(raw);
+    }
+    if k >= 127 {
+        return Rounding::Nearest.apply_shift(raw, k);
+    }
+    let half = 1i128 << (k - 1);
+    // Round half away from zero: bias the magnitude by half a step, then
+    // truncate the magnitude with a floor shift.
+    let shifted = if raw >= 0 {
+        (raw + half) >> k
+    } else {
+        -((-raw + half) >> k)
+    };
+    clamp_i128(shifted)
+}
+
+/// Shift-based fast path of `Rounding::Ceil.apply_shift`:
+/// `ceil(a / 2^k) == floor((a + 2^k - 1) / 2^k)`. **Bit-identical** with
+/// the reference for every `raw` whose magnitude stays below `2^126`.
+#[inline(always)]
+#[must_use]
+pub fn ceil_shift(raw: i128, k: u32) -> i64 {
+    if k == 0 || k >= 127 {
+        return Rounding::Ceil.apply_shift(raw, k);
+    }
+    let mask = (1i128 << k) - 1;
+    clamp_i128((raw + mask) >> k)
+}
+
 /// Clamps a 128-bit intermediate into the `i64` raw-encoding range (the
 /// shared saturation step of every widening fixed-point operation; callers
 /// saturate to the target format afterwards).
@@ -189,6 +260,44 @@ mod tests {
         assert_eq!(Rounding::Floor.apply_shift(-123, 127), -1);
         assert_eq!(Rounding::Ceil.apply_shift(123, 127), 1);
         assert_eq!(Rounding::Nearest.apply_shift(-123, 127), 0);
+    }
+
+    #[test]
+    fn fast_shifts_match_apply_shift() {
+        let raws: Vec<i128> = vec![
+            0,
+            1,
+            -1,
+            5,
+            -5,
+            6,
+            -6,
+            1000,
+            -1000,
+            (1i128 << 62) + 12345,
+            -(1i128 << 62) - 12345,
+            (1i128 << 90) + 7,
+            -(1i128 << 90) - 7,
+        ];
+        for &raw in &raws {
+            for k in [0u32, 1, 2, 7, 15, 31, 63, 90, 126, 127, 200] {
+                assert_eq!(
+                    floor_shift(raw, k),
+                    Rounding::Floor.apply_shift(raw, k),
+                    "floor raw={raw} k={k}"
+                );
+                assert_eq!(
+                    nearest_shift(raw, k),
+                    Rounding::Nearest.apply_shift(raw, k),
+                    "nearest raw={raw} k={k}"
+                );
+                assert_eq!(
+                    ceil_shift(raw, k),
+                    Rounding::Ceil.apply_shift(raw, k),
+                    "ceil raw={raw} k={k}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -13,21 +13,35 @@
 //!   wants: a dense `&[i64]` of lanes plus one format descriptor, instead of
 //!   an array of `(raw, format)` structs.
 //!
-//! Every raw operation processes [`LANES`]-wide array chunks with a scalar
-//! tail, so the loop bodies are `std::simd`-ready (swap the array map for a
-//! `Simd<i64, LANES>` once the portable-SIMD API is stable) and
-//! auto-vectorize well in the meantime. All operations are **bit-exact**
-//! with their scalar [`Fixed`] counterparts — the property tests in
+//! Every raw operation processes [`LANES`]-wide blocks from the
+//! [`crate::lane`] layer with a scalar tail: with the `portable-simd`
+//! feature the block ops are `std::simd` lanes, otherwise hand-unrolled
+//! loops that auto-vectorize inside the [`crate::lane_envelope!`]
+//! multiversioning wrappers. All operations are **bit-exact** with their
+//! scalar [`Fixed`] counterparts — the property tests in
 //! `tests/properties.rs` hold every path (including saturation and
 //! tail-chunk edges) to that contract.
+//!
+//! # The `_into` output contract
+//!
+//! Raw-lane operations come in exactly two output shapes, chosen by the
+//! parameter type:
+//!
+//! * **`out: &mut Vec<i64>`** — the operation *clears* the vector and
+//!   extends it with one output lane per input lane, reusing capacity.
+//!   Callers never pre-size these.
+//! * **`out: &mut [f64]`** (or any pre-sized slice) — the caller sizes the
+//!   buffer, exactly one geometry check happens *up front* at the pipeline
+//!   entry point (e.g. `forward_into`'s `assert_eq!`), and the operation
+//!   itself only `debug_assert!`s the lengths: release builds drop the
+//!   per-call panic from the hot loop. Violating the contract in release
+//!   truncates the operation to the shorter length instead of panicking.
 
-use crate::{clamp_i128, Fixed, QFormat, Rounding};
+use crate::{clamp_i128, lane, lane_envelope, nearest_shift, Fixed, QFormat, Rounding};
 
-/// Chunk width of the vectorized loops (lanes per iteration).
-///
-/// Eight 64-bit lanes fill one AVX-512 register (or two NEON/AVX2
-/// registers); the scalar tail handles `len % LANES` elements.
-pub const LANES: usize = 8;
+/// Chunk width of the vectorized loops (lanes per iteration); re-exported
+/// from [`crate::lane`].
+pub use crate::lane::LANES;
 
 /// Quantizes every element of a slice into `format`, saturating.
 ///
@@ -108,13 +122,19 @@ pub fn requantize_slice_into(
 /// factor is bit-identical to the division `value / resolution()` that
 /// [`Fixed::from_f64`] performs — the hoisted multiply is a pure speedup.
 #[inline]
-fn res_recip(format: QFormat) -> f64 {
+#[must_use]
+pub fn res_recip(format: QFormat) -> f64 {
     f64::from(format.frac_bits()).exp2()
 }
 
 /// One lane of [`quantize_raw_into`]; bit-exact with [`Fixed::from_f64`].
-#[inline]
-fn quantize_one_raw(value: f64, format: QFormat, rounding: Rounding, inv_res: f64) -> i64 {
+/// `inv_res` must be [`res_recip`]`(format)` (hoisted by the caller).
+///
+/// Public so fused downstream pipelines can chain the exact per-element
+/// operation without materializing intermediate lane buffers.
+#[inline(always)]
+#[must_use]
+pub fn quantize_one_raw(value: f64, format: QFormat, rounding: Rounding, inv_res: f64) -> i64 {
     if value.is_nan() || value == f64::INFINITY {
         return format.max_raw();
     }
@@ -142,35 +162,37 @@ pub fn quantize_raw_into(values: &[f64], format: QFormat, rounding: Rounding, ou
     }
 }
 
-/// Converts raw `format` encodings to reals, writing into the
-/// caller-provided slice (`out.len()` must equal `raws.len()`). Bit-exact
-/// with [`Fixed::to_f64`] per element.
-///
-/// # Panics
-///
-/// Panics if the slice lengths differ.
-pub fn dequantize_raw(raws: &[i64], format: QFormat, out: &mut [f64]) {
-    assert_eq!(raws.len(), out.len(), "lane count mismatch");
-    let res = format.resolution();
-    let mut in_chunks = raws.chunks_exact(LANES);
-    let mut out_chunks = out.chunks_exact_mut(LANES);
-    for (rc, oc) in in_chunks.by_ref().zip(out_chunks.by_ref()) {
-        for i in 0..LANES {
-            oc[i] = rc[i] as f64 * res;
+lane_envelope! {
+    /// Converts raw `format` encodings to reals, writing into the
+    /// caller-provided pre-sized slice (see the module-level `_into`
+    /// contract: the lengths are `debug_assert!`ed here; the up-front
+    /// geometry check lives at the pipeline entry point). Bit-exact with
+    /// [`Fixed::to_f64`] per element.
+    pub fn dequantize_raw(raws: &[i64], format: QFormat, out: &mut [f64]) {
+        debug_assert_eq!(raws.len(), out.len(), "lane count mismatch");
+        let res = format.resolution();
+        let mut in_chunks = raws.chunks_exact(LANES);
+        let mut out_chunks = out.chunks_exact_mut(LANES);
+        for (rc, oc) in in_chunks.by_ref().zip(out_chunks.by_ref()) {
+            lane::to_f64_scaled(lane::load(rc), res, oc);
         }
-    }
-    for (&r, o) in in_chunks
-        .remainder()
-        .iter()
-        .zip(out_chunks.into_remainder())
-    {
-        *o = r as f64 * res;
+        for (&r, o) in in_chunks
+            .remainder()
+            .iter()
+            .zip(out_chunks.into_remainder())
+        {
+            *o = r as f64 * res;
+        }
     }
 }
 
 /// One lane of [`requantize_raw_into`]; bit-exact with [`Fixed::requantize`].
-#[inline]
-fn requantize_one_raw(raw: i64, src_frac: u32, dst: QFormat, rounding: Rounding) -> i64 {
+///
+/// Public so fused downstream pipelines can chain the exact per-element
+/// operation without materializing intermediate lane buffers.
+#[inline(always)]
+#[must_use]
+pub fn requantize_one_raw(raw: i64, src_frac: u32, dst: QFormat, rounding: Rounding) -> i64 {
     let dst_frac = dst.frac_bits();
     let shifted = if dst_frac >= src_frac {
         let wide = (raw as i128) << (dst_frac - src_frac);
@@ -204,43 +226,149 @@ pub fn requantize_raw_into(
     }
 }
 
-/// Maximum raw encoding of a lane slice (`None` when empty).
-///
-/// Within one format the raw ordering is the mathematical ordering, so this
-/// matches a fold over [`Fixed::max`].
-#[must_use]
-pub fn max_reduce(raws: &[i64]) -> Option<i64> {
-    if raws.is_empty() {
-        return None;
-    }
-    let mut chunks = raws.chunks_exact(LANES);
-    let mut acc = [i64::MIN; LANES];
-    for chunk in chunks.by_ref() {
-        for i in 0..LANES {
-            acc[i] = acc[i].max(chunk[i]);
+lane_envelope! {
+    /// Maximum raw encoding of a lane slice (`None` when empty).
+    ///
+    /// Within one format the raw ordering is the mathematical ordering, so
+    /// this matches a fold over [`Fixed::max`].
+    #[must_use]
+    pub fn max_reduce(raws: &[i64]) -> Option<i64> {
+        if raws.is_empty() {
+            return None;
         }
+        let mut chunks = raws.chunks_exact(LANES);
+        let mut acc: lane::Block = [i64::MIN; LANES];
+        for chunk in chunks.by_ref() {
+            acc = lane::max(acc, lane::load(chunk));
+        }
+        let mut best = lane::hmax(acc);
+        for &r in chunks.remainder() {
+            best = best.max(r);
+        }
+        Some(best)
     }
-    let mut best = acc.into_iter().max().expect("LANES > 0");
-    for &r in chunks.remainder() {
-        best = best.max(r);
-    }
-    Some(best)
 }
 
-/// Subtracts `scalar` from every lane with saturation into `format`,
-/// writing into `out` (cleared first). Bit-exact with
-/// [`Fixed::saturating_sub`] per element (all operands share `format`).
-pub fn sub_scalar_saturating(raws: &[i64], scalar: i64, format: QFormat, out: &mut Vec<i64>) {
-    out.clear();
-    out.reserve(raws.len());
-    let mut chunks = raws.chunks_exact(LANES);
-    for chunk in chunks.by_ref() {
-        let lanes: [i64; LANES] =
-            std::array::from_fn(|i| format.saturate_raw(chunk[i].saturating_sub(scalar)));
-        out.extend_from_slice(&lanes);
+/// One lane of [`max_reduce_ceil`]; bit-exact with [`Fixed::ceil`] on a
+/// raw encoding in `format` (the IntMax unit's elementwise operation).
+#[inline(always)]
+#[must_use]
+pub fn ceil_one_raw(raw: i64, format: QFormat) -> i64 {
+    let frac = format.frac_bits();
+    let int_steps = crate::ceil_shift(raw as i128, frac);
+    format.saturate_raw(int_steps.saturating_mul(1i64 << frac))
+}
+
+lane_envelope! {
+    /// Maximum of the [`Fixed::ceil`]ed lane encodings (`None` when
+    /// empty): the IntMax unit's slice reduction, fused so the ceiled
+    /// candidates are never materialized. Bit-exact with mapping
+    /// [`Fixed::ceil`] over the lanes and folding [`Fixed::max`].
+    #[must_use]
+    pub fn max_reduce_ceil(raws: &[i64], format: QFormat) -> Option<i64> {
+        if raws.is_empty() {
+            return None;
+        }
+        let mut chunks = raws.chunks_exact(LANES);
+        let mut acc: lane::Block = [i64::MIN; LANES];
+        for chunk in chunks.by_ref() {
+            let ceiled: lane::Block =
+                std::array::from_fn(|i| ceil_one_raw(chunk[i], format));
+            acc = lane::max(acc, ceiled);
+        }
+        let mut best = lane::hmax(acc);
+        for &r in chunks.remainder() {
+            best = best.max(ceil_one_raw(r, format));
+        }
+        Some(best)
     }
-    for &r in chunks.remainder() {
-        out.push(format.saturate_raw(r.saturating_sub(scalar)));
+}
+
+lane_envelope! {
+    /// Subtracts `scalar` from every lane with saturation into `format`,
+    /// writing into `out` (cleared first). Bit-exact with
+    /// [`Fixed::saturating_sub`] per element (all operands share `format`).
+    pub fn sub_scalar_saturating(raws: &[i64], scalar: i64, format: QFormat, out: &mut Vec<i64>) {
+        out.clear();
+        out.reserve(raws.len());
+        let (lo, hi) = (format.min_raw(), format.max_raw());
+        let mut chunks = raws.chunks_exact(LANES);
+        for chunk in chunks.by_ref() {
+            let lanes = lane::sub_clamp(lane::load(chunk), scalar, lo, hi);
+            out.extend_from_slice(&lanes);
+        }
+        for &r in chunks.remainder() {
+            out.push(format.saturate_raw(r.saturating_sub(scalar)));
+        }
+    }
+}
+
+/// One lane of [`fused_quantize_into`]: quantize → optional pre-scale
+/// multiply (round-to-nearest, saturating in `input`) → requantize into
+/// `dst`. Bit-exact with chaining [`Fixed::from_f64`],
+/// [`Fixed::mul_into`] and [`Fixed::requantize`].
+#[inline(always)]
+#[must_use]
+pub fn fused_quantize_one(
+    value: f64,
+    input: QFormat,
+    rounding: Rounding,
+    inv_res: f64,
+    in_frac: u32,
+    prescale: Option<(i64, u32)>,
+    dst: QFormat,
+) -> i64 {
+    let q = quantize_one_raw(value, input, rounding, inv_res);
+    let p = match prescale {
+        None => q,
+        Some((mant, shift)) => input.saturate_raw(nearest_shift(q as i128 * mant as i128, shift)),
+    };
+    // Same op as `requantize_one_raw`, routed through the shift-based
+    // fast rounding helpers (bit-identical; `Rounding::apply_shift_fast`).
+    let dst_frac = dst.frac_bits();
+    let shifted = if dst_frac >= in_frac {
+        clamp_i128((p as i128) << (dst_frac - in_frac))
+    } else {
+        rounding.apply_shift_fast(p as i128, in_frac - dst_frac)
+    };
+    dst.saturate_raw(shifted)
+}
+
+lane_envelope! {
+    /// Fused stage-0 pass of a quantized softmax pipeline: for every real
+    /// input, quantize into `input` format, apply the optional fixed-point
+    /// pre-scale `prescale = (mantissa_raw, frac_shift)` (a
+    /// round-to-nearest multiply saturating in `input` — the base-e
+    /// `log2(e)` scaling), and requantize into `dst` format — one sweep,
+    /// one output write per element, appended to `out` (cleared first).
+    ///
+    /// Bit-exact per element with the three-pass staged equivalent
+    /// ([`quantize_raw_into`], the scalar pre-scale, then
+    /// [`requantize_raw_into`]).
+    pub fn fused_quantize_into(
+        values: &[f64],
+        input: QFormat,
+        rounding: Rounding,
+        prescale: Option<(i64, u32)>,
+        dst: QFormat,
+        out: &mut Vec<i64>,
+    ) {
+        out.clear();
+        out.reserve(values.len());
+        let inv_res = res_recip(input);
+        let in_frac = input.frac_bits();
+        let mut chunks = values.chunks_exact(LANES);
+        for chunk in chunks.by_ref() {
+            let lanes: lane::Block = std::array::from_fn(|i| {
+                fused_quantize_one(chunk[i], input, rounding, inv_res, in_frac, prescale, dst)
+            });
+            out.extend_from_slice(&lanes);
+        }
+        for &v in chunks.remainder() {
+            out.push(fused_quantize_one(
+                v, input, rounding, inv_res, in_frac, prescale, dst,
+            ));
+        }
     }
 }
 

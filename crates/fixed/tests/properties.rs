@@ -246,3 +246,78 @@ proptest! {
         prop_assert_eq!(got, want.raw());
     }
 }
+
+proptest! {
+    /// The shift-based fast rounding helpers are bit-identical with the
+    /// division-based `apply_shift` reference for every mode, including
+    /// wide products and degenerate shifts.
+    #[test]
+    fn fast_shift_helpers_match_apply_shift(
+        raw in any::<i64>(),
+        scale in 0u32..60,
+        k in 0u32..140,
+        r in arb_rounding(),
+    ) {
+        let wide = (raw as i128) << scale;
+        prop_assert_eq!(
+            r.apply_shift_fast(wide, k),
+            r.apply_shift(wide, k),
+            "mode={:?} raw={} scale={} k={}", r, raw, scale, k
+        );
+    }
+
+    /// `ceil_one_raw` is bit-identical with `Fixed::ceil` on any raw
+    /// encoding in any format.
+    #[test]
+    fn vecops_ceil_one_raw_matches_fixed_ceil(raw in -200_000i64..200_000, fmt in arb_format()) {
+        let raw = fmt.saturate_raw(raw);
+        prop_assert_eq!(
+            vecops::ceil_one_raw(raw, fmt),
+            Fixed::from_raw_saturating(raw, fmt).ceil().raw()
+        );
+    }
+
+    /// The fused ceil-max reduction equals mapping `Fixed::ceil` then
+    /// folding `max` (the staged IntMax pipeline).
+    #[test]
+    fn vecops_max_reduce_ceil_matches_staged(
+        raws in proptest::collection::vec(-200_000i64..200_000, 0..40),
+        fmt in arb_format(),
+    ) {
+        let raws: Vec<i64> = raws.iter().map(|&x| fmt.saturate_raw(x)).collect();
+        let want = raws
+            .iter()
+            .map(|&r| Fixed::from_raw_saturating(r, fmt).ceil().raw())
+            .max();
+        prop_assert_eq!(vecops::max_reduce_ceil(&raws, fmt), want);
+    }
+
+    /// The fused stage-0 pass (quantize → pre-scale → requantize in one
+    /// sweep) is bit-identical with the staged three-pass pipeline.
+    #[test]
+    fn vecops_fused_quantize_matches_staged(
+        values in proptest::collection::vec(-1e3f64..1e3, 0..40),
+        input in arb_format(),
+        dst in arb_format(),
+        r in arb_rounding(),
+        mant in 0i64..100_000,
+        shift in 0u32..16,
+        use_prescale in any::<bool>(),
+    ) {
+        let prescale = use_prescale.then_some((mant, shift));
+        let mut fused = Vec::new();
+        vecops::fused_quantize_into(&values, input, r, prescale, dst, &mut fused);
+
+        let mut staged = Vec::new();
+        vecops::quantize_raw_into(&values, input, r, &mut staged);
+        if let Some((mant, shift)) = prescale {
+            for lane in &mut staged {
+                let prod = *lane as i128 * mant as i128;
+                *lane = input.saturate_raw(Rounding::Nearest.apply_shift(prod, shift));
+            }
+        }
+        let mut want = Vec::new();
+        vecops::requantize_raw_into(&staged, input, dst, r, &mut want);
+        prop_assert_eq!(fused, want);
+    }
+}

@@ -185,6 +185,9 @@ impl_tuple_strategy!(A, B, C, D);
 impl_tuple_strategy!(A, B, C, D, E);
 impl_tuple_strategy!(A, B, C, D, E, F);
 impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
 
 /// Types with a canonical "any value" strategy (`any::<T>()`).
 pub trait Arbitrary: Sized {
