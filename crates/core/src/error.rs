@@ -14,6 +14,12 @@ pub enum SoftmaxError {
     /// A serving queue is at capacity and rejected the submission
     /// (backpressure: retry later or use a blocking submit).
     QueueFull,
+    /// The request's deadline passed before it could be served; the work
+    /// was dropped (at admission or at dequeue) and counted as expired.
+    DeadlineExceeded,
+    /// The serving engine shut down (or lost its last worker) with the
+    /// request still outstanding; the result will never arrive.
+    EngineShutdown,
 }
 
 impl fmt::Display for SoftmaxError {
@@ -23,6 +29,12 @@ impl fmt::Display for SoftmaxError {
             SoftmaxError::InvalidConfig(msg) => write!(f, "invalid softmax configuration: {msg}"),
             SoftmaxError::DivisionByZero => write!(f, "normalizer is zero, reciprocal undefined"),
             SoftmaxError::QueueFull => write!(f, "serving queue is full, submission rejected"),
+            SoftmaxError::DeadlineExceeded => {
+                write!(f, "request deadline passed before it could be served")
+            }
+            SoftmaxError::EngineShutdown => {
+                write!(f, "serving engine shut down with the request outstanding")
+            }
         }
     }
 }
@@ -43,6 +55,12 @@ mod tests {
             .to_string()
             .contains("slice width 0"));
         assert!(SoftmaxError::QueueFull.to_string().contains("full"));
+        assert!(SoftmaxError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+        assert!(SoftmaxError::EngineShutdown
+            .to_string()
+            .contains("shut down"));
     }
 
     #[test]

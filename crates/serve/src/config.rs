@@ -1,7 +1,13 @@
-//! Engine geometry: thread count and the hardware-derived chunk shape.
+//! Engine geometry: thread count, the hardware-derived chunk shape, and
+//! the fault-tolerance knobs (admission timeout, worker respawn budget,
+//! circuit breaker).
+
+use std::time::Duration;
 
 use softermax::{Result, SoftmaxError};
 use softermax_hw::pe::PeConfig;
+
+use crate::health::BreakerConfig;
 
 /// Configuration of a [`BatchEngine`](crate::BatchEngine).
 ///
@@ -40,11 +46,29 @@ pub struct ServeConfig {
     /// submissions with [`SoftmaxError::QueueFull`] and blocks the
     /// blocking ones until a slot frees up.
     pub queue_depth: usize,
+    /// Upper bound on how long a *blocking* admission may wait for a
+    /// slot before giving up with [`SoftmaxError::QueueFull`] — a
+    /// permanently full engine must never hang its submitters.
+    pub admission_timeout: Duration,
+    /// How many times the pool may respawn a worker whose kernel
+    /// panicked before declaring the engine dead. Each panic fails the
+    /// panicking batch and revives the worker; past this budget the
+    /// worker is lost, and when the last one goes every queued request
+    /// is resolved with [`SoftmaxError::EngineShutdown`].
+    pub respawn_cap: usize,
+    /// Circuit-breaker tuning (see [`BreakerConfig`]).
+    pub breaker: BreakerConfig,
 }
 
 /// Default admission bound of a [`ServeConfig`]: how many batches may be
 /// in flight on one engine before submissions see backpressure.
 pub const DEFAULT_QUEUE_DEPTH: usize = 64;
+
+/// Default bound on blocking admission waits.
+pub const DEFAULT_ADMISSION_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Default worker respawn budget per engine.
+pub const DEFAULT_RESPAWN_CAP: usize = 64;
 
 impl ServeConfig {
     /// Engine geometry for `threads` workers, with the chunk shape of the
@@ -64,6 +88,9 @@ impl ServeConfig {
             chunk_rows: pe.n_lanes,
             vector_width: pe.softmax_width(),
             queue_depth: DEFAULT_QUEUE_DEPTH,
+            admission_timeout: DEFAULT_ADMISSION_TIMEOUT,
+            respawn_cap: DEFAULT_RESPAWN_CAP,
+            breaker: BreakerConfig::default(),
         }
     }
 
@@ -78,6 +105,27 @@ impl ServeConfig {
     #[must_use]
     pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
         self.queue_depth = queue_depth;
+        self
+    }
+
+    /// Overrides the bound on blocking admission waits.
+    #[must_use]
+    pub fn with_admission_timeout(mut self, admission_timeout: Duration) -> Self {
+        self.admission_timeout = admission_timeout;
+        self
+    }
+
+    /// Overrides the worker respawn budget.
+    #[must_use]
+    pub fn with_respawn_cap(mut self, respawn_cap: usize) -> Self {
+        self.respawn_cap = respawn_cap;
+        self
+    }
+
+    /// Overrides the circuit-breaker tuning.
+    #[must_use]
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
         self
     }
 
@@ -103,7 +151,7 @@ impl ServeConfig {
                 "serve queue must admit at least one batch".to_string(),
             ));
         }
-        Ok(())
+        self.breaker.validate()
     }
 }
 
@@ -128,5 +176,19 @@ mod tests {
         assert!(ServeConfig::new(1).with_chunk_rows(1).validate().is_ok());
         assert!(ServeConfig::new(1).with_queue_depth(0).validate().is_err());
         assert!(ServeConfig::new(1).with_queue_depth(1).validate().is_ok());
+    }
+
+    #[test]
+    fn breaker_knobs_validate_through_the_serve_config() {
+        let bad = BreakerConfig {
+            failure_pct: 0,
+            ..BreakerConfig::default()
+        };
+        assert!(ServeConfig::new(1).with_breaker(bad).validate().is_err());
+        let cfg = ServeConfig::new(1)
+            .with_admission_timeout(Duration::from_millis(5))
+            .with_respawn_cap(0);
+        assert!(cfg.validate().is_ok(), "zero respawn budget is legal");
+        assert_eq!(cfg.admission_timeout, Duration::from_millis(5));
     }
 }

@@ -1,12 +1,12 @@
 //! The batched execution engine: a fixed worker pool pulling jobs from a
 //! shared, bounded admission queue — many requests safely in flight at
-//! once.
+//! once, with deadlines, a circuit breaker, and self-healing workers.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::ops::Range;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -14,11 +14,21 @@ use softermax::kernel::{check_batch_geometry, BatchScratch, SoftmaxKernel, Strea
 use softermax::{Result, SoftmaxError};
 
 use crate::config::ServeConfig;
+use crate::health::{Breaker, BreakerState};
 use crate::stats::{EngineStats, KernelServeStats};
 use crate::submit::Ticket;
 
 /// A contiguous range of matrix rows: the unit of scheduling.
 type Chunk = Range<usize>;
+
+/// Locks a mutex, recovering the data from a poisoned lock. The engine's
+/// critical sections only move counters and queue entries (no invariant
+/// can be half-updated by a panic inside them), and the serving path must
+/// keep working after a worker panicked — a poisoned lock must not
+/// cascade one kernel panic into a wedged engine.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A fixed pool of worker threads serving whole score matrices through
 /// any [`SoftmaxKernel`].
@@ -29,15 +39,34 @@ type Chunk = Range<usize>;
 /// [`BatchEngine::submit`](crate::Submission) — onto one shared intake
 /// queue, and every worker pulls chunks from the front job, flowing to
 /// the next job the moment the current one's chunk list runs dry. A
-/// single small matrix therefore never parks the pool (the old model
-/// broadcast every job to every worker and made each worker check in and
-/// out of every job in program order, serializing concurrent callers
-/// behind each other — head-of-line blocking this design removes).
+/// single small matrix therefore never parks the pool.
 ///
 /// Admission is bounded by [`ServeConfig::queue_depth`]: a full engine
 /// rejects non-blocking submissions with [`SoftmaxError::QueueFull`] and
-/// blocks the blocking ones until a slot frees — backpressure instead of
-/// unbounded queueing.
+/// blocks the blocking ones — for at most
+/// [`ServeConfig::admission_timeout`] — until a slot frees: backpressure
+/// instead of unbounded queueing, and bounded waits instead of hangs.
+///
+/// # Fault tolerance
+///
+/// * Requests may carry a **deadline**
+///   ([`Submission::with_deadline`](crate::Submission::with_deadline)):
+///   work whose deadline passed is dropped honestly — at admission, while
+///   waiting for a slot, or at dequeue — resolved as
+///   [`SoftmaxError::DeadlineExceeded`] and counted into
+///   [`KernelServeStats::expired_requests`].
+/// * A **circuit breaker** ([`ServeConfig::breaker`]) watches the
+///   engine's recent outcomes; an unhealthy engine stops admitting
+///   non-blocking submissions (so routers fail over) until a half-open
+///   probe succeeds.
+/// * A worker whose kernel **panics** fails the panicking batch and is
+///   respawned, up to [`ServeConfig::respawn_cap`] times; past the
+///   budget the worker is lost, and when the last one goes every queued
+///   request resolves with [`SoftmaxError::EngineShutdown`] instead of
+///   hanging its waiter.
+/// * **Shutdown** (dropping the engine) resolves every not-yet-started
+///   request with [`SoftmaxError::EngineShutdown`]; chunks already
+///   executing finish first, so buffers are never abandoned mid-write.
 ///
 /// Output is **bit-identical** to sequential row-at-a-time execution at
 /// any thread count and any interleaving of concurrent callers: rows
@@ -68,7 +97,7 @@ impl BatchEngine {
             let worker_shared = Arc::clone(&shared);
             let spawned = std::thread::Builder::new()
                 .name(format!("softermax-serve-{index}"))
-                .spawn(move || worker_loop(&worker_shared));
+                .spawn(move || supervised_worker(&worker_shared));
             match spawned {
                 Ok(handle) => workers.push(handle),
                 Err(e) => {
@@ -120,7 +149,55 @@ impl BatchEngine {
     /// Batches currently admitted and not yet completed.
     #[must_use]
     pub fn inflight(&self) -> usize {
-        self.shared.intake.lock().expect("intake lock").inflight
+        lock(&self.shared.intake).inflight
+    }
+
+    /// The circuit breaker's current state.
+    #[must_use]
+    pub fn breaker_state(&self) -> BreakerState {
+        lock(&self.shared.breaker).state_at(Instant::now())
+    }
+
+    /// How many times the circuit breaker has tripped open.
+    #[must_use]
+    pub fn breaker_trips(&self) -> u64 {
+        lock(&self.shared.breaker).trips()
+    }
+
+    /// Whether a non-blocking submission would currently be considered:
+    /// the engine is alive (not shut down, has live workers) and its
+    /// breaker is closed or has a free half-open probe slot. The
+    /// [`ShardedRouter`](crate::ShardedRouter) routes around shards
+    /// where this is `false`.
+    #[must_use]
+    pub fn is_admitting(&self) -> bool {
+        {
+            let intake = lock(&self.shared.intake);
+            if intake.shutdown || intake.failed {
+                return false;
+            }
+        }
+        lock(&self.shared.breaker).admitting(Instant::now())
+    }
+
+    /// Worker panics observed over the engine's lifetime (each one
+    /// failed the batch it was serving).
+    #[must_use]
+    pub fn worker_panics(&self) -> u64 {
+        self.shared.worker_panics.load(Ordering::Relaxed)
+    }
+
+    /// Workers revived after a panic (`<= worker_panics`; the difference
+    /// is workers lost past [`ServeConfig::respawn_cap`]).
+    #[must_use]
+    pub fn worker_respawns(&self) -> u64 {
+        self.shared.worker_respawns.load(Ordering::Relaxed)
+    }
+
+    /// Worker threads currently alive and serving.
+    #[must_use]
+    pub fn live_workers(&self) -> usize {
+        lock(&self.shared.intake).live_workers
     }
 
     /// Row-wise softmax of a flattened row-major matrix, into a fresh
@@ -146,13 +223,17 @@ impl BatchEngine {
     /// Blocks until every chunk is done (or the batch is cancelled by the
     /// first failing row). An empty matrix is a valid no-op. Takes one
     /// admission slot like any other request: when the engine is at
-    /// [`ServeConfig::queue_depth`], the call blocks until a slot frees.
+    /// [`ServeConfig::queue_depth`], the call blocks until a slot frees
+    /// (at most [`ServeConfig::admission_timeout`]).
     ///
     /// # Errors
     ///
     /// [`SoftmaxError::EmptyInput`] when `row_len == 0` and the matrix is
-    /// non-empty, plus the first per-row kernel error observed (remaining
-    /// chunks are cancelled, so `out` is unspecified after an error).
+    /// non-empty; [`SoftmaxError::QueueFull`] when no admission slot
+    /// freed within the timeout; [`SoftmaxError::EngineShutdown`] when
+    /// the engine shut down or lost its last worker; plus the first
+    /// per-row kernel error observed (remaining chunks are cancelled, so
+    /// `out` is unspecified after an error).
     ///
     /// # Panics
     ///
@@ -231,7 +312,7 @@ impl BatchEngine {
         let n_rows = check_batch_geometry(rows.len(), row_len, out.len())?;
         if n_rows == 0 {
             self.shared
-                .record(kernel.name(), false, 0, 0, 0, elapsed_ns(started));
+                .record(kernel.name(), Outcome::Success, 0, 0, 0, 0);
             return Ok(());
         }
         let job = Arc::new(Job::borrowed(
@@ -243,7 +324,16 @@ impl BatchEngine {
             stream_chunk,
             started,
         ));
-        self.shared.reserve_blocking(n_rows)?;
+        match self
+            .shared
+            .reserve_blocking(n_rows, started + self.config.admission_timeout, None)
+        {
+            Reserve::Reserved => {}
+            Reserve::TimedOut => return Err(SoftmaxError::QueueFull),
+            Reserve::Shutdown => return Err(SoftmaxError::EngineShutdown),
+            // No deadline was passed, so expiry cannot happen here.
+            Reserve::Expired => return Err(SoftmaxError::DeadlineExceeded),
+        }
         self.shared.enqueue(Arc::clone(&job));
         // The input/output borrows must outlive every worker access:
         // block until the job completes, which happens only after the
@@ -252,17 +342,18 @@ impl BatchEngine {
     }
 
     /// Builds and enqueues an owned-buffer job, the common path behind
-    /// the public submission API ([`crate::Submission`]). `blocking`
-    /// selects the admission behaviour at a full queue: block for a slot,
-    /// or hand the input buffer back as [`EnqueueError::Full`] so the
-    /// caller (e.g. the router) can retry elsewhere.
+    /// the public submission API ([`crate::Submission`]). `admit`
+    /// selects the behaviour at a full queue: fail fast handing the
+    /// input buffer back as [`EnqueueError::Full`] (so the router can
+    /// retry elsewhere), or block for a slot until a wait deadline.
     pub(crate) fn enqueue_owned(
         &self,
         kernel: &Arc<dyn SoftmaxKernel>,
         rows: Vec<f64>,
         row_len: usize,
         stream_chunk: Option<usize>,
-        blocking: bool,
+        deadline: Option<Instant>,
+        admit: AdmitMode,
     ) -> std::result::Result<Ticket, EnqueueError> {
         let started = Instant::now();
         if stream_chunk == Some(0) {
@@ -274,22 +365,43 @@ impl BatchEngine {
             Ok(n) => n,
             Err(e) => return Err(EnqueueError::Fatal(e)),
         };
+        // Deadline already passed at admission: drop the work honestly,
+        // before it can take a queue slot. A client submitting with an
+        // expired deadline is not evidence of shard trouble, so this
+        // path stays out of the breaker's windows.
+        if deadline.is_some_and(|d| started >= d) {
+            self.shared.record_admission_expired(kernel.name());
+            return Err(EnqueueError::Fatal(SoftmaxError::DeadlineExceeded));
+        }
         if n_rows == 0 {
             // Nothing to schedule: a pre-completed ticket, still counted.
             self.shared
-                .record(kernel.name(), false, 0, 0, 0, elapsed_ns(started));
+                .record(kernel.name(), Outcome::Success, 0, 0, 0, 0);
             return Ok(Ticket::new(Arc::new(Job::completed(
                 Arc::clone(kernel),
                 row_len,
                 started,
             ))));
         }
-        if blocking {
-            if let Err(e) = self.shared.reserve_blocking(n_rows) {
-                return Err(EnqueueError::Fatal(e));
+        match admit {
+            AdmitMode::NonBlocking => {
+                if !self.shared.try_reserve(n_rows) {
+                    return Err(EnqueueError::Full(rows));
+                }
             }
-        } else if !self.shared.try_reserve(n_rows) {
-            return Err(EnqueueError::Full(rows));
+            AdmitMode::BlockUntil(until) => {
+                match self.shared.reserve_blocking(n_rows, until, deadline) {
+                    Reserve::Reserved => {}
+                    Reserve::TimedOut => return Err(EnqueueError::Full(rows)),
+                    Reserve::Expired => {
+                        self.shared.record_admission_expired(kernel.name());
+                        return Err(EnqueueError::Fatal(SoftmaxError::DeadlineExceeded));
+                    }
+                    Reserve::Shutdown => {
+                        return Err(EnqueueError::Fatal(SoftmaxError::EngineShutdown))
+                    }
+                }
+            }
         }
         let job = Arc::new(Job::owned(
             Arc::clone(kernel),
@@ -297,6 +409,7 @@ impl BatchEngine {
             row_len,
             self.config.chunk_rows,
             stream_chunk,
+            deadline,
             started,
         ));
         self.shared.enqueue(Arc::clone(&job));
@@ -306,20 +419,21 @@ impl BatchEngine {
     /// A snapshot of the per-kernel serving counters.
     #[must_use]
     pub fn stats(&self) -> EngineStats {
-        EngineStats::from_map(self.shared.stats.lock().expect("stats lock").clone())
+        EngineStats::from_map(lock(&self.shared.stats).clone())
     }
 
     /// Clears the per-kernel serving counters.
     pub fn reset_stats(&self) {
-        self.shared.stats.lock().expect("stats lock").clear();
+        lock(&self.shared.stats).clear();
     }
 }
 
 impl Drop for BatchEngine {
     fn drop(&mut self) {
-        // Hanging up the intake ends each worker's loop once the queue
-        // has drained — jobs already admitted (e.g. outstanding tickets)
-        // still complete.
+        // Hanging up the intake resolves every not-yet-started job with
+        // `EngineShutdown` (their waiters unblock with an error instead
+        // of hanging) and ends each worker's loop; chunks already
+        // executing finish first, so no buffer is abandoned mid-write.
         self.shared.shutdown();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
@@ -333,6 +447,15 @@ impl std::fmt::Debug for BatchEngine {
             .field("config", &self.config)
             .finish_non_exhaustive()
     }
+}
+
+/// Admission behaviour of the crate-internal enqueue path.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum AdmitMode {
+    /// Reject immediately when the queue is full (or the breaker open).
+    NonBlocking,
+    /// Block for a slot, but never past the given wait deadline.
+    BlockUntil(Instant),
 }
 
 /// Submission failure modes of the crate-internal enqueue path. `Full`
@@ -356,10 +479,28 @@ fn elapsed_ns(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
+/// How one finished batch is classified in the stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Success,
+    Failed,
+    Expired,
+}
+
+/// Outcome of a blocking admission attempt.
+enum Reserve {
+    Reserved,
+    /// The wait deadline passed with the queue still full.
+    TimedOut,
+    /// The request's own deadline passed while waiting for a slot.
+    Expired,
+    /// The engine shut down (or lost its last worker).
+    Shutdown,
+}
+
 /// State shared between the engine handle and its workers: the intake
-/// queue with its admission bound, and the serving counters (recorded by
-/// whichever worker completes a job, so ticketed submissions are
-/// accounted without anyone blocking on them).
+/// queue with its admission bound, the serving counters, and the health
+/// machinery (breaker, respawn budget).
 struct Shared {
     intake: Mutex<Intake>,
     /// Workers wait here for jobs.
@@ -367,8 +508,13 @@ struct Shared {
     /// Submitters wait here for admission slots.
     slot: Condvar,
     stats: Mutex<BTreeMap<String, KernelServeStats>>,
+    breaker: Mutex<Breaker>,
     /// Rows admitted and not yet completed (the router's load signal).
     load_rows: AtomicU64,
+    /// Kernel panics observed by the worker supervisors.
+    worker_panics: AtomicU64,
+    /// Workers revived after a panic.
+    worker_respawns: AtomicU64,
     threads: usize,
     depth: usize,
 }
@@ -378,6 +524,12 @@ struct Intake {
     /// Batches admitted and not yet completed.
     inflight: usize,
     shutdown: bool,
+    /// The engine lost its last worker: nothing will ever serve again.
+    failed: bool,
+    /// Worker threads currently alive.
+    live_workers: usize,
+    /// Panicked-worker revivals left before workers start dying for good.
+    respawn_budget: usize,
 }
 
 impl Shared {
@@ -387,21 +539,34 @@ impl Shared {
                 queue: VecDeque::new(),
                 inflight: 0,
                 shutdown: false,
+                failed: false,
+                live_workers: config.threads,
+                respawn_budget: config.respawn_cap,
             }),
             work: Condvar::new(),
             slot: Condvar::new(),
             stats: Mutex::new(BTreeMap::new()),
+            breaker: Mutex::new(Breaker::new(config.breaker.clone())),
             load_rows: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            worker_respawns: AtomicU64::new(0),
             threads: config.threads,
             depth: config.queue_depth,
         }
     }
 
     /// Claims an admission slot without blocking; `false` means the
-    /// queue is full (or shut down).
+    /// queue is full, the breaker rejected the request, or the engine is
+    /// shut down / dead.
     fn try_reserve(&self, n_rows: usize) -> bool {
-        let mut intake = self.intake.lock().expect("intake lock");
-        if intake.shutdown || intake.inflight >= self.depth {
+        let mut intake = lock(&self.intake);
+        if intake.shutdown || intake.failed || intake.inflight >= self.depth {
+            return false;
+        }
+        // Breaker after the capacity check, so a claimed half-open probe
+        // slot is always matched by a real admission (and therefore by an
+        // eventual outcome).
+        if !lock(&self.breaker).admit(Instant::now()) {
             return false;
         }
         intake.inflight += 1;
@@ -410,32 +575,54 @@ impl Shared {
         true
     }
 
-    /// Claims an admission slot, blocking while the queue is full.
-    fn reserve_blocking(&self, n_rows: usize) -> Result<()> {
-        let mut intake = self.intake.lock().expect("intake lock");
-        while intake.inflight >= self.depth && !intake.shutdown {
-            intake = self.slot.wait(intake).expect("intake lock");
+    /// Claims an admission slot, blocking while the queue is full — but
+    /// never past `until`, nor past the request's own deadline. The
+    /// breaker is deliberately not consulted: a blocking submitter chose
+    /// this engine knowingly, and the bounded wait keeps it honest.
+    fn reserve_blocking(
+        &self,
+        n_rows: usize,
+        until: Instant,
+        request_deadline: Option<Instant>,
+    ) -> Reserve {
+        let mut intake = lock(&self.intake);
+        loop {
+            if intake.shutdown || intake.failed {
+                return Reserve::Shutdown;
+            }
+            if intake.inflight < self.depth {
+                intake.inflight += 1;
+                drop(intake);
+                self.load_rows.fetch_add(n_rows as u64, Ordering::Relaxed);
+                return Reserve::Reserved;
+            }
+            let now = Instant::now();
+            if request_deadline.is_some_and(|d| now >= d) {
+                return Reserve::Expired;
+            }
+            if now >= until {
+                return Reserve::TimedOut;
+            }
+            let mut wake = until;
+            if let Some(d) = request_deadline {
+                wake = wake.min(d);
+            }
+            let (guard, _timed_out) = self
+                .slot
+                .wait_timeout(intake, wake.saturating_duration_since(now))
+                .unwrap_or_else(PoisonError::into_inner);
+            intake = guard;
         }
-        if intake.shutdown {
-            return Err(SoftmaxError::InvalidConfig(
-                "serve engine is shut down".to_string(),
-            ));
-        }
-        intake.inflight += 1;
-        drop(intake);
-        self.load_rows.fetch_add(n_rows as u64, Ordering::Relaxed);
-        Ok(())
     }
 
     /// Queues a reserved job and wakes workers for it. Waking more
-    /// workers than the job has chunks would only buy empty sweeps (the
-    /// old broadcast design woke the whole pool for a 1-chunk matrix),
-    /// so the wakeup fan-out is capped at `min(threads, n_chunks)` —
-    /// idle workers beyond that stay asleep.
+    /// workers than the job has chunks would only buy empty sweeps, so
+    /// the wakeup fan-out is capped at `min(threads, n_chunks)` — idle
+    /// workers beyond that stay asleep.
     fn enqueue(&self, job: Arc<Job>) {
         let wake = job.n_chunks.min(self.threads);
         {
-            let mut intake = self.intake.lock().expect("intake lock");
+            let mut intake = lock(&self.intake);
             intake.queue.push_back(job);
         }
         for _ in 0..wake {
@@ -446,7 +633,7 @@ impl Shared {
     /// Returns a completed job's admission slot and load contribution.
     fn release(&self, n_rows: usize) {
         {
-            let mut intake = self.intake.lock().expect("intake lock");
+            let mut intake = lock(&self.intake);
             intake.inflight -= 1;
         }
         self.load_rows.fetch_sub(n_rows as u64, Ordering::Relaxed);
@@ -454,46 +641,114 @@ impl Shared {
     }
 
     fn shutdown(&self) {
-        {
-            let mut intake = self.intake.lock().expect("intake lock");
+        let orphans: Vec<Arc<Job>> = {
+            let mut intake = lock(&self.intake);
             intake.shutdown = true;
-        }
+            intake.queue.drain(..).collect()
+        };
         self.work.notify_all();
         self.slot.notify_all();
+        // Not-yet-started jobs resolve with an error instead of hanging
+        // their waiters; jobs with chunks already executing complete
+        // through their workers as usual.
+        self.abort_jobs(orphans);
+    }
+
+    /// Resolves queued jobs with [`SoftmaxError::EngineShutdown`] by
+    /// draining their untaken chunks and retiring each as finished. A
+    /// job whose chunks were all already claimed by workers is left to
+    /// complete on its own.
+    fn abort_jobs(&self, jobs: Vec<Arc<Job>>) {
+        for job in jobs {
+            let drained = {
+                let mut chunks = lock(&job.chunks);
+                chunks.drain(..).count()
+            };
+            if drained == 0 {
+                continue;
+            }
+            job.fail(SoftmaxError::EngineShutdown);
+            for _ in 0..drained {
+                finish_chunk(self, &job);
+            }
+        }
+    }
+
+    /// Called by a worker supervisor when a worker dies past the respawn
+    /// budget. Losing the last worker fails the engine: every queued job
+    /// resolves with an error and future admissions are rejected —
+    /// tickets must never wait on a pool that can no longer serve.
+    fn worker_lost(&self) {
+        let orphans: Vec<Arc<Job>> = {
+            let mut intake = lock(&self.intake);
+            intake.live_workers = intake.live_workers.saturating_sub(1);
+            if intake.live_workers > 0 || intake.shutdown {
+                Vec::new()
+            } else {
+                intake.failed = true;
+                intake.queue.drain(..).collect()
+            }
+        };
+        // Blocked submitters must observe `failed` and error out.
+        self.slot.notify_all();
+        self.abort_jobs(orphans);
     }
 
     /// Accounts one finished batch. Successes feed the throughput and
-    /// latency counters; failures are counted apart (with their partial
-    /// row progress and their wall time) so errors can never inflate
-    /// `rows_per_sec` or the latency percentiles; zero-row no-ops are
-    /// counted apart too (`empty_batches`) — they carry no request
-    /// work, so their ~0 ns walls would drag the latency means and
-    /// percentiles toward zero.
+    /// latency counters; failures and expiries are counted apart (with
+    /// their partial row progress and their wall time) so they can never
+    /// inflate `rows_per_sec` or the latency percentiles; zero-row
+    /// no-ops are counted apart too (`empty_batches`). Every non-empty
+    /// outcome also feeds the circuit breaker.
     fn record(
         &self,
         kernel: &str,
-        failed: bool,
+        outcome: Outcome,
         rows: u64,
         elements: u64,
         busy_ns: u64,
         wall_ns: u64,
     ) {
-        let mut stats = self.stats.lock().expect("stats lock");
-        let entry = stats.entry(kernel.to_string()).or_default();
-        entry.busy_ns += busy_ns;
-        if failed {
-            entry.failed_batches += 1;
-            entry.failed_rows += rows;
-            entry.failed_wall_ns += wall_ns;
-        } else if rows == 0 {
-            entry.empty_batches += 1;
-        } else {
-            entry.batches += 1;
-            entry.rows += rows;
-            entry.elements += elements;
-            entry.wall_ns += wall_ns;
-            entry.latency.push(wall_ns);
+        {
+            let mut stats = lock(&self.stats);
+            let entry = stats.entry(kernel.to_string()).or_default();
+            entry.busy_ns += busy_ns;
+            match outcome {
+                Outcome::Failed => {
+                    entry.failed_batches += 1;
+                    entry.failed_rows += rows;
+                    entry.failed_wall_ns += wall_ns;
+                }
+                Outcome::Expired => {
+                    entry.expired_requests += 1;
+                    entry.failed_rows += rows;
+                    entry.failed_wall_ns += wall_ns;
+                }
+                Outcome::Success if rows == 0 => entry.empty_batches += 1,
+                Outcome::Success => {
+                    entry.batches += 1;
+                    entry.rows += rows;
+                    entry.elements += elements;
+                    entry.wall_ns += wall_ns;
+                    entry.latency.push(wall_ns);
+                }
+            }
         }
+        // Empty no-ops say nothing about health; everything else does.
+        if !(outcome == Outcome::Success && rows == 0) {
+            lock(&self.breaker).on_outcome(outcome != Outcome::Success, wall_ns, Instant::now());
+        }
+    }
+
+    /// Accounts a request whose deadline had already passed at
+    /// admission. Visible in the stats, but kept out of the breaker: a
+    /// stale deadline is the client's lateness, not shard trouble.
+    fn record_admission_expired(&self, kernel: &str) {
+        let mut stats = lock(&self.stats);
+        stats
+            .entry(kernel.to_string())
+            .or_default()
+            .expired_requests += 1;
     }
 }
 
@@ -523,6 +778,9 @@ pub(crate) struct Job {
     /// `Some(scores_per_push)` routes the job through the
     /// chunked-streaming path instead of the batch path.
     stream_chunk: Option<usize>,
+    /// Serve-by time: chunks dequeued after this instant are dropped and
+    /// the job resolves as [`SoftmaxError::DeadlineExceeded`].
+    deadline: Option<Instant>,
     state: Mutex<JobState>,
     done: Condvar,
     /// Raised on error so untaken chunks are abandoned without compute.
@@ -594,6 +852,7 @@ impl Job {
             n_rows,
             chunk_list(n_rows, chunk_rows),
             stream_chunk,
+            None,
             started,
             None,
         )
@@ -607,6 +866,7 @@ impl Job {
         row_len: usize,
         chunk_rows: usize,
         stream_chunk: Option<usize>,
+        deadline: Option<Instant>,
         started: Instant,
     ) -> Self {
         let n_rows = input.len() / row_len;
@@ -623,6 +883,7 @@ impl Job {
             n_rows,
             chunk_list(n_rows, chunk_rows),
             stream_chunk,
+            deadline,
             started,
             Some(OwnedBuffers {
                 _input: input,
@@ -641,6 +902,7 @@ impl Job {
             0,
             VecDeque::new(),
             None,
+            None,
             started,
             Some(OwnedBuffers {
                 _input: Vec::new(),
@@ -658,6 +920,7 @@ impl Job {
         n_rows: usize,
         chunks: VecDeque<Chunk>,
         stream_chunk: Option<usize>,
+        deadline: Option<Instant>,
         started: Instant,
         owned: Option<OwnedBuffers>,
     ) -> Self {
@@ -671,6 +934,7 @@ impl Job {
             n_chunks,
             chunks: Mutex::new(chunks),
             stream_chunk,
+            deadline,
             state: Mutex::new(JobState {
                 remaining: n_chunks,
                 complete: n_chunks == 0,
@@ -687,14 +951,17 @@ impl Job {
 
     /// Takes the job's next untaken chunk, if any.
     fn take_chunk(&self) -> Option<Chunk> {
-        self.chunks.lock().expect("chunk queue lock").pop_front()
+        lock(&self.chunks).pop_front()
     }
 
     /// Blocks until the job completes; returns its sticky error, if any.
     pub(crate) fn wait_outcome(&self) -> Result<()> {
-        let mut state = self.state.lock().expect("job lock");
+        let mut state = lock(&self.state);
         while !state.complete {
-            state = self.done.wait(state).expect("job lock");
+            state = self
+                .done
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         match state.error.take() {
             Some(e) => Err(e),
@@ -702,10 +969,32 @@ impl Job {
         }
     }
 
+    /// Like [`Job::wait_outcome`], but gives up at `until`: `None` means
+    /// the job was still incomplete at the wait deadline (the job itself
+    /// is untouched — the caller keeps its ticket).
+    pub(crate) fn wait_outcome_until(&self, until: Instant) -> Option<Result<()>> {
+        let mut state = lock(&self.state);
+        while !state.complete {
+            let now = Instant::now();
+            if now >= until {
+                return None;
+            }
+            let (guard, _timed_out) = self
+                .done
+                .wait_timeout(state, until.saturating_duration_since(now))
+                .unwrap_or_else(PoisonError::into_inner);
+            state = guard;
+        }
+        Some(match state.error.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        })
+    }
+
     /// Non-blocking completion probe: `None` while chunks are still in
     /// flight, the outcome once the job has completed.
     pub(crate) fn try_outcome(&self) -> Option<Result<()>> {
-        let mut state = self.state.lock().expect("job lock");
+        let mut state = lock(&self.state);
         if !state.complete {
             return None;
         }
@@ -716,17 +1005,19 @@ impl Job {
     }
 
     pub(crate) fn is_complete(&self) -> bool {
-        self.state.lock().expect("job lock").complete
+        lock(&self.state).complete
     }
 
     /// Takes the owned output buffer. Only meaningful on a completed
     /// owned job (the ticket's contract).
     pub(crate) fn take_output(&self) -> Vec<f64> {
         let owned = self.owned.as_ref().expect("ticket jobs own their buffers");
-        std::mem::take(&mut *owned.output.lock().expect("output lock"))
+        std::mem::take(&mut *lock(&owned.output))
     }
 
-    /// Runs one chunk through the kernel's batch path.
+    /// Runs one chunk through the kernel's batch path. A kernel panic
+    /// unwinds into the worker's supervisor, which fails the job,
+    /// retires this chunk, and respawns the worker.
     fn run_chunk(&self, chunk: &Chunk, scratch: &mut BatchScratch) {
         let elems = chunk.len() * self.row_len;
         let offset = chunk.start * self.row_len;
@@ -735,22 +1026,15 @@ impl Job {
         // the job (see the struct documentation).
         let rows = unsafe { std::slice::from_raw_parts(self.rows.add(offset), elems) };
         let out = unsafe { std::slice::from_raw_parts_mut(self.out.add(offset), elems) };
-        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
-            self.kernel
-                .forward_batch_into(rows, self.row_len, out, scratch)
-        }));
-        match outcome {
-            Ok(Ok(())) => {
+        match self
+            .kernel
+            .forward_batch_into(rows, self.row_len, out, scratch)
+        {
+            Ok(()) => {
                 self.rows_done
                     .fetch_add(chunk.len() as u64, Ordering::Relaxed);
             }
-            Ok(Err(e)) => self.fail(e),
-            Err(_) => self.fail(SoftmaxError::InvalidConfig(format!(
-                "kernel '{}' panicked while serving rows {}..{}",
-                self.kernel.name(),
-                chunk.start,
-                chunk.end
-            ))),
+            Err(e) => self.fail(e),
         }
     }
 
@@ -770,44 +1054,27 @@ impl Job {
         let rows = unsafe { std::slice::from_raw_parts(self.rows.add(offset), elems) };
         let out = unsafe { std::slice::from_raw_parts_mut(self.out.add(offset), elems) };
         let mut completed = 0u64;
-        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
-            for (row, out_row) in rows
-                .chunks_exact(self.row_len)
-                .zip(out.chunks_exact_mut(self.row_len))
-            {
-                session.reset(self.row_len);
-                for piece in row.chunks(chunk_elems) {
-                    session.push_chunk(piece);
-                }
-                session.finish_into(out_row)?;
-                completed += 1;
+        for (row, out_row) in rows
+            .chunks_exact(self.row_len)
+            .zip(out.chunks_exact_mut(self.row_len))
+        {
+            session.reset(self.row_len);
+            for piece in row.chunks(chunk_elems) {
+                session.push_chunk(piece);
             }
-            Ok(())
-        }));
-        match outcome {
-            Ok(Ok(())) => {
-                self.rows_done
-                    .fetch_add(chunk.len() as u64, Ordering::Relaxed);
-            }
-            Ok(Err(e)) => {
+            if let Err(e) = session.finish_into(out_row) {
                 self.rows_done.fetch_add(completed, Ordering::Relaxed);
                 self.fail(e);
+                return;
             }
-            Err(_) => {
-                self.rows_done.fetch_add(completed, Ordering::Relaxed);
-                self.fail(SoftmaxError::InvalidConfig(format!(
-                    "kernel '{}' panicked while stream-serving rows {}..{}",
-                    self.kernel.name(),
-                    chunk.start,
-                    chunk.end
-                )));
-            }
+            completed += 1;
         }
+        self.rows_done.fetch_add(completed, Ordering::Relaxed);
     }
 
     fn fail(&self, e: SoftmaxError) {
         self.cancelled.store(true, Ordering::Relaxed);
-        let mut state = self.state.lock().expect("job lock");
+        let mut state = lock(&self.state);
         if state.error.is_none() {
             state.error = Some(e);
         }
@@ -818,13 +1085,17 @@ impl Job {
 /// last one records the batch into the stats, returns the admission
 /// slot, and wakes everyone waiting on the job.
 fn finish_chunk(shared: &Shared, job: &Job) {
-    let failed = {
-        let mut state = job.state.lock().expect("job lock");
+    let outcome = {
+        let mut state = lock(&job.state);
         state.remaining -= 1;
         if state.remaining > 0 {
             return;
         }
-        state.error.is_some()
+        match &state.error {
+            None => Outcome::Success,
+            Some(SoftmaxError::DeadlineExceeded) => Outcome::Expired,
+            Some(_) => Outcome::Failed,
+        }
     };
     // Only one decrement reaches zero, so from here on this worker is
     // the job's single completer. Stats and the admission slot go first:
@@ -832,7 +1103,7 @@ fn finish_chunk(shared: &Shared, job: &Job) {
     let rows_done = job.rows_done.load(Ordering::Relaxed);
     shared.record(
         job.kernel.name(),
-        failed,
+        outcome,
         rows_done,
         rows_done * job.row_len as u64,
         job.busy_ns.load(Ordering::Relaxed),
@@ -840,7 +1111,7 @@ fn finish_chunk(shared: &Shared, job: &Job) {
     );
     shared.release(job.n_rows);
     {
-        let mut state = job.state.lock().expect("job lock");
+        let mut state = lock(&job.state);
         state.complete = true;
     }
     job.done.notify_all();
@@ -852,7 +1123,7 @@ fn take_front_chunk(intake: &mut Intake) -> Option<(Arc<Job>, Chunk)> {
     loop {
         let front = intake.queue.front()?;
         let (chunk, drained) = {
-            let mut chunks = front.chunks.lock().expect("chunk queue lock");
+            let mut chunks = lock(&front.chunks);
             let chunk = chunks.pop_front();
             let drained = chunks.is_empty();
             (chunk, drained)
@@ -874,17 +1145,40 @@ fn take_front_chunk(intake: &mut Intake) -> Option<(Arc<Job>, Chunk)> {
     }
 }
 
+/// The chunk a worker is actively serving, shared with its supervisor:
+/// when the kernel panics out of the serving path, the supervisor reads
+/// this slot to fail the right job and retire the right chunk, so no
+/// ticket ever waits on work a dead worker silently dropped.
+#[derive(Default)]
+struct ActiveChunk {
+    slot: Mutex<Option<(Arc<Job>, Chunk)>>,
+}
+
+impl ActiveChunk {
+    fn set(&self, job: &Arc<Job>, chunk: &Chunk) {
+        *lock(&self.slot) = Some((Arc::clone(job), chunk.clone()));
+    }
+
+    fn clear(&self) {
+        *lock(&self.slot) = None;
+    }
+
+    fn take(&self) -> Option<(Arc<Job>, Chunk)> {
+        lock(&self.slot).take()
+    }
+}
+
 /// The worker body: pull chunks off the shared intake until the engine
 /// hangs up, keeping one scratch space alive across every chunk of every
 /// job. Having claimed a chunk, a worker stays with that job while it
 /// has more (sessions and cache locality persist across its chunks),
 /// then returns to the intake for the next job — so workers flow between
 /// concurrently admitted jobs instead of serializing on any one of them.
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, active: &ActiveChunk) {
     let mut scratch = BatchScratch::default();
     'jobs: loop {
         let (job, first) = {
-            let mut intake = shared.intake.lock().expect("intake lock");
+            let mut intake = lock(&shared.intake);
             loop {
                 if let Some(found) = take_front_chunk(&mut intake) {
                     break found;
@@ -892,16 +1186,29 @@ fn worker_loop(shared: &Shared) {
                 if intake.shutdown {
                     return;
                 }
-                intake = shared.work.wait(intake).expect("intake lock");
+                intake = shared
+                    .work
+                    .wait(intake)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
+        // From here on a chunk is claimed: publish it before any kernel
+        // code can run, so a panic (even in `stream_session`) leaves the
+        // supervisor enough to retire it.
+        active.set(&job, &first);
         // A streaming job gets one session per worker visit, reused
         // across every chunk the worker serves for it — sessions borrow
         // the kernel, so they cannot outlive the job.
         let mut session = job.stream_chunk.map(|_| job.kernel.stream_session());
         let mut chunk = first;
         loop {
+            active.set(&job, &chunk);
             let t0 = Instant::now();
+            // Deadline check at dequeue: late work is dropped, not
+            // computed — the whole job resolves as expired.
+            if !job.cancelled.load(Ordering::Relaxed) && job.deadline.is_some_and(|d| t0 >= d) {
+                job.fail(SoftmaxError::DeadlineExceeded);
+            }
             if !job.cancelled.load(Ordering::Relaxed) {
                 match (&mut session, job.stream_chunk) {
                     (Some(session), Some(chunk_elems)) => {
@@ -911,10 +1218,60 @@ fn worker_loop(shared: &Shared) {
                 }
             }
             job.busy_ns.fetch_add(elapsed_ns(t0), Ordering::Relaxed);
+            // Clear before retiring: a double-finish (worker and
+            // supervisor both retiring one chunk) must be impossible.
+            active.clear();
             finish_chunk(shared, &job);
             match job.take_chunk() {
                 Some(next) => chunk = next,
                 None => continue 'jobs,
+            }
+        }
+    }
+}
+
+/// Wraps [`worker_loop`] in a panic supervisor: a kernel panic fails the
+/// batch it was serving (the active chunk is retired so its waiters
+/// resolve), and the worker is revived in place while the pool's respawn
+/// budget lasts. Past the budget the worker dies for good; losing the
+/// last worker fails the engine so nothing ever hangs on an empty pool.
+fn supervised_worker(shared: &Arc<Shared>) {
+    let active = ActiveChunk::default();
+    loop {
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| worker_loop(shared, &active)));
+        match outcome {
+            // Clean shutdown.
+            Ok(()) => {
+                lock(&shared.intake).live_workers -= 1;
+                return;
+            }
+            Err(_) => {
+                shared.worker_panics.fetch_add(1, Ordering::Relaxed);
+                if let Some((job, chunk)) = active.take() {
+                    job.fail(SoftmaxError::InvalidConfig(format!(
+                        "kernel '{}' panicked while serving rows {}..{}",
+                        job.kernel.name(),
+                        chunk.start,
+                        chunk.end
+                    )));
+                    finish_chunk(shared, &job);
+                }
+                let respawn = {
+                    let mut intake = lock(&shared.intake);
+                    if intake.shutdown || intake.respawn_budget == 0 {
+                        false
+                    } else {
+                        intake.respawn_budget -= 1;
+                        true
+                    }
+                };
+                if respawn {
+                    shared.worker_respawns.fetch_add(1, Ordering::Relaxed);
+                    // Reincarnate in place: same thread, fresh loop state.
+                    continue;
+                }
+                shared.worker_lost();
+                return;
             }
         }
     }
@@ -1055,6 +1412,17 @@ mod tests {
         engine.forward_matrix(&kernel, &rows, 4).expect("serve");
         assert_eq!(engine.load_rows(), 0);
         assert_eq!(engine.inflight(), 0);
+    }
+
+    #[test]
+    fn fresh_engine_reports_healthy() {
+        let engine = engine(2);
+        assert_eq!(engine.breaker_state(), BreakerState::Closed);
+        assert_eq!(engine.breaker_trips(), 0);
+        assert!(engine.is_admitting());
+        assert_eq!(engine.worker_panics(), 0);
+        assert_eq!(engine.worker_respawns(), 0);
+        assert_eq!(engine.live_workers(), 2);
     }
 
     #[test]

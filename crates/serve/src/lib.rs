@@ -39,6 +39,33 @@
 //!   load generation (the CLI `serve` subcommand and the `throughput`
 //!   harness both drive the engine with it).
 //!
+//! # Fault tolerance
+//!
+//! The serving layer degrades honestly instead of hanging or lying:
+//!
+//! * **Deadlines** — [`Submission::with_deadline`] gives a request a
+//!   serve-by time; expired work is dropped (at admission or at
+//!   dequeue), resolved as
+//!   [`SoftmaxError::DeadlineExceeded`](softermax::SoftmaxError::DeadlineExceeded)
+//!   and counted into [`KernelServeStats::expired_requests`] — never
+//!   silently computed late. [`Ticket::wait_timeout`] bounds the wait
+//!   side the same way.
+//! * **Circuit breaker** — each engine tracks a sliding window of
+//!   outcomes and latencies ([`BreakerConfig`]); an unhealthy shard
+//!   stops admitting non-blocking work (closed → open → half-open
+//!   probe), so the [`ShardedRouter`] fails over around it and retries
+//!   with exponential backoff.
+//! * **Self-healing workers** — a worker whose kernel panics fails only
+//!   the batch it was serving and is respawned (up to
+//!   [`ServeConfig::respawn_cap`]); engine shutdown or total worker
+//!   loss resolves every outstanding ticket with
+//!   [`SoftmaxError::EngineShutdown`](softermax::SoftmaxError::EngineShutdown)
+//!   instead of hanging its waiters.
+//! * **Deterministic fault injection** — the [`fault`] module wraps any
+//!   kernel in a [`FaultyKernel`] driven by a seeded [`FaultPlan`]
+//!   (panics, errors, latency spikes on a reproducible schedule), which
+//!   is how the above is tested and benchmarked without sleeps or luck.
+//!
 //! # Determinism
 //!
 //! Scheduling is free-running (workers pull chunks from whatever job is
@@ -76,13 +103,19 @@
 
 mod config;
 mod engine;
+pub mod fault;
+mod health;
 mod router;
 mod stats;
 mod submit;
 pub mod traffic;
 
-pub use config::{ServeConfig, DEFAULT_QUEUE_DEPTH};
+pub use config::{
+    ServeConfig, DEFAULT_ADMISSION_TIMEOUT, DEFAULT_QUEUE_DEPTH, DEFAULT_RESPAWN_CAP,
+};
 pub use engine::BatchEngine;
+pub use fault::{FaultKind, FaultPlan, FaultyKernel};
+pub use health::{BreakerConfig, BreakerState};
 pub use router::{RoutePolicy, ShardedRouter};
 pub use stats::{EngineStats, KernelServeStats, LatencyWindow, LATENCY_WINDOW};
 pub use submit::{Admission, Submission, Ticket, TicketPoll};

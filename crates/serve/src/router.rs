@@ -15,17 +15,32 @@
 //! retries every other shard (reusing the owned buffer, no copy) before
 //! reporting [`SoftmaxError::QueueFull`] — so backpressure means "the
 //! whole router is full", not "one shard got unlucky".
+//!
+//! Routing is **health-aware**: a shard whose circuit breaker is open
+//! (see [`BreakerConfig`](crate::BreakerConfig)), or that lost its last
+//! worker, rejects non-blocking admissions instantly — so the fail-over
+//! sweep routes around unhealthy shards at no extra cost, and
+//! [`RoutePolicy::LeastLoaded`] skips them outright. Blocking
+//! submissions retry with exponential backoff: short bounded waits on
+//! the least-loaded *admitting* shard, re-sweeping everyone between
+//! waits, so one stuck shard never absorbs the whole wait budget.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use softermax::kernel::SoftmaxKernel;
 use softermax::{Result, SoftmaxError};
 
-use crate::engine::{BatchEngine, EnqueueError};
+use crate::engine::{AdmitMode, BatchEngine, EnqueueError};
 use crate::stats::EngineStats;
 use crate::submit::{Admission, Submission, Ticket};
 use crate::ServeConfig;
+
+/// First bounded wait of the blocking retry loop; doubles per miss.
+const RETRY_BACKOFF_FLOOR: Duration = Duration::from_micros(100);
+/// Cap on one bounded wait of the blocking retry loop.
+const RETRY_BACKOFF_CEIL: Duration = Duration::from_millis(5);
 
 /// How a [`ShardedRouter`] picks the shard for the next submission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,8 +121,28 @@ impl ShardedRouter {
         }
     }
 
-    /// Index of the shard with the fewest in-flight rows right now.
+    /// Index of the least-loaded shard that is currently **admitting**
+    /// (alive, breaker not open) — unhealthy shards are skipped. When no
+    /// shard is admitting, falls back to the globally least-loaded one,
+    /// so callers still get routed (and the resulting error is honest).
     fn least_loaded(&self) -> usize {
+        let mut best = None;
+        let mut best_load = u64::MAX;
+        for (index, shard) in self.shards.iter().enumerate() {
+            if !shard.is_admitting() {
+                continue;
+            }
+            let load = shard.load_rows();
+            if load < best_load {
+                best = Some(index);
+                best_load = load;
+            }
+        }
+        best.unwrap_or_else(|| self.least_loaded_any())
+    }
+
+    /// Index of the shard with the fewest in-flight rows, health aside.
+    fn least_loaded_any(&self) -> usize {
         let mut best = 0;
         let mut best_load = u64::MAX;
         for (index, shard) in self.shards.iter().enumerate() {
@@ -141,12 +176,16 @@ impl ShardedRouter {
         self.submit_request(Submission::new(kernel, rows, row_len), Admission::Fail)
     }
 
-    /// Like [`ShardedRouter::submit`], but blocks for a slot on the
-    /// picked shard when every shard is full.
+    /// Like [`ShardedRouter::submit`], but when every shard is full it
+    /// blocks for a slot — bounded waits with exponential backoff on the
+    /// least-loaded admitting shard, re-sweeping all shards between
+    /// waits — for at most the config's
+    /// [`admission_timeout`](crate::ServeConfig::admission_timeout).
     ///
     /// # Errors
     ///
-    /// As [`ShardedRouter::submit`], minus [`SoftmaxError::QueueFull`].
+    /// As [`ShardedRouter::submit`]; [`SoftmaxError::QueueFull`] here
+    /// means no shard freed a slot within the whole wait budget.
     pub fn submit_wait(
         &self,
         kernel: &Arc<dyn SoftmaxKernel>,
@@ -162,39 +201,82 @@ impl ShardedRouter {
     /// # Errors
     ///
     /// As [`ShardedRouter::submit`] for [`Admission::Fail`]; blocking
-    /// admission waits on the picked shard instead of rejecting.
+    /// admission ([`Admission::Block`] / [`Admission::BlockFor`])
+    /// retries with backoff across the shards until its wait budget
+    /// runs out, then reports [`SoftmaxError::QueueFull`].
     ///
     /// # Panics
     ///
     /// Panics if the submission's matrix is not a whole number of rows.
     pub fn submit_request(&self, submission: Submission, admission: Admission) -> Result<Ticket> {
+        let started = Instant::now();
         let Submission {
             kernel,
             mut rows,
             row_len,
             stream_chunk,
+            deadline,
         } = submission;
-        let first = self.pick();
-        let n = self.shards.len();
-        for offset in 0..n {
-            let shard = &self.shards[(first + offset) % n];
-            match shard.enqueue_owned(&kernel, rows, row_len, stream_chunk, false) {
+        let deadline = deadline.map(|d| started + d);
+        let wait_until = match admission {
+            Admission::Fail => None,
+            Admission::Block => Some(started + self.shards[0].config().admission_timeout),
+            Admission::BlockFor(wait) => Some(started + wait),
+        };
+        let mut backoff = RETRY_BACKOFF_FLOOR;
+        loop {
+            // One non-blocking sweep over every shard from the policy's
+            // pick. Full, dead, and breaker-open shards reject instantly
+            // (handing the buffer back), so the sweep fails over around
+            // trouble at no extra cost.
+            let first = self.pick();
+            let n = self.shards.len();
+            for offset in 0..n {
+                let shard = &self.shards[(first + offset) % n];
+                match shard.enqueue_owned(
+                    &kernel,
+                    rows,
+                    row_len,
+                    stream_chunk,
+                    deadline,
+                    AdmitMode::NonBlocking,
+                ) {
+                    Ok(ticket) => return Ok(ticket),
+                    // Take the buffer back and fail over.
+                    Err(EnqueueError::Full(returned)) => rows = returned,
+                    Err(EnqueueError::Fatal(e)) => return Err(e),
+                }
+            }
+            let Some(until) = wait_until else {
+                return Err(SoftmaxError::QueueFull);
+            };
+            let now = Instant::now();
+            if now >= until {
+                return Err(SoftmaxError::QueueFull);
+            }
+            // Every shard rejected: block briefly on the least-loaded
+            // admitting shard — the one most likely to free a slot first
+            // — then re-sweep. The backoff slice doubles per miss so a
+            // congested router converges to few, longer waits, while the
+            // re-sweep keeps one stuck shard from absorbing the whole
+            // wait budget.
+            let slice = (now + backoff).min(until);
+            let shard = &self.shards[self.least_loaded()];
+            match shard.enqueue_owned(
+                &kernel,
+                rows,
+                row_len,
+                stream_chunk,
+                deadline,
+                AdmitMode::BlockUntil(slice),
+            ) {
                 Ok(ticket) => return Ok(ticket),
-                // Full shard: take the buffer back and fail over.
-                Err(EnqueueError::Full(returned)) => rows = returned,
+                Err(EnqueueError::Full(returned)) => {
+                    rows = returned;
+                    backoff = (backoff * 2).min(RETRY_BACKOFF_CEIL);
+                }
                 Err(EnqueueError::Fatal(e)) => return Err(e),
             }
-        }
-        match admission {
-            Admission::Fail => Err(SoftmaxError::QueueFull),
-            // Every shard was full at sweep time: block on the shard
-            // with the least work in flight *now* — the one most likely
-            // to free a slot first — rather than the pre-sweep pick,
-            // which may sit behind a long batch while a sibling has
-            // already drained.
-            Admission::Block => self.shards[self.least_loaded()]
-                .enqueue_owned(&kernel, rows, row_len, stream_chunk, true)
-                .map_err(EnqueueError::into_error),
         }
     }
 

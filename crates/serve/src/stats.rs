@@ -109,6 +109,12 @@ pub struct KernelServeStats {
     pub empty_batches: u64,
     /// Matrices that failed or were cancelled mid-way.
     pub failed_batches: u64,
+    /// Requests dropped because their deadline passed before they were
+    /// served — at admission or at dequeue. Expired work is failure
+    /// work (its rows never inflate the rates), but it is counted apart
+    /// from `failed_batches` because nothing went *wrong* with the
+    /// kernel: the engine was honest about being too late.
+    pub expired_requests: u64,
     /// Softmax rows computed by successful batches.
     pub rows: u64,
     /// Rows that completed inside batches which then failed (partial
@@ -210,11 +216,26 @@ impl KernelServeStats {
         }
     }
 
+    /// Fraction of finished non-empty requests that succeeded:
+    /// `batches / (batches + failed_batches + expired_requests)`. The
+    /// serving-layer health number the chaos harness and the breaker
+    /// floor assertions report. 1.0 when nothing has finished yet.
+    #[must_use]
+    pub fn availability(&self) -> f64 {
+        let finished = self.batches + self.failed_batches + self.expired_requests;
+        if finished == 0 {
+            1.0
+        } else {
+            self.batches as f64 / finished as f64
+        }
+    }
+
     /// Folds another counter set into this one.
     pub fn absorb(&mut self, other: &KernelServeStats) {
         self.batches += other.batches;
         self.empty_batches += other.empty_batches;
         self.failed_batches += other.failed_batches;
+        self.expired_requests += other.expired_requests;
         self.rows += other.rows;
         self.failed_rows += other.failed_rows;
         self.elements += other.elements;
@@ -335,6 +356,77 @@ mod tests {
         // Out-of-range quantiles clamp instead of panicking.
         assert_eq!(w.percentile_ns(7.0), 100);
         assert_eq!(w.percentile_ns(-1.0), 1);
+    }
+
+    #[test]
+    fn empty_window_returns_zero_at_every_quantile() {
+        let w = LatencyWindow::default();
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+        for q in [-1.0, 0.0, 0.5, 1.0, 7.0] {
+            assert_eq!(w.percentile_ns(q), 0, "q={q}");
+        }
+        assert_eq!(w.percentiles_ns(&[0.0, 0.5, 1.0]), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let mut w = LatencyWindow::default();
+        w.push(42);
+        assert_eq!(w.len(), 1);
+        for q in [-0.5, 0.0, 0.01, 0.5, 0.99, 1.0, 2.0] {
+            assert_eq!(w.percentile_ns(q), 42, "q={q}");
+        }
+    }
+
+    #[test]
+    fn exact_capacity_wraparound_evicts_exactly_one() {
+        let mut w = LatencyWindow::default();
+        for ns in 0..LATENCY_WINDOW as u64 {
+            w.push(ns);
+        }
+        // Exactly full: nothing evicted yet, the oldest sample survives.
+        assert_eq!(w.len(), LATENCY_WINDOW);
+        assert_eq!(w.percentile_ns(0.0), 0);
+        assert_eq!(w.percentile_ns(1.0), LATENCY_WINDOW as u64 - 1);
+        // One more push wraps: exactly the single oldest sample falls out.
+        w.push(LATENCY_WINDOW as u64);
+        assert_eq!(w.len(), LATENCY_WINDOW);
+        assert_eq!(w.percentile_ns(0.0), 1);
+        assert_eq!(w.percentile_ns(1.0), LATENCY_WINDOW as u64);
+    }
+
+    #[test]
+    fn quantiles_clamp_at_p0_and_p100() {
+        let mut w = LatencyWindow::default();
+        for ns in [30, 10, 20] {
+            w.push(ns);
+        }
+        // p0 and p100 hit the extremes; anything beyond [0, 1] clamps to
+        // them instead of indexing out of bounds.
+        assert_eq!(w.percentile_ns(0.0), 10);
+        assert_eq!(w.percentile_ns(1.0), 30);
+        assert_eq!(w.percentile_ns(-1e9), 10);
+        assert_eq!(w.percentile_ns(1e9), 30);
+        assert_eq!(w.percentile_ns(f64::NEG_INFINITY), 10);
+        assert_eq!(w.percentile_ns(f64::INFINITY), 30);
+    }
+
+    #[test]
+    fn availability_separates_expired_from_failed() {
+        let mut s = KernelServeStats::default();
+        assert_eq!(s.availability(), 1.0, "no traffic yet is healthy");
+        s.batches = 6;
+        s.failed_batches = 2;
+        s.expired_requests = 2;
+        assert!((s.availability() - 0.6).abs() < 1e-12);
+        // Empty no-ops never move availability.
+        s.empty_batches = 100;
+        assert!((s.availability() - 0.6).abs() < 1e-12);
+        // Absorb carries the expired counter.
+        let mut merged = KernelServeStats::default();
+        merged.absorb(&s);
+        assert_eq!(merged.expired_requests, 2);
     }
 
     #[test]

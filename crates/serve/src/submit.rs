@@ -20,11 +20,12 @@
 //! [`SoftmaxError::QueueFull`]: softermax::SoftmaxError::QueueFull
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use softermax::kernel::SoftmaxKernel;
 use softermax::Result;
 
-use crate::engine::{BatchEngine, EnqueueError, Job};
+use crate::engine::{AdmitMode, BatchEngine, EnqueueError, Job};
 
 /// Admission behaviour when the engine's bounded queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,8 +33,14 @@ pub enum Admission {
     /// Reject immediately with
     /// [`SoftmaxError::QueueFull`](softermax::SoftmaxError::QueueFull).
     Fail,
-    /// Block until a slot frees up (backpressure on the submitter).
+    /// Block until a slot frees up (backpressure on the submitter) — at
+    /// most [`ServeConfig::admission_timeout`](crate::ServeConfig), then
+    /// [`SoftmaxError::QueueFull`](softermax::SoftmaxError::QueueFull).
     Block,
+    /// Block for at most this long, then
+    /// [`SoftmaxError::QueueFull`](softermax::SoftmaxError::QueueFull) —
+    /// an explicit per-request admission bound.
+    BlockFor(Duration),
 }
 
 /// One self-contained softmax request: a kernel, an owned flattened
@@ -45,6 +52,7 @@ pub struct Submission {
     pub(crate) rows: Vec<f64>,
     pub(crate) row_len: usize,
     pub(crate) stream_chunk: Option<usize>,
+    pub(crate) deadline: Option<Duration>,
 }
 
 impl Submission {
@@ -57,6 +65,7 @@ impl Submission {
             rows,
             row_len,
             stream_chunk: None,
+            deadline: None,
         }
     }
 
@@ -67,6 +76,20 @@ impl Submission {
     #[must_use]
     pub fn streamed(mut self, chunk: usize) -> Self {
         self.stream_chunk = Some(chunk);
+        self
+    }
+
+    /// Gives the request a serve-by deadline, measured from submission.
+    /// Work whose deadline passes before it starts executing is dropped
+    /// honestly — at admission, while blocked for a slot, or at dequeue —
+    /// and resolves as
+    /// [`SoftmaxError::DeadlineExceeded`](softermax::SoftmaxError::DeadlineExceeded),
+    /// counted into
+    /// [`KernelServeStats::expired_requests`](crate::KernelServeStats::expired_requests).
+    /// Work already executing is never interrupted mid-chunk.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 
@@ -117,10 +140,29 @@ impl Ticket {
     /// # Errors
     ///
     /// The first per-row kernel error observed by the batch (remaining
-    /// chunks were cancelled).
+    /// chunks were cancelled);
+    /// [`SoftmaxError::DeadlineExceeded`](softermax::SoftmaxError::DeadlineExceeded)
+    /// when the request's deadline passed before it started executing;
+    /// [`SoftmaxError::EngineShutdown`](softermax::SoftmaxError::EngineShutdown)
+    /// when the engine shut down (or lost its last worker) before the
+    /// request started — the ticket always resolves; it never hangs on a
+    /// pool that can no longer serve.
     pub fn wait(self) -> Result<Vec<f64>> {
         self.job.wait_outcome()?;
         Ok(self.job.take_output())
+    }
+
+    /// Like [`Ticket::wait`], but gives up after `timeout`:
+    /// [`TicketPoll::Pending`] hands the ticket back with the request
+    /// untouched (still in flight, still accounted), so a caller can
+    /// bound every wait without abandoning the work.
+    #[must_use]
+    pub fn wait_timeout(self, timeout: Duration) -> TicketPoll {
+        match self.job.wait_outcome_until(Instant::now() + timeout) {
+            None => TicketPoll::Pending(self),
+            Some(Ok(())) => TicketPoll::Ready(Ok(self.job.take_output())),
+            Some(Err(e)) => TicketPoll::Ready(Err(e)),
+        }
     }
 
     /// Non-blocking completion probe: [`TicketPoll::Pending`] hands the
@@ -198,18 +240,26 @@ impl BatchEngine {
     ///
     /// Panics if the submission's matrix is not a whole number of rows.
     pub fn submit_request(&self, submission: Submission, admission: Admission) -> Result<Ticket> {
+        let now = Instant::now();
         let Submission {
             kernel,
             rows,
             row_len,
             stream_chunk,
+            deadline,
         } = submission;
+        let admit = match admission {
+            Admission::Fail => AdmitMode::NonBlocking,
+            Admission::Block => AdmitMode::BlockUntil(now + self.config().admission_timeout),
+            Admission::BlockFor(wait) => AdmitMode::BlockUntil(now + wait),
+        };
         self.enqueue_owned(
             &kernel,
             rows,
             row_len,
             stream_chunk,
-            admission == Admission::Block,
+            deadline.map(|d| now + d),
+            admit,
         )
         .map_err(EnqueueError::into_error)
     }

@@ -1,0 +1,117 @@
+//! Property: under *random* fault plans — injected panics, errors, and
+//! latency spikes, across 1–2 shards and both routing policies — the
+//! serving layer never loses a request: every submitted ticket
+//! terminates (success or honest error, never a hang), and every
+//! *successful* response stays bit-identical to sequential execution of
+//! the clean kernel.
+
+use std::sync::{Arc, Once};
+use std::time::Duration;
+
+use proptest::prelude::*;
+use softermax::kernel::{ScratchBuffers, SoftmaxKernel};
+use softermax::KernelRegistry;
+use softermax_serve::fault::{silence_injected_panics, FaultKind, FaultPlan, FaultyKernel};
+use softermax_serve::{
+    Admission, RoutePolicy, ServeConfig, ShardedRouter, Submission, Ticket, TicketPoll,
+};
+
+fn quiet_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(silence_injected_panics);
+}
+
+fn sequential(kernel: &dyn SoftmaxKernel, matrix: &[f64], row_len: usize) -> Vec<f64> {
+    let mut out = vec![0.0; matrix.len()];
+    let mut scratch = ScratchBuffers::default();
+    for (row, out_row) in matrix
+        .chunks_exact(row_len)
+        .zip(out.chunks_exact_mut(row_len))
+    {
+        kernel
+            .forward_into(row, out_row, &mut scratch)
+            .expect("non-empty row");
+    }
+    out
+}
+
+fn kinds_from_mask(mask: usize) -> Vec<FaultKind> {
+    let all = [FaultKind::Panic, FaultKind::Error, FaultKind::Delay];
+    all.iter()
+        .enumerate()
+        .filter(|(bit, _)| mask & (1 << bit) != 0)
+        .map(|(_, kind)| *kind)
+        .collect()
+}
+
+proptest! {
+    /// Random chaos, guaranteed termination, bit-identical successes.
+    #[test]
+    fn every_request_terminates_and_successes_stay_bit_identical(
+        seed in 0u64..1_000_000,
+        rate in 0.0f64..0.6,
+        kinds_mask in 1usize..8,
+        n_shards in 1usize..3,
+        policy_index in 0usize..2,
+        n_requests in 4usize..10,
+        n_rows in 1usize..4,
+        row_len in 1usize..6,
+    ) {
+        quiet_panics();
+        let policy = [RoutePolicy::RoundRobin, RoutePolicy::LeastLoaded][policy_index];
+        let inner = KernelRegistry::global().get("softermax").expect("built-in");
+        let plan = FaultPlan::new(seed, rate)
+            .with_kinds(kinds_from_mask(kinds_mask))
+            .with_delay(Duration::from_micros(200));
+        let faulty: Arc<dyn SoftmaxKernel> = Arc::new(FaultyKernel::new(&inner, plan));
+
+        // Small chunks so chunks interleave; a generous respawn budget
+        // (no plan here can schedule more panics than forward calls) and
+        // a default breaker that may well trip mid-run — routing must
+        // stay live either way.
+        let config = ServeConfig::new(2).with_chunk_rows(2).with_queue_depth(8);
+        let router = ShardedRouter::new(n_shards, config, policy).expect("valid config");
+
+        let matrices: Vec<Vec<f64>> = (0..n_requests)
+            .map(|m| {
+                (0..n_rows * row_len)
+                    .map(|i| f64::from(((i + m * 7) % 23) as u8) / 3.0 - 3.5)
+                    .collect()
+            })
+            .collect();
+
+        let tickets: Vec<Option<Ticket>> = matrices
+            .iter()
+            .map(|matrix| {
+                // An honest rejection (breaker open everywhere, dead
+                // shards, bounded wait expired) *is* termination.
+                router
+                    .submit_request(
+                        Submission::new(&faulty, matrix.clone(), row_len),
+                        Admission::BlockFor(Duration::from_secs(10)),
+                    )
+                    .ok()
+            })
+            .collect();
+
+        for (matrix, ticket) in matrices.iter().zip(tickets) {
+            let Some(ticket) = ticket else { continue };
+            // The liveness property: a bounded wait far above any real
+            // serving time must never come back Pending.
+            match ticket.wait_timeout(Duration::from_secs(30)) {
+                TicketPoll::Pending(_) => {
+                    panic!("a submitted request never terminated under chaos")
+                }
+                TicketPoll::Ready(Ok(probs)) => {
+                    // Survivors are exact: fault injection may kill a
+                    // request, but it must never corrupt one.
+                    let want = sequential(inner.as_ref(), matrix, row_len);
+                    prop_assert_eq!(&probs, &want);
+                }
+                // Injected errors, panicked batches, expiries, shutdown
+                // of a dead shard: all honest terminations.
+                TicketPoll::Ready(Err(_)) => {}
+            }
+        }
+    }
+}
