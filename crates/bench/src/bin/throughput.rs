@@ -61,6 +61,24 @@
 //!   non-zero when fault-window availability drops below `X` on any
 //!   kernel — the CI chaos-smoke gate.
 //!
+//! * **open-loop mode** (`--open-loop`) — the PR-8 scheduler harness:
+//!   seeded Poisson/bursty arrival schedules are replayed *open-loop*
+//!   (every request is sent at its scheduled instant whether or not
+//!   earlier ones have answered; a full router is a drop, never
+//!   backpressure) against two single-worker shards. After calibrating
+//!   per-request service time, the harness sweeps offered load through
+//!   the saturation knee recording the latency-throughput curve and
+//!   per-interval dstat-style counters, replays one bursty leg, then
+//!   replays an identical skewed (hot-shard) schedule under
+//!   round-robin-without-stealing and adaptive-with-stealing and
+//!   reports the deadline-goodput speedup, and finally drives a mixed
+//!   interactive/batch overload leg to compare per-class latency.
+//!   Every survivor response is bit-checked against precomputed ground
+//!   truth (a mismatch exits non-zero). `--min-speedup X` exits
+//!   non-zero when the skew speedup lands below `X`;
+//!   `--assert-priority` exits non-zero unless interactive p99 <
+//!   batch p99 — the CI sched-smoke gate. Written to `BENCH_PR8.json`.
+//!
 //! Before anything is timed, each faster path's output is asserted
 //! **bit-identical** to the baseline path, so the CI smoke runs are real
 //! correctness gates even though timings are never asserted (they'd be
@@ -71,28 +89,36 @@
 //! flags) under a `"host"` key — see `softermax_bench::host_metadata`.
 //!
 //! ```text
-//! usage: throughput [--batch | --stream | --concurrent | --roofline | --chaos] [--threads N] [--smoke] [--out PATH]
-//!   --batch       compare per-row vs batched vs threaded serving paths
-//!   --stream      compare materialized vs tiled-streamed attention heads
-//!   --concurrent  sweep client count x shard count through the submission API
-//!   --roofline    scalar vs staged vs fused per kernel, against measured ceilings
-//!   --chaos       deterministic fault injection: availability, goodput, recovery
-//!   --seed        chaos fault-plan seed (default 42)
-//!   --floor       minimum fault-window availability; exit 1 below it (chaos mode)
-//!   --threads     worker threads for the threaded path (default 4)
-//!   --smoke       short measurement budgets (CI smoke test)
-//!   --out         output JSON path (BENCH_PR2/PR3/PR4/PR5/PR6/PR7.json by mode)
+//! usage: throughput [--batch | --stream | --concurrent | --roofline | --chaos | --open-loop] [--threads N] [--smoke] [--out PATH]
+//!   --batch            compare per-row vs batched vs threaded serving paths
+//!   --stream           compare materialized vs tiled-streamed attention heads
+//!   --concurrent       sweep client count x shard count through the submission API
+//!   --roofline         scalar vs staged vs fused per kernel, against measured ceilings
+//!   --chaos            deterministic fault injection: availability, goodput, recovery
+//!   --open-loop        open-loop saturation sweep, skew speedup, priority latency
+//!   --seed             chaos fault-plan / arrival-schedule seed (default 42)
+//!   --floor            minimum fault-window availability; exit 1 below it (chaos mode)
+//!   --min-speedup      minimum skew-leg goodput speedup; exit 1 below it (open-loop)
+//!   --assert-priority  exit 1 unless interactive p99 < batch p99 (open-loop)
+//!   --threads          worker threads for the threaded path (default 4)
+//!   --smoke            short measurement budgets (CI smoke test)
+//!   --out              output JSON path (BENCH_PR2/../PR8.json by mode)
 //! ```
 
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use criterion::{black_box, measure};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use softermax::kernel::{BatchScratch, ScratchBuffers, SoftmaxKernel};
+use softermax::SoftmaxError;
 use softermax_bench::{attention_scores, print_header, print_row, registry};
 use softermax_serve::fault::{silence_injected_panics, FaultPlan, FaultyKernel};
+use softermax_serve::traffic::synthetic_matrix;
 use softermax_serve::{
-    Admission, BatchEngine, RoutePolicy, ServeConfig, ShardedRouter, Submission,
+    Admission, BatchEngine, Priority, RoutePolicy, ServeConfig, ShardedRouter, Submission,
 };
 use softermax_transformer::attention::{
     attention_head_materialized, attention_head_streamed, head_scratch_estimates, KernelSoftmax,
@@ -170,12 +196,57 @@ const CHAOS_SHARDS: usize = 2;
 /// measuring recovery time after the fault window closes.
 const CHAOS_RECOVERY_STREAK: usize = 3;
 
+/// Request geometry of open-loop mode. `small` requests are the unit of
+/// routine traffic — one scheduling chunk, a few milliseconds of
+/// service. `huge` requests are the hot-shard drivers of the skew legs:
+/// very long rows make one of them worth ~26 small service times, so it
+/// parks a single-worker shard while smalls queue up (and expire) behind
+/// it — yet it carries only 1.5x the *rows* of a small, so surviving
+/// huge responses cannot drown the small-request goodput the skew
+/// comparison is about. (Cost is rows x row length: long rows buy
+/// blocking time without buying rows.)
+const OL_SMALL_ROWS: usize = 64;
+const OL_SMALL_LEN: usize = 1024;
+const OL_HUGE_ROWS: usize = 96;
+const OL_HUGE_LEN: usize = 16384;
+
+/// Precomputed payload variants each schedule cycles through: fresh bits
+/// per request without paying matrix generation inside the dispatch
+/// loop, while keeping every response bit-checkable against precomputed
+/// ground truth.
+const OL_VARIANTS: usize = 4;
+
+/// Every open-loop leg runs two single-worker shards. On a small box the
+/// workers share cores anyway, so raw compute capacity is identical
+/// under every policy — scheduling quality (placement, stealing,
+/// priority order) is the only thing the legs can differ on.
+const OL_SHARDS: usize = 2;
+
+/// Admission bound per shard: deep enough that bursts are absorbed as
+/// queueing (visible as latency and deadline expiry) rather than
+/// instantly as drops.
+const OL_QUEUE_DEPTH: usize = 64;
+
+/// Offered-load fractions of calibrated capacity swept for the
+/// latency-throughput knee.
+const OL_SWEEP: [f64; 5] = [0.4, 0.7, 0.9, 1.05, 1.3];
+const OL_SWEEP_SMOKE: [f64; 2] = [0.6, 1.2];
+
+/// Every Nth arrival of the skew legs is a huge request.
+const OL_HUGE_EVERY: usize = 8;
+
+/// dstat-style sampling interval (shortened in smoke runs).
+const OL_INTERVAL_MS: u64 = 100;
+
 fn main() {
     let mut batch_mode = false;
     let mut stream_mode = false;
     let mut concurrent_mode = false;
     let mut roofline_mode = false;
     let mut chaos_mode = false;
+    let mut open_loop_mode = false;
+    let mut min_speedup: Option<f64> = None;
+    let mut assert_priority = false;
     let mut smoke = false;
     let mut threads = 4usize;
     let mut chaos_seed = 42u64;
@@ -190,6 +261,19 @@ fn main() {
             "--concurrent" => concurrent_mode = true,
             "--roofline" => roofline_mode = true,
             "--chaos" => chaos_mode = true,
+            "--open-loop" => open_loop_mode = true,
+            "--min-speedup" => {
+                min_speedup = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|s: &f64| *s > 0.0)
+                        .unwrap_or_else(|| {
+                            eprintln!("--min-speedup needs a positive ratio");
+                            std::process::exit(2);
+                        }),
+                );
+            }
+            "--assert-priority" => assert_priority = true,
             "--seed" => {
                 chaos_seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--seed needs an unsigned integer");
@@ -230,7 +314,7 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown flag '{other}' (usage: throughput [--batch | --stream | --concurrent | --roofline | --chaos] [--threads N] [--seed S] [--floor F] [--smoke] [--out PATH])"
+                    "unknown flag '{other}' (usage: throughput [--batch | --stream | --concurrent | --roofline | --chaos | --open-loop] [--threads N] [--seed S] [--floor F] [--min-speedup X] [--assert-priority] [--smoke] [--out PATH])"
                 );
                 std::process::exit(2);
             }
@@ -241,15 +325,26 @@ fn main() {
         + usize::from(concurrent_mode)
         + usize::from(roofline_mode)
         + usize::from(chaos_mode)
+        + usize::from(open_loop_mode)
         > 1
     {
-        eprintln!("--batch, --stream, --concurrent, --roofline and --chaos are mutually exclusive");
+        eprintln!(
+            "--batch, --stream, --concurrent, --roofline, --chaos and --open-loop are mutually exclusive"
+        );
         std::process::exit(2);
     }
     let warmup = Duration::from_millis(warmup_ms);
     let budget = Duration::from_millis(measure_ms);
 
-    if chaos_mode {
+    if open_loop_mode {
+        open_loop_harness(
+            smoke,
+            chaos_seed,
+            min_speedup,
+            assert_priority,
+            &out_path.unwrap_or_else(|| "BENCH_PR8.json".to_string()),
+        );
+    } else if chaos_mode {
         chaos_harness(
             threads,
             smoke,
@@ -1474,6 +1569,847 @@ fn recovery_time_ms(samples: &[ChaosSample], baseline_p50_s: f64) -> Option<f64>
 }
 
 /// Interpolation-free percentile over an already-sorted sample set.
+/// One arrival of an open-loop schedule: when to send, which request
+/// shape/payload, and at which priority.
+#[derive(Clone, Copy)]
+struct OlArrival {
+    at_ns: u64,
+    huge: bool,
+    variant: usize,
+    priority: Priority,
+}
+
+impl OlArrival {
+    fn rows(&self) -> usize {
+        if self.huge {
+            OL_HUGE_ROWS
+        } else {
+            OL_SMALL_ROWS
+        }
+    }
+}
+
+/// Precomputed request payloads and their bit-exact sequential ground
+/// truth, per shape and variant.
+struct OlPayloads {
+    small: Vec<Vec<f64>>,
+    small_want: Vec<Vec<u64>>,
+    huge: Vec<Vec<f64>>,
+    huge_want: Vec<Vec<u64>>,
+}
+
+impl OlPayloads {
+    fn build(kernel: &Arc<dyn SoftmaxKernel>) -> Self {
+        let generate = |rows: usize, row_len: usize, salt: u64| {
+            let mut matrices = Vec::with_capacity(OL_VARIANTS);
+            let mut wants = Vec::with_capacity(OL_VARIANTS);
+            let mut scratch = ScratchBuffers::default();
+            for variant in 0..OL_VARIANTS {
+                let matrix = synthetic_matrix(rows, row_len, 2.5, salt + variant as u64);
+                let mut out = vec![0.0; matrix.len()];
+                for (row, out_row) in matrix
+                    .chunks_exact(row_len)
+                    .zip(out.chunks_exact_mut(row_len))
+                {
+                    kernel
+                        .forward_into(row, out_row, &mut scratch)
+                        .expect("ground truth row");
+                }
+                wants.push(out.iter().map(|v| v.to_bits()).collect());
+                matrices.push(matrix);
+            }
+            (matrices, wants)
+        };
+        let (small, small_want) = generate(OL_SMALL_ROWS, OL_SMALL_LEN, 11_000);
+        let (huge, huge_want) = generate(OL_HUGE_ROWS, OL_HUGE_LEN, 12_000);
+        Self {
+            small,
+            small_want,
+            huge,
+            huge_want,
+        }
+    }
+
+    fn payload(&self, arrival: &OlArrival) -> &Vec<f64> {
+        if arrival.huge {
+            &self.huge[arrival.variant]
+        } else {
+            &self.small[arrival.variant]
+        }
+    }
+
+    fn want(&self, arrival: &OlArrival) -> &[u64] {
+        if arrival.huge {
+            &self.huge_want[arrival.variant]
+        } else {
+            &self.small_want[arrival.variant]
+        }
+    }
+}
+
+/// Counters shared between the open-loop dispatcher, the response
+/// collectors and the dstat sampler.
+#[derive(Default)]
+struct OlCounters {
+    submitted: AtomicU64,
+    dropped: AtomicU64,
+    completed: AtomicU64,
+    expired: AtomicU64,
+    failed: AtomicU64,
+    mismatched: AtomicU64,
+    rows_completed: AtomicU64,
+    rows_in_span: AtomicU64,
+    interactive_rows_in_span: AtomicU64,
+}
+
+/// One completed response: which class it was and how long it took from
+/// its *scheduled* arrival instant to its response (open-loop sojourn,
+/// generator lag included).
+struct OlSample {
+    priority: Priority,
+    sojourn_ns: u64,
+}
+
+/// Everything one open-loop leg reports.
+struct OlLeg {
+    offered_req_per_s: f64,
+    offered_rows_per_s: f64,
+    span_s: f64,
+    submitted: u64,
+    dropped: u64,
+    completed: u64,
+    expired: u64,
+    failed: u64,
+    mismatched: u64,
+    rows_offered: u64,
+    rows_completed: u64,
+    rows_in_span: u64,
+    goodput_rows_per_s: f64,
+    /// Goodput restricted to interactive-class rows — the skew pair's
+    /// headline, so surviving batch-class background rows (completed
+    /// identically under every policy) cannot dilute the comparison.
+    interactive_goodput_rows_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    interactive_p50_ms: f64,
+    interactive_p99_ms: f64,
+    batch_p50_ms: f64,
+    batch_p99_ms: f64,
+    interactive_completed: u64,
+    batch_completed: u64,
+    jobs_stolen: u64,
+    intervals: Vec<serde_json::Value>,
+}
+
+impl OlLeg {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "offered_req_per_s": self.offered_req_per_s,
+            "offered_rows_per_s": self.offered_rows_per_s,
+            "span_s": self.span_s,
+            "submitted": self.submitted,
+            "dropped": self.dropped,
+            "completed": self.completed,
+            "expired": self.expired,
+            "failed": self.failed,
+            "rows_offered": self.rows_offered,
+            "rows_completed": self.rows_completed,
+            "rows_completed_in_span": self.rows_in_span,
+            "goodput_rows_per_s": self.goodput_rows_per_s,
+            "interactive_goodput_rows_per_s": self.interactive_goodput_rows_per_s,
+            "sojourn_p50_ms": self.p50_ms,
+            "sojourn_p99_ms": self.p99_ms,
+            "jobs_stolen": self.jobs_stolen,
+            "intervals": self.intervals,
+        })
+    }
+}
+
+/// Draws a Poisson arrival process at `rate` requests/s over `span`:
+/// i.i.d. exponential inter-arrival gaps by inverse CDF over the seeded
+/// generator, so a given (seed, rate, span) always replays the exact
+/// same schedule — the skew pair depends on that. When `huge_every > 0`
+/// every Nth arrival is huge, but never closer than `min_huge_gap` to
+/// the previous huge: a too-close huge is postponed by *two* indices at
+/// a time, so huges stay on even positions and strict round-robin keeps
+/// pinning them all to one shard (the hot-shard pattern the skew pair
+/// measures). The gap keeps at most one huge in service at a time, so
+/// a scheduler that routes around the busy shard always has a clean
+/// shard to route to. Each arrival is Batch-class with probability
+/// `batch_frac` (0 = all interactive).
+fn ol_poisson(
+    rate: f64,
+    span: Duration,
+    seed: u64,
+    huge_every: usize,
+    min_huge_gap: Duration,
+    batch_frac: f64,
+) -> Vec<OlArrival> {
+    let span_ns = span.as_nanos() as u64;
+    let gap_ns = min_huge_gap.as_nanos() as u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut schedule = Vec::new();
+    let mut t = 0.0f64;
+    let mut index = 0usize;
+    let mut next_huge = huge_every.saturating_sub(1);
+    let mut last_huge_ns: Option<u64> = None;
+    loop {
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        t += -u.ln() / rate;
+        let at_ns = (t * 1e9) as u64;
+        if at_ns >= span_ns {
+            return schedule;
+        }
+        let mut huge = false;
+        if huge_every > 0 && index == next_huge {
+            if last_huge_ns.is_some_and(|last| at_ns < last.saturating_add(gap_ns)) {
+                next_huge += 2;
+            } else {
+                huge = true;
+                last_huge_ns = Some(at_ns);
+                next_huge = index + huge_every;
+            }
+        }
+        // Huge requests are background work: batch-class, like the
+        // offline jobs they stand in for. Smalls (and the priority
+        // leg's uniform traffic) draw their class from `batch_frac`.
+        let priority = if huge || (batch_frac > 0.0 && rng.gen_bool(batch_frac)) {
+            Priority::Batch
+        } else {
+            Priority::Interactive
+        };
+        schedule.push(OlArrival {
+            at_ns,
+            huge,
+            variant: index % OL_VARIANTS,
+            priority,
+        });
+        index += 1;
+    }
+}
+
+/// A bursty arrival process averaging `rate`: Poisson gaps whose
+/// instantaneous rate alternates between 1.8x and 0.2x the mean in
+/// 150 ms blocks — the same offered load as the matching Poisson leg,
+/// delivered in squalls that exercise queue pooling.
+fn ol_bursty(rate: f64, span: Duration, seed: u64) -> Vec<OlArrival> {
+    const BLOCK_NS: u64 = 150_000_000;
+    let span_ns = span.as_nanos() as u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut schedule = Vec::new();
+    let mut t = 0.0f64;
+    let mut index = 0usize;
+    loop {
+        let block = (t * 1e9) as u64 / BLOCK_NS;
+        let factor = if block.is_multiple_of(2) { 1.8 } else { 0.2 };
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        t += -u.ln() / (rate * factor);
+        let at_ns = (t * 1e9) as u64;
+        if at_ns >= span_ns {
+            return schedule;
+        }
+        schedule.push(OlArrival {
+            at_ns,
+            huge: false,
+            variant: index % OL_VARIANTS,
+            priority: Priority::Interactive,
+        });
+        index += 1;
+    }
+}
+
+/// The shard configuration every open-loop leg uses: one worker per
+/// shard, small requests exactly one chunk, and a queue deep enough to
+/// absorb bursts as latency.
+fn ol_config() -> ServeConfig {
+    ServeConfig::new(1)
+        .with_chunk_rows(OL_SMALL_ROWS)
+        .with_queue_depth(OL_QUEUE_DEPTH)
+}
+
+/// Calibrates the mean service time (submit → response, payload clone
+/// included — the dispatcher pays that clone at run time too) of one
+/// request shape through a single dedicated worker.
+fn ol_calibrate(
+    kernel: &Arc<dyn SoftmaxKernel>,
+    payloads: &[Vec<f64>],
+    row_len: usize,
+    smoke: bool,
+) -> Duration {
+    let engine = BatchEngine::new(ol_config()).expect("calibration engine");
+    let reps = if smoke { 12 } else { 48 };
+    for payload in payloads.iter().take(2) {
+        engine
+            .submit_wait(kernel, payload.clone(), row_len)
+            .expect("calibration warmup")
+            .wait()
+            .expect("calibration warmup");
+    }
+    let t0 = Instant::now();
+    for i in 0..reps {
+        engine
+            .submit_wait(kernel, payloads[i % OL_VARIANTS].clone(), row_len)
+            .expect("calibration request")
+            .wait()
+            .expect("calibration request");
+    }
+    t0.elapsed() / reps as u32
+}
+
+/// Per-class request deadlines for one open-loop leg; `None` means the
+/// class runs without an SLO.
+#[derive(Clone, Copy)]
+struct OlDeadlines {
+    small: Option<Duration>,
+    huge: Option<Duration>,
+}
+
+/// Replays one arrival schedule open-loop against `router`: the
+/// dispatcher sends every request at its scheduled instant (catching up
+/// in batches if it oversleeps) and **never waits for replies** — a
+/// router with every queue full is a drop, not backpressure. Two
+/// collector threads absorb responses off the dispatcher's critical
+/// path and bit-check every survivor; a sampler thread records
+/// dstat-style per-interval counter deltas.
+fn ol_run(
+    router: &ShardedRouter,
+    kernel: &Arc<dyn SoftmaxKernel>,
+    payloads: &OlPayloads,
+    schedule: &[OlArrival],
+    span: Duration,
+    deadlines: OlDeadlines,
+    interval: Duration,
+) -> OlLeg {
+    let counters = OlCounters::default();
+    let run_done = AtomicBool::new(false);
+    let samples: Mutex<Vec<OlSample>> = Mutex::new(Vec::new());
+    let intervals: Mutex<Vec<serde_json::Value>> = Mutex::new(Vec::new());
+    let span_ns = span.as_nanos() as u64;
+    let start = Instant::now();
+
+    let counters = &counters;
+    let samples = &samples;
+    let start_ref = &start;
+
+    std::thread::scope(|outer| {
+        let sampler = outer.spawn(|| {
+            let mut prev = [0u64; 5];
+            while !run_done.load(Ordering::Acquire) {
+                std::thread::sleep(interval);
+                let now = [
+                    counters.submitted.load(Ordering::Relaxed),
+                    counters.dropped.load(Ordering::Relaxed),
+                    counters.completed.load(Ordering::Relaxed),
+                    counters.expired.load(Ordering::Relaxed),
+                    router.jobs_stolen(),
+                ];
+                let row = serde_json::json!({
+                    "t_ms": start_ref.elapsed().as_millis() as u64,
+                    "submitted": now[0] - prev[0],
+                    "dropped": now[1] - prev[1],
+                    "completed": now[2] - prev[2],
+                    "expired": now[3] - prev[3],
+                    "stolen": now[4] - prev[4],
+                    "queued_rows": router.load_rows(),
+                });
+                prev = now;
+                let mut rows = intervals.lock().expect("interval rows");
+                if rows.len() < 400 {
+                    rows.push(row);
+                }
+            }
+        });
+
+        // The open-loop dispatcher: send at schedule (catching up in
+        // batches after an oversleep), never wait for replies. Each
+        // admitted ticket gets its own small waiter thread, so a
+        // response's sojourn is recorded when *it* completes — a FIFO
+        // collector would smear every class's latency into drain order.
+        // Live waiters are bounded by what the admission queues hold, so
+        // this stays at queue-depth-scale threads, not schedule-scale.
+        std::thread::scope(|waiters| {
+            for arrival in schedule {
+                let target = start + Duration::from_nanos(arrival.at_ns);
+                let now = Instant::now();
+                if target > now {
+                    std::thread::sleep(target - now);
+                }
+                let deadline = if arrival.huge {
+                    deadlines.huge
+                } else {
+                    deadlines.small
+                };
+                let row_len = if arrival.huge {
+                    OL_HUGE_LEN
+                } else {
+                    OL_SMALL_LEN
+                };
+                let mut submission =
+                    Submission::new(kernel, payloads.payload(arrival).clone(), row_len)
+                        .with_priority(arrival.priority);
+                if let Some(d) = deadline {
+                    submission = submission.with_deadline(d);
+                }
+                counters.submitted.fetch_add(1, Ordering::Relaxed);
+                match router.submit_request(submission, Admission::Fail) {
+                    Ok(ticket) => {
+                        let arrival = *arrival;
+                        let want = payloads.want(&arrival);
+                        std::thread::Builder::new()
+                            .stack_size(96 * 1024)
+                            .spawn_scoped(waiters, move || match ticket.wait() {
+                                Ok(out) => {
+                                    let identical = out.len() == want.len()
+                                        && out.iter().zip(want).all(|(a, b)| a.to_bits() == *b);
+                                    if !identical {
+                                        counters.mismatched.fetch_add(1, Ordering::Relaxed);
+                                        return;
+                                    }
+                                    let end_ns = start_ref.elapsed().as_nanos() as u64;
+                                    counters.completed.fetch_add(1, Ordering::Relaxed);
+                                    counters
+                                        .rows_completed
+                                        .fetch_add(arrival.rows() as u64, Ordering::Relaxed);
+                                    if end_ns <= span_ns {
+                                        counters
+                                            .rows_in_span
+                                            .fetch_add(arrival.rows() as u64, Ordering::Relaxed);
+                                        if arrival.priority == Priority::Interactive {
+                                            counters.interactive_rows_in_span.fetch_add(
+                                                arrival.rows() as u64,
+                                                Ordering::Relaxed,
+                                            );
+                                        }
+                                    }
+                                    samples.lock().expect("samples").push(OlSample {
+                                        priority: arrival.priority,
+                                        sojourn_ns: end_ns.saturating_sub(arrival.at_ns),
+                                    });
+                                }
+                                Err(SoftmaxError::DeadlineExceeded) => {
+                                    counters.expired.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(_) => {
+                                    counters.failed.fetch_add(1, Ordering::Relaxed);
+                                }
+                            })
+                            .expect("waiter thread");
+                    }
+                    Err(_) => {
+                        counters.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        });
+        run_done.store(true, Ordering::Release);
+        drop(sampler);
+    });
+
+    let span_s = span.as_secs_f64();
+    let rows_offered: u64 = schedule.iter().map(|a| a.rows() as u64).sum();
+    let samples = std::mem::take(&mut *samples.lock().expect("samples"));
+    let sorted_ms = |filter: &dyn Fn(&OlSample) -> bool| -> Vec<f64> {
+        let mut v: Vec<f64> = samples
+            .iter()
+            .filter(|s| filter(s))
+            .map(|s| s.sojourn_ns as f64 / 1e6)
+            .collect();
+        v.sort_by(f64::total_cmp);
+        v
+    };
+    let all = sorted_ms(&|_| true);
+    let interactive = sorted_ms(&|s| s.priority == Priority::Interactive);
+    let batch = sorted_ms(&|s| s.priority == Priority::Batch);
+    let rows_completed = counters.rows_completed.load(Ordering::Relaxed);
+    let rows_in_span = counters.rows_in_span.load(Ordering::Relaxed);
+    OlLeg {
+        offered_req_per_s: schedule.len() as f64 / span_s,
+        offered_rows_per_s: rows_offered as f64 / span_s,
+        span_s,
+        submitted: counters.submitted.load(Ordering::Relaxed),
+        dropped: counters.dropped.load(Ordering::Relaxed),
+        completed: counters.completed.load(Ordering::Relaxed),
+        expired: counters.expired.load(Ordering::Relaxed),
+        failed: counters.failed.load(Ordering::Relaxed),
+        mismatched: counters.mismatched.load(Ordering::Relaxed),
+        rows_offered,
+        rows_completed,
+        rows_in_span,
+        goodput_rows_per_s: rows_in_span as f64 / span_s,
+        interactive_goodput_rows_per_s: counters.interactive_rows_in_span.load(Ordering::Relaxed)
+            as f64
+            / span_s,
+        p50_ms: pctl(&all, 0.50),
+        p99_ms: pctl(&all, 0.99),
+        interactive_p50_ms: pctl(&interactive, 0.50),
+        interactive_p99_ms: pctl(&interactive, 0.99),
+        batch_p50_ms: pctl(&batch, 0.50),
+        batch_p99_ms: pctl(&batch, 0.99),
+        interactive_completed: interactive.len() as u64,
+        batch_completed: batch.len() as u64,
+        jobs_stolen: router.jobs_stolen(),
+        intervals: intervals.into_inner().expect("interval rows"),
+    }
+}
+
+/// The PR-8 open-loop scheduler harness. See the module docs for the
+/// leg-by-leg story; `seed` fixes every arrival schedule, `min_speedup`
+/// gates the skew comparison, `assert_priority` gates the mixed-class
+/// leg.
+fn open_loop_harness(
+    smoke: bool,
+    seed: u64,
+    min_speedup: Option<f64>,
+    assert_priority: bool,
+    out_path: &str,
+) {
+    let kernels = registry();
+    let kernel = kernels
+        .get("softermax")
+        .unwrap_or_else(|| kernels.kernels()[0].clone());
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let effective_workers = OL_SHARDS.min(cores);
+    println!(
+        "open-loop scheduler harness: kernel {}, {} shards x 1 worker ({} effective on {} cores), seed {}",
+        kernel.name(),
+        OL_SHARDS,
+        effective_workers,
+        cores,
+        seed
+    );
+
+    let payloads = OlPayloads::build(&kernel);
+    let s_small = ol_calibrate(&kernel, &payloads.small, OL_SMALL_LEN, smoke);
+    let s_huge = ol_calibrate(&kernel, &payloads.huge, OL_HUGE_LEN, smoke);
+    let capacity_rows =
+        effective_workers as f64 * OL_SMALL_ROWS as f64 / s_small.as_secs_f64().max(1e-9);
+    println!(
+        "calibration: small {}x{} = {:.3} ms, huge {}x{} = {:.3} ms ({:.0} small rows/s capacity)",
+        OL_SMALL_ROWS,
+        OL_SMALL_LEN,
+        s_small.as_secs_f64() * 1e3,
+        OL_HUGE_ROWS,
+        OL_HUGE_LEN,
+        s_huge.as_secs_f64() * 1e3,
+        capacity_rows
+    );
+
+    let leg_span = Duration::from_millis(if smoke { 250 } else { 1200 });
+    let skew_span = Duration::from_millis(if smoke { 700 } else { 4000 });
+    let prio_span = Duration::from_millis(if smoke { 300 } else { 1500 });
+    let interval = Duration::from_millis(if smoke { 25 } else { OL_INTERVAL_MS });
+    // The sweep deadline only bites deep into saturation (a full shard
+    // queue is worth ~64 service times); the skew deadlines are the
+    // experiment's contrast knob — tight enough that a small parked
+    // behind a huge job (~13 small service times) expires, generous
+    // enough that ordinary queueing at the skew leg's 60% load
+    // survives, with absolute floors against timer jitter.
+    let sweep_deadline = (s_small * 24).max(Duration::from_millis(10));
+    let skew_small_deadline = (s_small * 5).max(Duration::from_millis(4));
+    let skew_huge_deadline = (s_huge * 6).max(Duration::from_millis(40));
+
+    // --- Leg 1: Poisson offered-load sweep to the saturation knee. ---
+    println!(
+        "\nknee sweep: Poisson arrivals, adaptive routing + stealing, deadline {:.1} ms",
+        sweep_deadline.as_secs_f64() * 1e3
+    );
+    print_header(&[
+        "load",
+        "offered r/s",
+        "goodput r/s",
+        "done",
+        "drop",
+        "expired",
+        "p50 ms",
+        "p99 ms",
+        "stolen",
+    ]);
+    let fractions: &[f64] = if smoke { &OL_SWEEP_SMOKE } else { &OL_SWEEP };
+    let mut knee_legs: Vec<(f64, OlLeg)> = Vec::new();
+    for (index, &fraction) in fractions.iter().enumerate() {
+        let rate = fraction * capacity_rows / OL_SMALL_ROWS as f64;
+        let schedule = ol_poisson(
+            rate,
+            leg_span,
+            seed.wrapping_add(index as u64),
+            0,
+            Duration::ZERO,
+            0.0,
+        );
+        let router = ShardedRouter::new(OL_SHARDS, ol_config(), RoutePolicy::Adaptive)
+            .expect("sweep router");
+        let leg = ol_run(
+            &router,
+            &kernel,
+            &payloads,
+            &schedule,
+            leg_span,
+            OlDeadlines {
+                small: Some(sweep_deadline),
+                huge: None,
+            },
+            interval,
+        );
+        print_row(&[
+            format!("{fraction:.2}"),
+            format!("{:.0}", leg.offered_rows_per_s),
+            format!("{:.0}", leg.goodput_rows_per_s),
+            leg.completed.to_string(),
+            leg.dropped.to_string(),
+            leg.expired.to_string(),
+            format!("{:.2}", leg.p50_ms),
+            format!("{:.2}", leg.p99_ms),
+            leg.jobs_stolen.to_string(),
+        ]);
+        knee_legs.push((fraction, leg));
+    }
+    let knee = knee_legs
+        .iter()
+        .max_by(|a, b| a.1.goodput_rows_per_s.total_cmp(&b.1.goodput_rows_per_s))
+        .expect("non-empty sweep");
+    let knee_fraction = knee.0;
+    let knee_goodput = knee.1.goodput_rows_per_s;
+    println!(
+        "knee: goodput peaks at {:.0} rows/s ({:.2} of calibrated capacity)",
+        knee_goodput, knee_fraction
+    );
+
+    // --- Leg 2: the same load near the knee, delivered in bursts. ---
+    let bursty_rate = 0.9 * capacity_rows / OL_SMALL_ROWS as f64;
+    let bursty_schedule = ol_bursty(bursty_rate, leg_span, seed ^ 0xB0B5);
+    let bursty_router =
+        ShardedRouter::new(OL_SHARDS, ol_config(), RoutePolicy::Adaptive).expect("bursty router");
+    let bursty = ol_run(
+        &bursty_router,
+        &kernel,
+        &payloads,
+        &bursty_schedule,
+        leg_span,
+        OlDeadlines {
+            small: Some(sweep_deadline),
+            huge: None,
+        },
+        interval,
+    );
+    drop(bursty_router);
+    println!(
+        "bursty at 0.90 load: goodput {:.0} rows/s, {} dropped, {} expired, p99 {:.2} ms, {} stolen",
+        bursty.goodput_rows_per_s, bursty.dropped, bursty.expired, bursty.p99_ms, bursty.jobs_stolen
+    );
+
+    // --- Leg 3: the skew pair. One identical schedule mixing huge
+    // hot-shard drivers into small traffic, replayed under the dumb
+    // baseline (round-robin, no stealing) and the scheduler (adaptive
+    // routing + stealing). Deadline-goodput is the headline: a small
+    // parked behind a huge job expires at dequeue unless it is stolen
+    // or routed around the hot shard.
+    let group_span = (OL_HUGE_EVERY - 1) as f64 * s_small.as_secs_f64() + s_huge.as_secs_f64();
+    // 0.75 offered load: high enough that the hot shard spends most of
+    // its time inside a huge job (the placement pain the pair is
+    // contrasting), low enough that neither config is systemically
+    // overloaded — past ~0.8 the M/G/1 queueing term, inflated by huge
+    // jobs' E[S^2], swamps both configs with waits no scheduler could
+    // route around. Huges keep a 2 x s_huge exclusion gap so at most
+    // one is in service at a time: the contrast stays "can the policy
+    // route around the busy shard", not "did two huges happen to land
+    // at once and block every shard of a one-core box".
+    let skew_rate = 0.75 * effective_workers as f64 * OL_HUGE_EVERY as f64 / group_span;
+    let skew_schedule = ol_poisson(
+        skew_rate,
+        skew_span,
+        seed ^ 0x5CE7,
+        OL_HUGE_EVERY,
+        s_huge.mul_f64(2.0),
+        0.0,
+    );
+    let run_skew = |policy: RoutePolicy, stealing: bool| {
+        let router =
+            ShardedRouter::new(OL_SHARDS, ol_config().with_work_stealing(stealing), policy)
+                .expect("skew router");
+        ol_run(
+            &router,
+            &kernel,
+            &payloads,
+            &skew_schedule,
+            skew_span,
+            OlDeadlines {
+                small: Some(skew_small_deadline),
+                huge: Some(skew_huge_deadline),
+            },
+            interval,
+        )
+    };
+    let skew_baseline = run_skew(RoutePolicy::RoundRobin, false);
+    let skew_scheduler = run_skew(RoutePolicy::Adaptive, true);
+    // The headline compares interactive goodput: batch-class huges are
+    // non-urgent background that completes under every policy, so
+    // counting their rows would only dilute the placement contrast the
+    // pair exists to measure.
+    let speedup = if skew_baseline.interactive_goodput_rows_per_s > 0.0 {
+        skew_scheduler.interactive_goodput_rows_per_s / skew_baseline.interactive_goodput_rows_per_s
+    } else {
+        f64::INFINITY
+    };
+    println!(
+        "\nskew pair: every {OL_HUGE_EVERY}th request a huge batch-class job, identical schedule"
+    );
+    print_header(&[
+        "config",
+        "int goodput r/s",
+        "all rows r/s",
+        "done",
+        "drop",
+        "expired",
+        "p50 ms",
+        "p99 ms",
+        "stolen",
+    ]);
+    for (name, leg) in [
+        ("round-robin, no steal", &skew_baseline),
+        ("adaptive + steal", &skew_scheduler),
+    ] {
+        print_row(&[
+            name.to_string(),
+            format!("{:.0}", leg.interactive_goodput_rows_per_s),
+            format!("{:.0}", leg.goodput_rows_per_s),
+            leg.completed.to_string(),
+            leg.dropped.to_string(),
+            leg.expired.to_string(),
+            format!("{:.2}", leg.p50_ms),
+            format!("{:.2}", leg.p99_ms),
+            leg.jobs_stolen.to_string(),
+        ]);
+    }
+    println!("skew speedup (interactive deadline-goodput rows/s): {speedup:.2}x");
+
+    // --- Leg 4: mixed priority classes under overload. Same-size
+    // requests, so any p99 gap is pure dequeue policy, not job size. ---
+    let prio_rate = 1.3 * capacity_rows / OL_SMALL_ROWS as f64;
+    let prio_schedule = ol_poisson(prio_rate, prio_span, seed ^ 0x9170, 0, Duration::ZERO, 0.5);
+    let prio_router =
+        ShardedRouter::new(OL_SHARDS, ol_config(), RoutePolicy::Adaptive).expect("priority router");
+    let prio = ol_run(
+        &prio_router,
+        &kernel,
+        &payloads,
+        &prio_schedule,
+        prio_span,
+        OlDeadlines {
+            small: None,
+            huge: None,
+        },
+        interval,
+    );
+    drop(prio_router);
+    let priority_holds = prio.interactive_completed > 0
+        && prio.batch_completed > 0
+        && prio.interactive_p99_ms < prio.batch_p99_ms;
+    println!(
+        "priority at 1.30 load: interactive p50/p99 {:.2}/{:.2} ms ({} done), batch p50/p99 {:.2}/{:.2} ms ({} done) -> interactive p99 < batch p99: {}",
+        prio.interactive_p50_ms,
+        prio.interactive_p99_ms,
+        prio.interactive_completed,
+        prio.batch_p50_ms,
+        prio.batch_p99_ms,
+        prio.batch_completed,
+        priority_holds
+    );
+
+    let total_mismatched = knee_legs
+        .iter()
+        .map(|(_, leg)| leg.mismatched)
+        .chain([
+            bursty.mismatched,
+            skew_baseline.mismatched,
+            skew_scheduler.mismatched,
+            prio.mismatched,
+        ])
+        .sum::<u64>();
+
+    let report = serde_json::json!({
+        "mode": "open-loop",
+        "smoke": smoke,
+        "seed": seed,
+        "kernel": kernel.name(),
+        "shards": OL_SHARDS,
+        "effective_workers": effective_workers,
+        "request": {
+            "small_rows": OL_SMALL_ROWS,
+            "small_row_len": OL_SMALL_LEN,
+            "huge_rows": OL_HUGE_ROWS,
+            "huge_row_len": OL_HUGE_LEN,
+            "queue_depth": OL_QUEUE_DEPTH,
+        },
+        "calibration": {
+            "small_service_ms": s_small.as_secs_f64() * 1e3,
+            "huge_service_ms": s_huge.as_secs_f64() * 1e3,
+            "capacity_rows_per_s": capacity_rows,
+        },
+        "deadlines_ms": {
+            "sweep": sweep_deadline.as_secs_f64() * 1e3,
+            "skew_small": skew_small_deadline.as_secs_f64() * 1e3,
+            "skew_huge": skew_huge_deadline.as_secs_f64() * 1e3,
+        },
+        "knee": {
+            "arrivals": "poisson",
+            "legs": knee_legs
+                .iter()
+                .map(|(fraction, leg)| {
+                    let mut value = leg.to_json();
+                    if let serde_json::Value::Object(fields) = &mut value {
+                        fields.push(("load_fraction".to_string(), serde_json::json!(fraction)));
+                    }
+                    value
+                })
+                .collect::<Vec<_>>(),
+            "knee_load_fraction": knee_fraction,
+            "knee_goodput_rows_per_s": knee_goodput,
+        },
+        "bursty": bursty.to_json(),
+        "skew": {
+            "pattern": format!("every {OL_HUGE_EVERY}th arrival huge ({OL_HUGE_ROWS}x{OL_HUGE_LEN}), identical seeded schedule"),
+            "baseline_round_robin": skew_baseline.to_json(),
+            "adaptive_stealing": skew_scheduler.to_json(),
+            "speedup": speedup,
+            "min_speedup_gate": min_speedup,
+        },
+        "priority": {
+            "batch_fraction": 0.5,
+            "load_fraction": 1.3,
+            "leg": prio.to_json(),
+            "interactive_p50_ms": prio.interactive_p50_ms,
+            "interactive_p99_ms": prio.interactive_p99_ms,
+            "batch_p50_ms": prio.batch_p50_ms,
+            "batch_p99_ms": prio.batch_p99_ms,
+            "interactive_completed": prio.interactive_completed,
+            "batch_completed": prio.batch_completed,
+            "interactive_p99_below_batch": priority_holds,
+        },
+        "bit_identity": {
+            "mismatched": total_mismatched,
+        },
+    });
+    write_report(out_path, &report);
+
+    if total_mismatched > 0 {
+        eprintln!("BIT-IDENTITY FAILURE: {total_mismatched} survivor responses diverged from sequential execution");
+        std::process::exit(1);
+    }
+    if let Some(gate) = min_speedup {
+        if speedup < gate {
+            eprintln!("SPEEDUP FLOOR FAILURE: skew speedup {speedup:.2}x under the --min-speedup {gate:.2}x gate");
+            std::process::exit(1);
+        }
+    }
+    if assert_priority && !priority_holds {
+        eprintln!(
+            "PRIORITY FAILURE: interactive p99 {:.2} ms is not below batch p99 {:.2} ms",
+            prio.interactive_p99_ms, prio.batch_p99_ms
+        );
+        std::process::exit(1);
+    }
+}
+
 fn pctl(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;

@@ -32,7 +32,7 @@ pub const USAGE: &str = "usage:
                                                     (--streaming also runs the
                                                     chunked StreamSession path)
                   [--clients M] [--shards S] [--inflight N] [--requests K]
-                  [--policy round-robin|least-loaded]
+                  [--policy round-robin|least-loaded|adaptive] [--no-steal]
                                                     any of these flags selects
                                                     concurrent mode: M client
                                                     threads submit K requests
@@ -41,7 +41,9 @@ pub const USAGE: &str = "usage:
                                                     queue depth N, single
                                                     --threads value per shard),
                                                     guarded bit-identical vs
-                                                    sequential execution
+                                                    sequential execution;
+                                                    --no-steal disables the
+                                                    shards' work stealing
                   [--chaos-seed N] [--fault-rate F]
                                                     either flag also selects
                                                     concurrent mode and wraps
@@ -224,6 +226,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut inflight: Option<usize> = None;
     let mut requests: Option<usize> = None;
     let mut policy: Option<RoutePolicy> = None;
+    let mut no_steal = false;
     // Chaos flags: either one selects the concurrent path too, since
     // fault injection exercises the router/engine recovery machinery.
     let mut chaos_seed: Option<u64> = None;
@@ -255,13 +258,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 policy = Some(match value("--policy")?.as_str() {
                     "round-robin" => RoutePolicy::RoundRobin,
                     "least-loaded" => RoutePolicy::LeastLoaded,
+                    "adaptive" => RoutePolicy::Adaptive,
                     other => {
                         return Err(format!(
-                            "--policy must be round-robin or least-loaded, got '{other}'"
+                            "--policy must be round-robin, least-loaded, or adaptive, got '{other}'"
                         ))
                     }
                 });
             }
+            "--no-steal" => no_steal = true,
             "--seed" => {
                 seed = value("--seed")?
                     .parse()
@@ -309,6 +314,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         || inflight.is_some()
         || requests.is_some()
         || policy.is_some()
+        || no_steal
         || chaos_seed.is_some()
         || fault_rate.is_some()
     {
@@ -332,6 +338,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             inflight: inflight.unwrap_or(32),
             requests: requests.unwrap_or(16),
             policy: policy.unwrap_or(RoutePolicy::RoundRobin),
+            no_steal,
             streaming,
             stream_chunk,
             threads: threads[0],
@@ -500,6 +507,7 @@ struct ConcurrentServeOpts {
     inflight: usize,
     requests: usize,
     policy: RoutePolicy,
+    no_steal: bool,
     streaming: bool,
     stream_chunk: Option<usize>,
     threads: usize,
@@ -528,7 +536,9 @@ fn serve_concurrent(
         // Injected worker panics are expected traffic here, not bugs.
         silence_injected_panics();
     }
-    let mut config = ServeConfig::new(opts.threads).with_queue_depth(opts.inflight);
+    let mut config = ServeConfig::new(opts.threads)
+        .with_queue_depth(opts.inflight)
+        .with_work_stealing(!opts.no_steal);
     if let Some(c) = opts.chunk_rows {
         config = config.with_chunk_rows(c);
     }
@@ -1132,6 +1142,28 @@ mod tests {
             "--streaming",
             "--stream-chunk",
             "3",
+        ]))
+        .is_ok());
+        // Adaptive routing and the stealing kill-switch parse and run.
+        assert!(run(&s(&[
+            "serve",
+            "--backend",
+            "softermax",
+            "--rows",
+            "6",
+            "--len",
+            "4",
+            "--threads",
+            "2",
+            "--clients",
+            "2",
+            "--shards",
+            "2",
+            "--requests",
+            "2",
+            "--policy",
+            "adaptive",
+            "--no-steal",
         ]))
         .is_ok());
     }

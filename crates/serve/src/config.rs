@@ -58,6 +58,19 @@ pub struct ServeConfig {
     pub respawn_cap: usize,
     /// Circuit-breaker tuning (see [`BreakerConfig`]).
     pub breaker: BreakerConfig,
+    /// Weighted fair dequeue: how many consecutive
+    /// [`Priority::Interactive`](crate::Priority) jobs may start while
+    /// [`Priority::Batch`](crate::Priority) work waits before the next
+    /// batch job is served. Batch traffic is therefore guaranteed at
+    /// least one start in every `interactive_weight + 1` under
+    /// contention; interactive traffic always goes first otherwise.
+    pub interactive_weight: usize,
+    /// Whether the shards of a [`ShardedRouter`](crate::ShardedRouter)
+    /// built from this config may steal whole pending jobs from each
+    /// other's queues when their own intake runs dry. Has no effect on
+    /// a standalone [`BatchEngine`](crate::BatchEngine) (there is no
+    /// sibling to steal from).
+    pub work_stealing: bool,
 }
 
 /// Default admission bound of a [`ServeConfig`]: how many batches may be
@@ -69,6 +82,10 @@ pub const DEFAULT_ADMISSION_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Default worker respawn budget per engine.
 pub const DEFAULT_RESPAWN_CAP: usize = 64;
+
+/// Default weighted-fair-dequeue share: up to 4 interactive starts per
+/// waiting batch start (batch gets ≥ 1 in 5 under contention).
+pub const DEFAULT_INTERACTIVE_WEIGHT: usize = 4;
 
 impl ServeConfig {
     /// Engine geometry for `threads` workers, with the chunk shape of the
@@ -91,6 +108,8 @@ impl ServeConfig {
             admission_timeout: DEFAULT_ADMISSION_TIMEOUT,
             respawn_cap: DEFAULT_RESPAWN_CAP,
             breaker: BreakerConfig::default(),
+            interactive_weight: DEFAULT_INTERACTIVE_WEIGHT,
+            work_stealing: true,
         }
     }
 
@@ -129,6 +148,21 @@ impl ServeConfig {
         self
     }
 
+    /// Overrides the weighted-fair-dequeue interactive share.
+    #[must_use]
+    pub fn with_interactive_weight(mut self, interactive_weight: usize) -> Self {
+        self.interactive_weight = interactive_weight;
+        self
+    }
+
+    /// Enables or disables inter-shard work stealing for routers built
+    /// from this config.
+    #[must_use]
+    pub fn with_work_stealing(mut self, work_stealing: bool) -> Self {
+        self.work_stealing = work_stealing;
+        self
+    }
+
     /// Checks the configuration is usable.
     ///
     /// # Errors
@@ -149,6 +183,11 @@ impl ServeConfig {
         if self.queue_depth == 0 {
             return Err(SoftmaxError::InvalidConfig(
                 "serve queue must admit at least one batch".to_string(),
+            ));
+        }
+        if self.interactive_weight == 0 {
+            return Err(SoftmaxError::InvalidConfig(
+                "interactive weight must allow at least one interactive start".to_string(),
             ));
         }
         self.breaker.validate()
@@ -176,6 +215,23 @@ mod tests {
         assert!(ServeConfig::new(1).with_chunk_rows(1).validate().is_ok());
         assert!(ServeConfig::new(1).with_queue_depth(0).validate().is_err());
         assert!(ServeConfig::new(1).with_queue_depth(1).validate().is_ok());
+    }
+
+    #[test]
+    fn scheduling_knobs_default_and_validate() {
+        let cfg = ServeConfig::new(2);
+        assert_eq!(cfg.interactive_weight, DEFAULT_INTERACTIVE_WEIGHT);
+        assert!(cfg.work_stealing);
+        assert!(ServeConfig::new(1)
+            .with_interactive_weight(0)
+            .validate()
+            .is_err());
+        let tuned = ServeConfig::new(1)
+            .with_interactive_weight(2)
+            .with_work_stealing(false);
+        assert!(tuned.validate().is_ok());
+        assert_eq!(tuned.interactive_weight, 2);
+        assert!(!tuned.work_stealing);
     }
 
     #[test]

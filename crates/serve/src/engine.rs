@@ -5,8 +5,8 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::ops::Range;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError, Weak};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -16,7 +16,7 @@ use softermax::{Result, SoftmaxError};
 use crate::config::ServeConfig;
 use crate::health::{Breaker, BreakerState};
 use crate::stats::{EngineStats, KernelServeStats};
-use crate::submit::Ticket;
+use crate::submit::{Priority, Ticket};
 
 /// A contiguous range of matrix rows: the unit of scheduling.
 type Chunk = Range<usize>;
@@ -146,6 +146,16 @@ impl BatchEngine {
         self.shared.load_rows.load(Ordering::Relaxed)
     }
 
+    /// Elements (rows x row length) admitted and not yet completed — the
+    /// cost-weighted load signal the adaptive routing policy scores on.
+    /// Row count alone misprices mixed traffic: a few very long rows can
+    /// hold a worker far longer than many short ones, and a policy that
+    /// routes on rows walks straight into the busy shard.
+    #[must_use]
+    pub fn load_cost(&self) -> u64 {
+        self.shared.load_cost.load(Ordering::Relaxed)
+    }
+
     /// Batches currently admitted and not yet completed.
     #[must_use]
     pub fn inflight(&self) -> usize {
@@ -198,6 +208,70 @@ impl BatchEngine {
     #[must_use]
     pub fn live_workers(&self) -> usize {
         lock(&self.shared.intake).live_workers
+    }
+
+    /// Workers currently parked waiting for work. A shard whose every
+    /// worker is busy pings its siblings' *idle* workers on enqueue —
+    /// this is the signal's read side, exposed so harnesses and tests
+    /// can stage scheduling scenarios deterministically.
+    #[must_use]
+    pub fn idle_workers(&self) -> usize {
+        self.shared.idle_workers.load(Ordering::Relaxed)
+    }
+
+    /// Whole jobs this engine pulled from sibling shards' queues.
+    #[must_use]
+    pub fn jobs_stolen(&self) -> u64 {
+        self.shared.jobs_stolen.load(Ordering::Relaxed)
+    }
+
+    /// Whole jobs sibling shards pulled out of this engine's queue.
+    #[must_use]
+    pub fn jobs_donated(&self) -> u64 {
+        self.shared.jobs_donated.load(Ordering::Relaxed)
+    }
+
+    /// Jobs admitted but not yet started by any worker — the advisory
+    /// queue-depth signal work stealing picks its victim by.
+    #[must_use]
+    pub fn queued_jobs(&self) -> usize {
+        self.shared.backlog.load(Ordering::Relaxed)
+    }
+
+    /// p99 end-to-end latency over the engine's recent completion
+    /// window, merged across kernels (0 with no history yet) — the
+    /// congestion signal behind
+    /// [`RoutePolicy::Adaptive`](crate::RoutePolicy).
+    #[must_use]
+    pub fn recent_p99_ns(&self) -> u64 {
+        let mut all: Vec<u64> = {
+            let stats = lock(&self.shared.stats);
+            stats.values().flat_map(|s| s.latency.samples()).collect()
+        };
+        if all.is_empty() {
+            return 0;
+        }
+        all.sort_unstable();
+        // Nearest-rank p99, matching `LatencyWindow::percentile`.
+        let rank = (all.len() * 99).div_ceil(100).max(1);
+        all[rank - 1]
+    }
+
+    /// Wires a set of sibling engines (the shards of one router) into
+    /// each other's steal sets: each shard learns weak references to
+    /// every other, so an idle worker can pull whole pending jobs from
+    /// the most-backlogged sibling. Weak links keep shard teardown
+    /// independent — a dropped sibling simply stops being a victim.
+    pub(crate) fn link_shards(shards: &[BatchEngine]) {
+        for (i, shard) in shards.iter().enumerate() {
+            let peers: Vec<Weak<Shared>> = shards
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, peer)| Arc::downgrade(&peer.shared))
+                .collect();
+            let _ = shard.shared.peers.set(peers);
+        }
     }
 
     /// Row-wise softmax of a flattened row-major matrix, into a fresh
@@ -324,10 +398,12 @@ impl BatchEngine {
             stream_chunk,
             started,
         ));
-        match self
-            .shared
-            .reserve_blocking(n_rows, started + self.config.admission_timeout, None)
-        {
+        match self.shared.reserve_blocking(
+            n_rows,
+            (n_rows * row_len) as u64,
+            started + self.config.admission_timeout,
+            None,
+        ) {
             Reserve::Reserved => {}
             Reserve::TimedOut => return Err(SoftmaxError::QueueFull),
             Reserve::Shutdown => return Err(SoftmaxError::EngineShutdown),
@@ -346,6 +422,7 @@ impl BatchEngine {
     /// selects the behaviour at a full queue: fail fast handing the
     /// input buffer back as [`EnqueueError::Full`] (so the router can
     /// retry elsewhere), or block for a slot until a wait deadline.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn enqueue_owned(
         &self,
         kernel: &Arc<dyn SoftmaxKernel>,
@@ -353,6 +430,7 @@ impl BatchEngine {
         row_len: usize,
         stream_chunk: Option<usize>,
         deadline: Option<Instant>,
+        priority: Priority,
         admit: AdmitMode,
     ) -> std::result::Result<Ticket, EnqueueError> {
         let started = Instant::now();
@@ -385,12 +463,17 @@ impl BatchEngine {
         }
         match admit {
             AdmitMode::NonBlocking => {
-                if !self.shared.try_reserve(n_rows) {
+                if !self.shared.try_reserve(n_rows, (n_rows * row_len) as u64) {
                     return Err(EnqueueError::Full(rows));
                 }
             }
             AdmitMode::BlockUntil(until) => {
-                match self.shared.reserve_blocking(n_rows, until, deadline) {
+                match self.shared.reserve_blocking(
+                    n_rows,
+                    (n_rows * row_len) as u64,
+                    until,
+                    deadline,
+                ) {
                     Reserve::Reserved => {}
                     Reserve::TimedOut => return Err(EnqueueError::Full(rows)),
                     Reserve::Expired => {
@@ -410,6 +493,7 @@ impl BatchEngine {
             self.config.chunk_rows,
             stream_chunk,
             deadline,
+            priority,
             started,
         ));
         self.shared.enqueue(Arc::clone(&job));
@@ -511,16 +595,50 @@ struct Shared {
     breaker: Mutex<Breaker>,
     /// Rows admitted and not yet completed (the router's load signal).
     load_rows: AtomicU64,
+    /// Elements admitted and not yet completed (the adaptive policy's
+    /// cost-weighted load signal); maintained wherever `load_rows` is.
+    load_cost: AtomicU64,
     /// Kernel panics observed by the worker supervisors.
     worker_panics: AtomicU64,
     /// Workers revived after a panic.
     worker_respawns: AtomicU64,
+    /// Sibling shards this engine may steal pending jobs from. Set once
+    /// by the router after construction (`Weak`: a dropped sibling is
+    /// simply skipped); never set for standalone engines.
+    peers: OnceLock<Vec<Weak<Shared>>>,
+    /// Bumped by a sibling's steal ping before it notifies `work`, so a
+    /// worker that raced past an empty sweep can detect the ping it
+    /// would otherwise have missed (checked against a pre-steal read
+    /// before parking).
+    steal_hint: AtomicU64,
+    /// Workers currently parked on `work` — peers only ping shards that
+    /// have someone idle to wake.
+    idle_workers: AtomicUsize,
+    /// Advisory count of queued not-yet-started jobs: the steal victim
+    /// signal. Updated under the intake lock, read lock-free by peers.
+    backlog: AtomicUsize,
+    /// Whole jobs this engine pulled from a sibling's queue.
+    jobs_stolen: AtomicU64,
+    /// Whole jobs a sibling pulled from this engine's queue.
+    jobs_donated: AtomicU64,
     threads: usize,
     depth: usize,
+    /// Weighted fair dequeue share (see `ServeConfig::interactive_weight`).
+    interactive_weight: usize,
 }
 
 struct Intake {
-    queue: VecDeque<Arc<Job>>,
+    /// One queue per scheduling class, interleaved by the weighted fair
+    /// dequeue in `take_front_chunk`.
+    interactive: VecDeque<Arc<Job>>,
+    batch: VecDeque<Arc<Job>>,
+    /// Consecutive interactive job starts while batch work waited;
+    /// reaching `interactive_weight` forces the next start to be batch.
+    since_batch: usize,
+    /// The class of the front job currently being engaged (first chunk
+    /// taken, more remaining): chunk takes stick to it until it drains,
+    /// so fairness is decided per *job*, not per chunk.
+    engaged: Option<Priority>,
     /// Batches admitted and not yet completed.
     inflight: usize,
     shutdown: bool,
@@ -532,11 +650,72 @@ struct Intake {
     respawn_budget: usize,
 }
 
+impl Intake {
+    fn queue(&self, class: Priority) -> &VecDeque<Arc<Job>> {
+        match class {
+            Priority::Interactive => &self.interactive,
+            Priority::Batch => &self.batch,
+        }
+    }
+
+    fn queue_mut(&mut self, class: Priority) -> &mut VecDeque<Arc<Job>> {
+        match class {
+            Priority::Interactive => &mut self.interactive,
+            Priority::Batch => &mut self.batch,
+        }
+    }
+
+    /// Which class the next fresh job start comes from. An engaged
+    /// front keeps its class until it drains; otherwise interactive is
+    /// preferred until `weight` consecutive interactive starts have
+    /// passed over waiting batch work.
+    fn front_class(&self, weight: usize) -> Option<Priority> {
+        if let Some(class) = self.engaged {
+            if !self.queue(class).is_empty() {
+                return Some(class);
+            }
+        }
+        match (self.interactive.is_empty(), self.batch.is_empty()) {
+            (true, true) => None,
+            (false, true) => Some(Priority::Interactive),
+            (true, false) => Some(Priority::Batch),
+            (false, false) => {
+                if self.since_batch >= weight {
+                    Some(Priority::Batch)
+                } else {
+                    Some(Priority::Interactive)
+                }
+            }
+        }
+    }
+
+    /// Accounts a fresh job start for the weighted fair dequeue. Passing
+    /// over waiting batch work costs an interactive credit; a batch
+    /// start (or an interactive start with no batch waiting) resets it.
+    fn note_start(&mut self, class: Priority) {
+        match class {
+            Priority::Interactive if !self.batch.is_empty() => self.since_batch += 1,
+            Priority::Interactive => {}
+            Priority::Batch => self.since_batch = 0,
+        }
+    }
+
+    fn drain_all(&mut self) -> Vec<Arc<Job>> {
+        self.interactive
+            .drain(..)
+            .chain(self.batch.drain(..))
+            .collect()
+    }
+}
+
 impl Shared {
     fn new(config: &ServeConfig) -> Self {
         Self {
             intake: Mutex::new(Intake {
-                queue: VecDeque::new(),
+                interactive: VecDeque::new(),
+                batch: VecDeque::new(),
+                since_batch: 0,
+                engaged: None,
                 inflight: 0,
                 shutdown: false,
                 failed: false,
@@ -548,17 +727,25 @@ impl Shared {
             stats: Mutex::new(BTreeMap::new()),
             breaker: Mutex::new(Breaker::new(config.breaker.clone())),
             load_rows: AtomicU64::new(0),
+            load_cost: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
             worker_respawns: AtomicU64::new(0),
+            peers: OnceLock::new(),
+            steal_hint: AtomicU64::new(0),
+            idle_workers: AtomicUsize::new(0),
+            backlog: AtomicUsize::new(0),
+            jobs_stolen: AtomicU64::new(0),
+            jobs_donated: AtomicU64::new(0),
             threads: config.threads,
             depth: config.queue_depth,
+            interactive_weight: config.interactive_weight,
         }
     }
 
     /// Claims an admission slot without blocking; `false` means the
     /// queue is full, the breaker rejected the request, or the engine is
     /// shut down / dead.
-    fn try_reserve(&self, n_rows: usize) -> bool {
+    fn try_reserve(&self, n_rows: usize, cost: u64) -> bool {
         let mut intake = lock(&self.intake);
         if intake.shutdown || intake.failed || intake.inflight >= self.depth {
             return false;
@@ -572,6 +759,7 @@ impl Shared {
         intake.inflight += 1;
         drop(intake);
         self.load_rows.fetch_add(n_rows as u64, Ordering::Relaxed);
+        self.load_cost.fetch_add(cost, Ordering::Relaxed);
         true
     }
 
@@ -582,6 +770,7 @@ impl Shared {
     fn reserve_blocking(
         &self,
         n_rows: usize,
+        cost: u64,
         until: Instant,
         request_deadline: Option<Instant>,
     ) -> Reserve {
@@ -594,6 +783,7 @@ impl Shared {
                 intake.inflight += 1;
                 drop(intake);
                 self.load_rows.fetch_add(n_rows as u64, Ordering::Relaxed);
+                self.load_cost.fetch_add(cost, Ordering::Relaxed);
                 return Reserve::Reserved;
             }
             let now = Instant::now();
@@ -619,24 +809,57 @@ impl Shared {
     /// workers than the job has chunks would only buy empty sweeps, so
     /// the wakeup fan-out is capped at `min(threads, n_chunks)` — idle
     /// workers beyond that stay asleep.
+    ///
+    /// When every local worker is busy, idle siblings (if any are
+    /// linked) are pinged so they can steal the queued job instead of
+    /// letting it wait behind this shard's backlog.
     fn enqueue(&self, job: Arc<Job>) {
         let wake = job.n_chunks.min(self.threads);
         {
             let mut intake = lock(&self.intake);
-            intake.queue.push_back(job);
+            let class = job.priority;
+            intake.queue_mut(class).push_back(job);
         }
+        self.backlog.fetch_add(1, Ordering::Relaxed);
         for _ in 0..wake {
             self.work.notify_one();
+        }
+        if self.idle_workers.load(Ordering::Relaxed) == 0 {
+            self.ping_peers();
+        }
+    }
+
+    /// Wakes one idle worker on every linked sibling that has one: the
+    /// queued work here may be stolen by them. The hint counter is
+    /// bumped *before* taking the peer's intake lock, so a peer worker
+    /// that swept empty concurrently either sees the new hint before
+    /// parking or is already parked when the notify lands — a ping is
+    /// never lost.
+    fn ping_peers(&self) {
+        let Some(peers) = self.peers.get() else {
+            return;
+        };
+        for peer in peers {
+            let Some(peer) = peer.upgrade() else {
+                continue;
+            };
+            if peer.idle_workers.load(Ordering::Relaxed) == 0 {
+                continue;
+            }
+            peer.steal_hint.fetch_add(1, Ordering::Release);
+            drop(lock(&peer.intake));
+            peer.work.notify_one();
         }
     }
 
     /// Returns a completed job's admission slot and load contribution.
-    fn release(&self, n_rows: usize) {
+    fn release(&self, n_rows: usize, cost: u64) {
         {
             let mut intake = lock(&self.intake);
             intake.inflight -= 1;
         }
         self.load_rows.fetch_sub(n_rows as u64, Ordering::Relaxed);
+        self.load_cost.fetch_sub(cost, Ordering::Relaxed);
         self.slot.notify_all();
     }
 
@@ -644,7 +867,8 @@ impl Shared {
         let orphans: Vec<Arc<Job>> = {
             let mut intake = lock(&self.intake);
             intake.shutdown = true;
-            intake.queue.drain(..).collect()
+            self.backlog.store(0, Ordering::Relaxed);
+            intake.drain_all()
         };
         self.work.notify_all();
         self.slot.notify_all();
@@ -686,7 +910,8 @@ impl Shared {
                 Vec::new()
             } else {
                 intake.failed = true;
-                intake.queue.drain(..).collect()
+                self.backlog.store(0, Ordering::Relaxed);
+                intake.drain_all()
             }
         };
         // Blocked submitters must observe `failed` and error out.
@@ -781,6 +1006,9 @@ pub(crate) struct Job {
     /// Serve-by time: chunks dequeued after this instant are dropped and
     /// the job resolves as [`SoftmaxError::DeadlineExceeded`].
     deadline: Option<Instant>,
+    /// Scheduling class: which intake queue the job waits in, on its
+    /// home shard and on any shard that steals it.
+    priority: Priority,
     state: Mutex<JobState>,
     done: Condvar,
     /// Raised on error so untaken chunks are abandoned without compute.
@@ -832,6 +1060,12 @@ fn chunk_list(n_rows: usize, chunk_rows: usize) -> VecDeque<Chunk> {
 }
 
 impl Job {
+    /// The job's admitted load cost in elements — what `load_cost`
+    /// accounting moves on admission, completion, and steal transfer.
+    fn cost(&self) -> u64 {
+        (self.n_rows * self.row_len) as u64
+    }
+
     /// A job over caller-borrowed buffers; the dispatcher must block
     /// until completion before the borrows end.
     fn borrowed(
@@ -853,6 +1087,7 @@ impl Job {
             chunk_list(n_rows, chunk_rows),
             stream_chunk,
             None,
+            Priority::Interactive,
             started,
             None,
         )
@@ -860,6 +1095,7 @@ impl Job {
 
     /// A job owning its buffers: the submission path, where many jobs
     /// from many callers are safely in flight at once.
+    #[allow(clippy::too_many_arguments)]
     fn owned(
         kernel: Arc<dyn SoftmaxKernel>,
         input: Vec<f64>,
@@ -867,6 +1103,7 @@ impl Job {
         chunk_rows: usize,
         stream_chunk: Option<usize>,
         deadline: Option<Instant>,
+        priority: Priority,
         started: Instant,
     ) -> Self {
         let n_rows = input.len() / row_len;
@@ -884,6 +1121,7 @@ impl Job {
             chunk_list(n_rows, chunk_rows),
             stream_chunk,
             deadline,
+            priority,
             started,
             Some(OwnedBuffers {
                 _input: input,
@@ -903,6 +1141,7 @@ impl Job {
             VecDeque::new(),
             None,
             None,
+            Priority::Interactive,
             started,
             Some(OwnedBuffers {
                 _input: Vec::new(),
@@ -921,6 +1160,7 @@ impl Job {
         chunks: VecDeque<Chunk>,
         stream_chunk: Option<usize>,
         deadline: Option<Instant>,
+        priority: Priority,
         started: Instant,
         owned: Option<OwnedBuffers>,
     ) -> Self {
@@ -935,6 +1175,7 @@ impl Job {
             chunks: Mutex::new(chunks),
             stream_chunk,
             deadline,
+            priority,
             state: Mutex::new(JobState {
                 remaining: n_chunks,
                 complete: n_chunks == 0,
@@ -1109,7 +1350,7 @@ fn finish_chunk(shared: &Shared, job: &Job) {
         job.busy_ns.load(Ordering::Relaxed),
         elapsed_ns(job.started),
     );
-    shared.release(job.n_rows);
+    shared.release(job.n_rows, job.cost());
     {
         let mut state = lock(&job.state);
         state.complete = true;
@@ -1117,31 +1358,219 @@ fn finish_chunk(shared: &Shared, job: &Job) {
     job.done.notify_all();
 }
 
-/// Pops the next available chunk off the intake: the front job's next
-/// chunk, skipping (and retiring) jobs whose chunk lists have drained.
-fn take_front_chunk(intake: &mut Intake) -> Option<(Arc<Job>, Chunk)> {
+/// Pops the next available chunk off the intake: the fair-dequeue front
+/// job's next chunk, skipping (and retiring) jobs whose chunk lists have
+/// drained.
+///
+/// The front job is chosen per *job*, not per chunk: once a fresh job's
+/// first chunk is taken the job is "engaged" and later takes stick to it
+/// until its chunk list drains, so the weighted fair interleave between
+/// the interactive and batch queues counts whole job starts.
+fn take_front_chunk(shared: &Shared, intake: &mut Intake) -> Option<(Arc<Job>, Chunk)> {
     loop {
-        let front = intake.queue.front()?;
-        let (chunk, drained) = {
+        let class = intake.front_class(shared.interactive_weight)?;
+        let front = intake.queue(class).front()?;
+        let (chunk, fresh, drained) = {
             let mut chunks = lock(&front.chunks);
+            let fresh = chunks.len() == front.n_chunks;
             let chunk = chunks.pop_front();
             let drained = chunks.is_empty();
-            (chunk, drained)
+            (chunk, fresh, drained)
         };
         match chunk {
             Some(c) => {
                 let job = Arc::clone(front);
+                if fresh {
+                    intake.note_start(class);
+                    shared.backlog.fetch_sub(1, Ordering::Relaxed);
+                }
                 if drained {
                     // Last chunk taken: later arrivals go straight to
                     // the next job (in-flight chunks finish on their own).
-                    intake.queue.pop_front();
+                    intake.queue_mut(class).pop_front();
+                    intake.engaged = None;
+                } else {
+                    intake.engaged = Some(class);
                 }
                 return Some((job, c));
             }
             None => {
-                intake.queue.pop_front();
+                // Fully claimed via `Job::take_chunk` while still front
+                // (so it was engaged and already debited from the
+                // backlog): just retire the queue entry.
+                intake.queue_mut(class).pop_front();
+                intake.engaged = None;
             }
         }
+    }
+}
+
+/// One inter-shard steal attempt by an idle worker: pick the
+/// most-backlogged sibling, pull one whole not-yet-started job out of
+/// its queue, adopt it locally, and return its first chunk.
+///
+/// Correctness constraints, in order:
+/// * a shard that is not admitting (shut down, dead, or breaker open)
+///   never steals — pulling work onto an unhealthy shard would undo the
+///   router's fail-over;
+/// * only *whole untouched* jobs move (no chunk taken yet, verified
+///   under the victim's intake lock), so a job executes entirely on one
+///   shard and bit-identity is untouched — the job is the atomic unit;
+/// * jobs whose deadline already passed (or that were cancelled) are
+///   left for the victim to account, keeping `expired_requests`
+///   attribution where admission happened;
+/// * the victim's admission slot and load are released at the moment of
+///   the steal and re-taken by the thief, so backpressure and the
+///   router's load signal stay honest on both sides.
+fn try_steal(shared: &Shared) -> Option<(Arc<Job>, Chunk)> {
+    let peers = shared.peers.get()?;
+    {
+        let intake = lock(&shared.intake);
+        if intake.shutdown || intake.failed {
+            return None;
+        }
+    }
+    if !lock(&shared.breaker).admitting(Instant::now()) {
+        return None;
+    }
+    // Victim choice by queue depth: deepest advisory backlog first. The
+    // signal is read lock-free and re-verified under the victim's lock.
+    let mut victims: Vec<(usize, Arc<Shared>)> = peers
+        .iter()
+        .filter_map(Weak::upgrade)
+        .map(|peer| (peer.backlog.load(Ordering::Relaxed), peer))
+        .filter(|(backlog, _)| *backlog > 0)
+        .collect();
+    victims.sort_by_key(|victim| std::cmp::Reverse(victim.0));
+    for (_, victim) in victims {
+        if let Some(job) = steal_from(&victim) {
+            // One job per attempt: adopt it (or resolve it if this
+            // shard died in the window) and stop — never drain a
+            // sibling wholesale in one sweep.
+            return adopt(shared, job);
+        }
+    }
+    None
+}
+
+/// Removes one stealable job from `victim`'s queues, releasing its
+/// admission slot and load there. Interactive work is preferred (it is
+/// the latency-sensitive class a dry sibling can rescue), scanned from
+/// the back so the victim's own next-to-run front stays put.
+fn steal_from(victim: &Shared) -> Option<Arc<Job>> {
+    let mut intake = lock(&victim.intake);
+    if intake.shutdown || intake.failed {
+        // The shutdown/failure paths own (or already drained) these
+        // queues; stealing would race their orphan resolution.
+        return None;
+    }
+    let now = Instant::now();
+    let mut found: Option<(Priority, usize)> = None;
+    'scan: for class in [Priority::Interactive, Priority::Batch] {
+        let queue = intake.queue(class);
+        for index in (0..queue.len()).rev() {
+            let job = &queue[index];
+            // Whole untouched jobs only — the atomic unit of stealing.
+            let untouched = job.n_chunks > 0 && lock(&job.chunks).len() == job.n_chunks;
+            let live =
+                !job.cancelled.load(Ordering::Relaxed) && job.deadline.is_none_or(|d| now < d);
+            if untouched && live {
+                found = Some((class, index));
+                break 'scan;
+            }
+        }
+    }
+    let (class, index) = found?;
+    let job = intake
+        .queue_mut(class)
+        .remove(index)
+        .expect("index verified in range under the lock");
+    intake.inflight -= 1;
+    drop(intake);
+    victim.backlog.fetch_sub(1, Ordering::Relaxed);
+    victim
+        .load_rows
+        .fetch_sub(job.n_rows as u64, Ordering::Relaxed);
+    victim.load_cost.fetch_sub(job.cost(), Ordering::Relaxed);
+    victim.jobs_donated.fetch_add(1, Ordering::Relaxed);
+    // An admission slot freed: blocked submitters may proceed.
+    victim.slot.notify_all();
+    Some(job)
+}
+
+/// Adopts a stolen job into this shard's intake — taking an admission
+/// slot and the load signal over from the victim — and claims its first
+/// chunk through the normal fair-dequeue path. Stolen jobs may push
+/// `inflight` past `queue_depth` momentarily: they were admitted at the
+/// victim, and dropping already-admitted work would be worse than a
+/// brief overshoot.
+fn adopt(shared: &Shared, job: Arc<Job>) -> Option<(Arc<Job>, Chunk)> {
+    {
+        let mut intake = lock(&shared.intake);
+        if intake.shutdown || intake.failed {
+            drop(intake);
+            // This shard died between the health check and adoption;
+            // the job belongs to no queue now. Resolve it like the
+            // shutdown path would, so its ticket never hangs.
+            resolve_orphan(shared, &job);
+            return None;
+        }
+        intake.inflight += 1;
+        let class = job.priority;
+        intake.queue_mut(class).push_back(Arc::clone(&job));
+    }
+    shared.backlog.fetch_add(1, Ordering::Relaxed);
+    shared
+        .load_rows
+        .fetch_add(job.n_rows as u64, Ordering::Relaxed);
+    shared.load_cost.fetch_add(job.cost(), Ordering::Relaxed);
+    shared.jobs_stolen.fetch_add(1, Ordering::Relaxed);
+    // The stealing worker serves the first chunk itself; wake siblings
+    // for the rest, with the same capped fan-out as `enqueue`.
+    let extra_wake = job
+        .n_chunks
+        .saturating_sub(1)
+        .min(shared.threads.saturating_sub(1));
+    for _ in 0..extra_wake {
+        shared.work.notify_one();
+    }
+    let mut intake = lock(&shared.intake);
+    take_front_chunk(shared, &mut intake)
+}
+
+/// Resolves a job that belongs to no queue (stolen, then the thief shut
+/// down before adopting): drain its chunks and complete it with
+/// [`SoftmaxError::EngineShutdown`], recording the failure — but never
+/// touching `release`, since no shard holds its admission slot anymore.
+fn resolve_orphan(shared: &Shared, job: &Arc<Job>) {
+    let drained = {
+        let mut chunks = lock(&job.chunks);
+        chunks.drain(..).count()
+    };
+    if drained == 0 {
+        return;
+    }
+    job.fail(SoftmaxError::EngineShutdown);
+    shared.record(
+        job.kernel.name(),
+        Outcome::Failed,
+        0,
+        0,
+        0,
+        elapsed_ns(job.started),
+    );
+    let complete = {
+        let mut state = lock(&job.state);
+        state.remaining -= drained;
+        if state.remaining == 0 {
+            state.complete = true;
+            true
+        } else {
+            false
+        }
+    };
+    if complete {
+        job.done.notify_all();
     }
 }
 
@@ -1180,16 +1609,39 @@ fn worker_loop(shared: &Shared, active: &ActiveChunk) {
         let (job, first) = {
             let mut intake = lock(&shared.intake);
             loop {
-                if let Some(found) = take_front_chunk(&mut intake) {
+                if let Some(found) = take_front_chunk(shared, &mut intake) {
                     break found;
                 }
                 if intake.shutdown {
                     return;
                 }
-                intake = shared
+                // Own queue is dry: before parking, try to steal a whole
+                // pending job from the most-backlogged sibling.
+                let hint = shared.steal_hint.load(Ordering::Acquire);
+                drop(intake);
+                if let Some(found) = try_steal(shared) {
+                    break found;
+                }
+                intake = lock(&shared.intake);
+                // Re-check everything that notifies `work` — a local
+                // enqueue, shutdown, or a sibling's steal ping. Any of
+                // their notifies that landed during the unlocked steal
+                // attempt found no parked waiter, so parking now without
+                // this re-check would sleep through it forever.
+                if intake.shutdown
+                    || !intake.interactive.is_empty()
+                    || !intake.batch.is_empty()
+                    || shared.steal_hint.load(Ordering::Acquire) != hint
+                {
+                    continue;
+                }
+                shared.idle_workers.fetch_add(1, Ordering::Relaxed);
+                let guard = shared
                     .work
                     .wait(intake)
                     .unwrap_or_else(PoisonError::into_inner);
+                shared.idle_workers.fetch_sub(1, Ordering::Relaxed);
+                intake = guard;
             }
         };
         // From here on a chunk is claimed: publish it before any kernel

@@ -25,8 +25,9 @@
 //!   on a full engine, or blocking backpressure via
 //!   [`BatchEngine::submit_wait`]);
 //! * [`ShardedRouter`] — spreads submissions across N independent
-//!   engine shards (round-robin or least-loaded), failing over on full
-//!   shards and merging per-shard stats;
+//!   engine shards (round-robin, least-loaded, or p99-adaptive —
+//!   [`RoutePolicy`]), failing over on full shards and merging
+//!   per-shard stats;
 //! * [`ServeConfig`] — engine geometry. The chunk size is *derived from
 //!   the hardware model*: one chunk is the block of rows a paper PE's
 //!   lane array processes in parallel ([`PeConfig::n_lanes`]), so
@@ -65,6 +66,27 @@
 //!   kernel in a [`FaultyKernel`] driven by a seeded [`FaultPlan`]
 //!   (panics, errors, latency spikes on a reproducible schedule), which
 //!   is how the above is tested and benchmarked without sleeps or luck.
+//!
+//! # Scheduling
+//!
+//! The router plus engines form a two-level scheduler, not just a load
+//! balancer:
+//!
+//! * **Priority classes** — [`Submission::with_priority`] tags a
+//!   request [`Priority::Interactive`] (the default) or
+//!   [`Priority::Batch`]; each engine's intake dequeues them weighted
+//!   fair ([`ServeConfig::interactive_weight`]): interactive work is
+//!   never starved behind a deep batch queue, and batch work is
+//!   guaranteed a bounded share under interactive pressure.
+//! * **Work stealing** — with [`ServeConfig::work_stealing`] on (the
+//!   default), a router's shard whose queue runs dry pulls whole
+//!   pending jobs from the most-backlogged sibling instead of idling.
+//!   Only untouched jobs move (bit-identity is untouched — a job still
+//!   executes entirely on one shard), expired jobs are left for the
+//!   victim to account, and an unhealthy shard never steals.
+//! * **Adaptive routing** — [`RoutePolicy::Adaptive`] scores shards by
+//!   live load × recent p99 latency (EWMA'd, cached), shedding traffic
+//!   from slow shards before their queues grow.
 //!
 //! # Determinism
 //!
@@ -111,11 +133,12 @@ mod submit;
 pub mod traffic;
 
 pub use config::{
-    ServeConfig, DEFAULT_ADMISSION_TIMEOUT, DEFAULT_QUEUE_DEPTH, DEFAULT_RESPAWN_CAP,
+    ServeConfig, DEFAULT_ADMISSION_TIMEOUT, DEFAULT_INTERACTIVE_WEIGHT, DEFAULT_QUEUE_DEPTH,
+    DEFAULT_RESPAWN_CAP,
 };
 pub use engine::BatchEngine;
 pub use fault::{FaultKind, FaultPlan, FaultyKernel};
 pub use health::{BreakerConfig, BreakerState};
 pub use router::{RoutePolicy, ShardedRouter};
 pub use stats::{EngineStats, KernelServeStats, LatencyWindow, LATENCY_WINDOW};
-pub use submit::{Admission, Submission, Ticket, TicketPoll};
+pub use submit::{Admission, Priority, Submission, Ticket, TicketPoll};

@@ -3,13 +3,31 @@
 //!
 //! Each shard owns its worker pool, admission queue, and stats, so
 //! shards never contend on a lock — the router is a thin, lock-free
-//! routing layer on top. Two policies:
+//! routing layer on top. Three policies:
 //!
 //! * [`RoutePolicy::RoundRobin`] — rotate through the shards; uniform
 //!   and cheap, best when requests are similarly sized;
 //! * [`RoutePolicy::LeastLoaded`] — route to the shard with the fewest
 //!   admitted-but-unfinished rows ([`BatchEngine::load_rows`]), best
-//!   when request sizes are skewed.
+//!   when request sizes are skewed;
+//! * [`RoutePolicy::Adaptive`] — score each shard by live
+//!   element-weighted cost ([`BatchEngine::load_cost`], rows × row
+//!   length, so long-row jobs count for what they hold) *times* its
+//!   recent p99 latency ([`BatchEngine::recent_p99_ns`], EWMA'd and
+//!   refreshed on a short interval so route decisions do not lock every
+//!   shard's stats per submit), so a shard that is slow — congested,
+//!   degraded, or serving bigger requests — sheds traffic even when its
+//!   instantaneous row count looks ordinary.
+//!
+//! Routing is one half of the scheduler; **work stealing** is the
+//! other. When [`ServeConfig::work_stealing`] is on (the default) and
+//! the router has more than one shard, the shards are linked as
+//! siblings at construction: a shard whose own queue runs dry pulls
+//! whole pending jobs from the most-backlogged sibling instead of
+//! idling, correcting routing mistakes after the fact. See
+//! [`BatchEngine::jobs_stolen`] / [`BatchEngine::jobs_donated`] for the
+//! per-shard counters and the engine docs for the invariants (whole
+//! untouched jobs only, deadlines and breaker state honored).
 //!
 //! On a full shard, a non-blocking submission *fails over*: the router
 //! retries every other shard (reusing the owned buffer, no copy) before
@@ -26,7 +44,7 @@
 //! waits, so one stuck shard never absorbs the whole wait budget.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use softermax::kernel::SoftmaxKernel;
@@ -42,6 +60,15 @@ const RETRY_BACKOFF_FLOOR: Duration = Duration::from_micros(100);
 /// Cap on one bounded wait of the blocking retry loop.
 const RETRY_BACKOFF_CEIL: Duration = Duration::from_millis(5);
 
+/// How long an [`RoutePolicy::Adaptive`] latency snapshot stays fresh.
+/// Within this window, route decisions reuse the cached EWMA scores and
+/// never touch a shard's stats lock.
+const ADAPTIVE_REFRESH: Duration = Duration::from_millis(2);
+/// EWMA smoothing for the adaptive p99 signal: weight of the newest
+/// snapshot. Low enough to ride out one-off stragglers, high enough to
+/// notice a shard going bad within a few refresh intervals.
+const ADAPTIVE_ALPHA: f64 = 0.3;
+
 /// How a [`ShardedRouter`] picks the shard for the next submission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RoutePolicy {
@@ -49,6 +76,38 @@ pub enum RoutePolicy {
     RoundRobin,
     /// Route to the shard with the fewest in-flight rows.
     LeastLoaded,
+    /// Route to the shard with the best *congestion score*: in-flight
+    /// rows weighted by the shard's recent p99 latency (EWMA'd, cached
+    /// for [`ADAPTIVE_REFRESH`]). With no latency history yet this
+    /// degenerates to [`RoutePolicy::LeastLoaded`].
+    Adaptive,
+}
+
+/// Cached state behind [`RoutePolicy::Adaptive`]: one EWMA'd p99 per
+/// shard, refreshed at most every [`ADAPTIVE_REFRESH`] so the per-shard
+/// stats locks are touched on a schedule, not per submit.
+#[derive(Debug)]
+struct AdaptiveState {
+    /// EWMA'd p99 latency per shard, in nanoseconds.
+    p99_ewma: Vec<f64>,
+    /// When the EWMA was last fed; `None` until the first refresh.
+    refreshed_at: Option<Instant>,
+}
+
+/// One shard's routing-relevant state, read once per sweep — the
+/// single snapshot both the policy pick and the fail-over order work
+/// from, instead of re-locking stats per candidate.
+#[derive(Debug, Clone, Copy)]
+struct ShardSnapshot {
+    load: u64,
+    admitting: bool,
+    /// Policy-specific routing score (lower is better): raw row load
+    /// for [`RoutePolicy::LeastLoaded`], element-weighted cost × EWMA-p99
+    /// for [`RoutePolicy::Adaptive`]. The adaptive score uses cost
+    /// (rows × row length) rather than rows because mixed traffic
+    /// misprices otherwise: a few very long rows hold a worker far
+    /// longer than many short ones.
+    score: f64,
 }
 
 /// N independent [`BatchEngine`] shards behind one submission front-end.
@@ -57,6 +116,7 @@ pub struct ShardedRouter {
     shards: Vec<BatchEngine>,
     policy: RoutePolicy,
     cursor: AtomicUsize,
+    adaptive: Mutex<AdaptiveState>,
 }
 
 impl ShardedRouter {
@@ -73,10 +133,18 @@ impl ShardedRouter {
                 "router needs at least one shard".to_string(),
             ));
         }
+        let work_stealing = config.work_stealing;
         let shards = (0..n_shards)
             .map(|_| BatchEngine::new(config.clone()))
             .collect::<Result<Vec<_>>>()?;
+        if work_stealing && n_shards > 1 {
+            BatchEngine::link_shards(&shards);
+        }
         Ok(Self {
+            adaptive: Mutex::new(AdaptiveState {
+                p99_ewma: vec![0.0; n_shards],
+                refreshed_at: None,
+            }),
             shards,
             policy,
             cursor: AtomicUsize::new(0),
@@ -112,47 +180,74 @@ impl ShardedRouter {
         self.shards.iter().map(BatchEngine::load_rows).sum()
     }
 
-    fn pick(&self) -> usize {
+    /// Jobs the shards stole from each other over the router's lifetime
+    /// (equal to the sum of [`BatchEngine::jobs_donated`]; 0 with
+    /// [`ServeConfig::work_stealing`] off or a single shard).
+    #[must_use]
+    pub fn jobs_stolen(&self) -> u64 {
+        self.shards.iter().map(BatchEngine::jobs_stolen).sum()
+    }
+
+    /// One snapshot of every shard's routing state — load, health, and
+    /// (for [`RoutePolicy::Adaptive`]) the cached congestion score. The
+    /// whole sweep that follows reads this snapshot instead of
+    /// re-locking per-shard state per candidate.
+    fn snapshot(&self) -> Vec<ShardSnapshot> {
+        let p99 = match self.policy {
+            RoutePolicy::Adaptive => Some(self.adaptive_p99s()),
+            RoutePolicy::RoundRobin | RoutePolicy::LeastLoaded => None,
+        };
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(index, shard)| {
+                let load = shard.load_rows();
+                let score = match &p99 {
+                    // +1 on both factors: a shard with no history (or no
+                    // load) still orders by the other signal, so the
+                    // score degenerates to least-loaded gracefully.
+                    Some(p99) => (shard.load_cost() as f64 + 1.0) * (p99[index] + 1.0),
+                    None => load as f64,
+                };
+                ShardSnapshot {
+                    load,
+                    admitting: shard.is_admitting(),
+                    score,
+                }
+            })
+            .collect()
+    }
+
+    /// The per-shard EWMA'd p99s, refreshing them from the engines'
+    /// stats at most once per [`ADAPTIVE_REFRESH`].
+    fn adaptive_p99s(&self) -> Vec<f64> {
+        let mut state = self.adaptive.lock().unwrap_or_else(PoisonError::into_inner);
+        let now = Instant::now();
+        let stale = state
+            .refreshed_at
+            .is_none_or(|at| now.duration_since(at) >= ADAPTIVE_REFRESH);
+        if stale {
+            let first = state.refreshed_at.is_none();
+            for (index, shard) in self.shards.iter().enumerate() {
+                let fresh = shard.recent_p99_ns() as f64;
+                state.p99_ewma[index] = if first {
+                    fresh
+                } else {
+                    ADAPTIVE_ALPHA * fresh + (1.0 - ADAPTIVE_ALPHA) * state.p99_ewma[index]
+                };
+            }
+            state.refreshed_at = Some(now);
+        }
+        state.p99_ewma.clone()
+    }
+
+    /// The policy's pick for the sweep's first candidate, read off the
+    /// snapshot.
+    fn pick(&self, snapshot: &[ShardSnapshot]) -> usize {
         match self.policy {
-            RoutePolicy::RoundRobin => {
-                self.cursor.fetch_add(1, Ordering::Relaxed) % self.shards.len()
-            }
-            RoutePolicy::LeastLoaded => self.least_loaded(),
+            RoutePolicy::RoundRobin => self.cursor.fetch_add(1, Ordering::Relaxed) % snapshot.len(),
+            RoutePolicy::LeastLoaded | RoutePolicy::Adaptive => best_scoring(snapshot),
         }
-    }
-
-    /// Index of the least-loaded shard that is currently **admitting**
-    /// (alive, breaker not open) — unhealthy shards are skipped. When no
-    /// shard is admitting, falls back to the globally least-loaded one,
-    /// so callers still get routed (and the resulting error is honest).
-    fn least_loaded(&self) -> usize {
-        let mut best = None;
-        let mut best_load = u64::MAX;
-        for (index, shard) in self.shards.iter().enumerate() {
-            if !shard.is_admitting() {
-                continue;
-            }
-            let load = shard.load_rows();
-            if load < best_load {
-                best = Some(index);
-                best_load = load;
-            }
-        }
-        best.unwrap_or_else(|| self.least_loaded_any())
-    }
-
-    /// Index of the shard with the fewest in-flight rows, health aside.
-    fn least_loaded_any(&self) -> usize {
-        let mut best = 0;
-        let mut best_load = u64::MAX;
-        for (index, shard) in self.shards.iter().enumerate() {
-            let load = shard.load_rows();
-            if load < best_load {
-                best = index;
-                best_load = load;
-            }
-        }
-        best
     }
 
     /// Routes an owned score matrix to a shard and returns its
@@ -216,6 +311,7 @@ impl ShardedRouter {
             row_len,
             stream_chunk,
             deadline,
+            priority,
         } = submission;
         let deadline = deadline.map(|d| started + d);
         let wait_until = match admission {
@@ -225,11 +321,15 @@ impl ShardedRouter {
         };
         let mut backoff = RETRY_BACKOFF_FLOOR;
         loop {
+            // One snapshot per retry iteration feeds both the policy
+            // pick and the blocking fallback below — the sweep never
+            // re-reads a shard's load or health mid-iteration.
+            let snapshot = self.snapshot();
             // One non-blocking sweep over every shard from the policy's
             // pick. Full, dead, and breaker-open shards reject instantly
             // (handing the buffer back), so the sweep fails over around
             // trouble at no extra cost.
-            let first = self.pick();
+            let first = self.pick(&snapshot);
             let n = self.shards.len();
             for offset in 0..n {
                 let shard = &self.shards[(first + offset) % n];
@@ -239,6 +339,7 @@ impl ShardedRouter {
                     row_len,
                     stream_chunk,
                     deadline,
+                    priority,
                     AdmitMode::NonBlocking,
                 ) {
                     Ok(ticket) => return Ok(ticket),
@@ -261,13 +362,14 @@ impl ShardedRouter {
             // re-sweep keeps one stuck shard from absorbing the whole
             // wait budget.
             let slice = (now + backoff).min(until);
-            let shard = &self.shards[self.least_loaded()];
+            let shard = &self.shards[least_loaded_of(&snapshot)];
             match shard.enqueue_owned(
                 &kernel,
                 rows,
                 row_len,
                 stream_chunk,
                 deadline,
+                priority,
                 AdmitMode::BlockUntil(slice),
             ) {
                 Ok(ticket) => return Ok(ticket),
@@ -298,6 +400,40 @@ impl ShardedRouter {
             shard.reset_stats();
         }
     }
+}
+
+/// Index of the best-scoring shard that is currently **admitting**
+/// (alive, breaker not open) — unhealthy shards are skipped. When no
+/// shard is admitting, falls back to the globally least-loaded one, so
+/// callers still get routed (and the resulting error is honest).
+fn best_scoring(snapshot: &[ShardSnapshot]) -> usize {
+    snapshot
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.admitting)
+        .min_by(|(_, a), (_, b)| a.score.total_cmp(&b.score))
+        .map_or_else(|| least_loaded_any(snapshot), |(index, _)| index)
+}
+
+/// Index of the least-loaded admitting shard (raw load, score aside) —
+/// where a blocked submitter is most likely to get a slot first. Same
+/// fallback as [`best_scoring`] when nothing admits.
+fn least_loaded_of(snapshot: &[ShardSnapshot]) -> usize {
+    snapshot
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.admitting)
+        .min_by_key(|(_, s)| s.load)
+        .map_or_else(|| least_loaded_any(snapshot), |(index, _)| index)
+}
+
+/// Index of the shard with the fewest in-flight rows, health aside.
+fn least_loaded_any(snapshot: &[ShardSnapshot]) -> usize {
+    snapshot
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, s)| s.load)
+        .map_or(0, |(index, _)| index)
 }
 
 #[cfg(test)]
@@ -345,8 +481,10 @@ mod tests {
         let kernel = KernelRegistry::global()
             .get("reference-2")
             .expect("built-in");
-        let router =
-            ShardedRouter::new(2, tiny_config(), RoutePolicy::RoundRobin).expect("valid config");
+        // Stealing off: this test checks *placement*, and an idle shard
+        // pulling queued jobs over would blur exactly that.
+        let config = tiny_config().with_work_stealing(false);
+        let router = ShardedRouter::new(2, config, RoutePolicy::RoundRobin).expect("valid config");
         let rows: Vec<f64> = (0..4 * 3).map(|i| f64::from(i % 5) - 2.0).collect();
         let tickets: Vec<Ticket> = (0..6)
             .map(|_| {

@@ -65,12 +65,32 @@ impl LatencyWindow {
             .collect()
     }
 
+    /// The window's samples, oldest first, in nanoseconds.
+    pub fn samples(&self) -> impl Iterator<Item = u64> + '_ {
+        self.samples.iter().copied()
+    }
+
     /// Folds another window's samples into this one. When the combined
     /// sample count exceeds the bounded capacity, each side keeps a
     /// share proportional to its size (newest samples first), so merging
     /// two full windows — e.g. a router folding its shards together —
     /// represents both instead of letting the second evict the first
     /// wholesale.
+    ///
+    /// # Subsampling bias
+    ///
+    /// The kept share is a **recency-biased subsample**, not a uniform
+    /// one: each side contributes its *newest* `len × (LATENCY_WINDOW /
+    /// total)` samples and drops its oldest wholesale. That is the same
+    /// bias `push` applies to a single overflowing window — percentiles
+    /// describe *recent* traffic — but it means a merged window's
+    /// quantiles can drift from the exact quantiles of the full union
+    /// when either side's latency trended over time: the merged p99
+    /// reflects where each shard's latency *ended up*, not its whole
+    /// history. For stationary traffic the drift is bounded by the
+    /// truncation itself (each side's kept share is within one sample
+    /// of proportional), which `tests` pins with an explicit
+    /// quantile-drift bound.
     pub fn absorb(&mut self, other: &LatencyWindow) {
         let total = self.samples.len() + other.samples.len();
         if total <= LATENCY_WINDOW {
@@ -454,6 +474,66 @@ mod tests {
         // not the second source evicting the first wholesale.
         assert_eq!(a.percentile_ns(0.25), 1_000);
         assert_eq!(a.percentile_ns(0.75), 2_000);
+    }
+
+    #[test]
+    fn absorb_overflow_keeps_proportional_recent_shares_with_bounded_drift() {
+        // An asymmetric merge that must overflow: 3/4 of a window of
+        // low latencies vs a full window of high latencies. The merge
+        // keeps each side's newest samples in proportional shares, so
+        // the merged quantiles must stay close to the exact quantiles
+        // of the full union.
+        let mut a = LatencyWindow::default();
+        let mut b = LatencyWindow::default();
+        let a_len = LATENCY_WINDOW * 3 / 4;
+        for i in 0..a_len {
+            a.push(1_000 + i as u64); // oldest 1_000, newest ~1_003_071
+        }
+        for i in 0..LATENCY_WINDOW {
+            b.push(2_000_000 + i as u64);
+        }
+        let union: Vec<u64> = a.samples().chain(b.samples()).collect();
+        a.absorb(&b);
+        assert_eq!(a.len(), LATENCY_WINDOW);
+        // Proportional shares, within one sample of exact: a holds
+        // 3/7 of the merged window, b holds 4/7.
+        let total = a_len + LATENCY_WINDOW;
+        let want_b = LATENCY_WINDOW * LATENCY_WINDOW / total;
+        let got_b = a.samples().filter(|&ns| ns >= 2_000_000).count();
+        assert_eq!(got_b, want_b);
+        assert_eq!(a.len() - got_b, LATENCY_WINDOW - want_b);
+        // Each side kept its NEWEST samples (recency bias, documented):
+        // the oldest low-latency samples fell out.
+        let min_kept = a.samples().min().expect("non-empty");
+        assert!(min_kept > 1_000, "oldest samples must be dropped first");
+        // Quantile drift bound: against the exact union quantiles, the
+        // merged window's nearest-rank quantiles may shift by at most
+        // the truncation share (each side within one sample of
+        // proportional) — for this stationary two-level distribution
+        // that means every checked quantile lands on the same level
+        // (low vs high) as the exact union, and the p50/p99 drift is
+        // bounded at 1% of rank.
+        let exact = |q: f64| -> u64 {
+            let mut sorted = union.clone();
+            sorted.sort_unstable();
+            let rank = (sorted.len() as f64 * q).ceil() as usize;
+            sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+        };
+        for q in [0.25, 0.50, 0.75, 0.99] {
+            let got = a.percentile_ns(q);
+            let want = exact(q);
+            let same_level = (got < 2_000_000) == (want < 2_000_000);
+            assert!(same_level, "q={q}: merged {got} vs exact {want}");
+        }
+        // The low/high boundary sits at the a-share: 3/7 ≈ 0.4286. The
+        // merged boundary may drift by at most 1/LATENCY_WINDOW of
+        // rank from the exact boundary.
+        let boundary_exact = a_len as f64 / total as f64;
+        let low_share = (a.len() - got_b) as f64 / a.len() as f64;
+        assert!(
+            (low_share - boundary_exact).abs() <= 1.0 / LATENCY_WINDOW as f64,
+            "kept share {low_share} drifted past one sample from {boundary_exact}"
+        );
     }
 
     #[test]

@@ -27,6 +27,29 @@ use softermax::Result;
 
 use crate::engine::{AdmitMode, BatchEngine, EnqueueError, Job};
 
+/// The scheduling class of a [`Submission`]: which intake queue it
+/// joins and how the weighted fair dequeue treats it.
+///
+/// The engine keeps one queue per class and interleaves them
+/// deterministically: interactive jobs are preferred, but after
+/// [`ServeConfig::interactive_weight`](crate::ServeConfig) consecutive
+/// interactive dequeues with batch work waiting, the next batch job
+/// runs — so interactive traffic is never starved behind batch, and
+/// batch traffic is never fully starved behind interactive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Latency-sensitive traffic: preferred at dequeue. The default —
+    /// a single-class workload behaves exactly like the old FIFO
+    /// intake.
+    #[default]
+    Interactive,
+    /// Throughput traffic: dequeued behind interactive work, but
+    /// guaranteed at least one turn per
+    /// [`ServeConfig::interactive_weight`](crate::ServeConfig) + 1
+    /// dequeues under contention.
+    Batch,
+}
+
 /// Admission behaviour when the engine's bounded queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Admission {
@@ -53,6 +76,7 @@ pub struct Submission {
     pub(crate) row_len: usize,
     pub(crate) stream_chunk: Option<usize>,
     pub(crate) deadline: Option<Duration>,
+    pub(crate) priority: Priority,
 }
 
 impl Submission {
@@ -66,6 +90,7 @@ impl Submission {
             row_len,
             stream_chunk: None,
             deadline: None,
+            priority: Priority::default(),
         }
     }
 
@@ -93,10 +118,24 @@ impl Submission {
         self
     }
 
+    /// Assigns the request's scheduling class (see [`Priority`]). The
+    /// default is [`Priority::Interactive`].
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
     /// The request's kernel.
     #[must_use]
     pub fn kernel(&self) -> &Arc<dyn SoftmaxKernel> {
         &self.kernel
+    }
+
+    /// The request's scheduling class.
+    #[must_use]
+    pub fn priority(&self) -> Priority {
+        self.priority
     }
 
     /// Number of rows in the request's matrix.
@@ -247,6 +286,7 @@ impl BatchEngine {
             row_len,
             stream_chunk,
             deadline,
+            priority,
         } = submission;
         let admit = match admission {
             Admission::Fail => AdmitMode::NonBlocking,
@@ -259,6 +299,7 @@ impl BatchEngine {
             row_len,
             stream_chunk,
             deadline.map(|d| now + d),
+            priority,
             admit,
         )
         .map_err(EnqueueError::into_error)

@@ -16,7 +16,8 @@ use softermax::kernel::{
 };
 use softermax::{reference, KernelRegistry, Result, SoftmaxError};
 use softermax_serve::{
-    Admission, BatchEngine, RoutePolicy, ServeConfig, ShardedRouter, Submission, Ticket, TicketPoll,
+    Admission, BatchEngine, Priority, RoutePolicy, ServeConfig, ShardedRouter, Submission, Ticket,
+    TicketPoll,
 };
 
 /// Element pool each sampled request slices its matrix from.
@@ -30,6 +31,7 @@ struct PlannedRequest {
     matrix: Vec<f64>,
     row_len: usize,
     stream_chunk: Option<usize>,
+    priority: Priority,
     want: Vec<f64>,
 }
 
@@ -53,10 +55,11 @@ fn bits(values: &[f64]) -> Vec<u64> {
 
 proptest! {
     /// M client threads, each submitting several requests (mixed kernels,
-    /// mixed batch/streamed paths) and holding them all in flight before
-    /// collecting, through a sharded router at 1–2 shards under both
-    /// routing policies: every output is bit-identical to sequential
-    /// execution of the same matrix.
+    /// mixed batch/streamed paths, mixed interactive/batch priorities)
+    /// and holding them all in flight before collecting, through a
+    /// sharded router at 1–2 shards under all three routing policies
+    /// with work stealing both on and off: every output is bit-identical
+    /// to sequential execution of the same matrix.
     #[test]
     fn concurrent_submitters_are_bit_identical_to_sequential(
         values in vec(-15.0f64..15.0, POOL..POOL + 1),
@@ -65,11 +68,16 @@ proptest! {
         n_rows in 1usize..6,
         row_len in 1usize..8,
         n_shards in 1usize..3,
-        policy_index in 0usize..2,
+        policy_index in 0usize..3,
+        stealing in any::<bool>(),
         stream_chunk in 1usize..10,
         salt in 0usize..1000,
     ) {
-        let policy = [RoutePolicy::RoundRobin, RoutePolicy::LeastLoaded][policy_index];
+        let policy = [
+            RoutePolicy::RoundRobin,
+            RoutePolicy::LeastLoaded,
+            RoutePolicy::Adaptive,
+        ][policy_index];
         let kernels = KernelRegistry::with_builtins();
         let elems = n_rows * row_len;
 
@@ -87,7 +95,12 @@ proptest! {
                         let want = sequential(kernel.as_ref(), &matrix, row_len);
                         let stream_chunk =
                             ((client + request) % 2 == 0).then_some(stream_chunk);
-                        PlannedRequest { kernel, matrix, row_len, stream_chunk, want }
+                        let priority = if (salt + client + request) % 3 == 0 {
+                            Priority::Batch
+                        } else {
+                            Priority::Interactive
+                        };
+                        PlannedRequest { kernel, matrix, row_len, stream_chunk, priority, want }
                     })
                     .collect()
             })
@@ -96,7 +109,10 @@ proptest! {
         // A deliberately tight engine: 2-row chunks so several chunks
         // interleave, and a queue depth the clients can collectively
         // exceed, so blocking admission is exercised too.
-        let config = ServeConfig::new(2).with_chunk_rows(2).with_queue_depth(4);
+        let config = ServeConfig::new(2)
+            .with_chunk_rows(2)
+            .with_queue_depth(4)
+            .with_work_stealing(stealing);
         let router = ShardedRouter::new(n_shards, config, policy).expect("valid config");
 
         let outputs: Vec<Vec<Vec<f64>>> = std::thread::scope(|scope| {
@@ -118,6 +134,7 @@ proptest! {
                                 if let Some(chunk) = plan.stream_chunk {
                                     submission = submission.streamed(chunk);
                                 }
+                                submission = submission.with_priority(plan.priority);
                                 router
                                     .submit_request(submission, Admission::Block)
                                     .expect("blocking submission")
@@ -141,13 +158,15 @@ proptest! {
                 prop_assert_eq!(
                     bits(out),
                     bits(&plan.want),
-                    "client {} request {} ({}, {:?}) diverged at {} shard(s), {:?}",
+                    "client {} request {} ({}, {:?}, {:?}) diverged at {} shard(s), {:?}, stealing {}",
                     client,
                     request,
                     plan.kernel.name(),
                     plan.stream_chunk,
+                    plan.priority,
                     n_shards,
-                    policy
+                    policy,
+                    stealing
                 );
             }
         }

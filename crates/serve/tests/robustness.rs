@@ -422,7 +422,12 @@ fn router_routes_around_an_open_shard() {
         latency_budget: None,
     };
     for policy in [RoutePolicy::RoundRobin, RoutePolicy::LeastLoaded] {
-        let config = single_row_config().with_breaker(breaker.clone());
+        // Stealing off: the poisoned batches queued directly on shard 0
+        // must trip *shard 0's* breaker, not migrate to the idle shard 1
+        // and trip its breaker instead — this test is about placement.
+        let config = single_row_config()
+            .with_breaker(breaker.clone())
+            .with_work_stealing(false);
         let router = ShardedRouter::new(2, config, policy).expect("valid config");
 
         // Trip shard 0 directly (bypassing the router's spreading).
@@ -461,5 +466,65 @@ fn router_routes_around_an_open_shard() {
             0,
             "the open shard must see no clean traffic ({policy:?})"
         );
+    }
+}
+
+/// The fail-over sweep with nowhere left to go: when *every* shard's
+/// breaker is open, a non-blocking submission must be refused honestly
+/// (no hang, no silent queueing on a tripped shard) — and once the
+/// cooldown passes, the router recovers through the half-open probes.
+#[test]
+fn router_refuses_honestly_when_every_breaker_is_open() {
+    let kernel: Arc<dyn SoftmaxKernel> = Arc::new(NanRejectingKernel::new());
+    let breaker = BreakerConfig {
+        window: 4,
+        min_samples: 2,
+        failure_pct: 50,
+        cooldown: Duration::from_millis(30),
+        latency_budget: None,
+    };
+    for policy in [
+        RoutePolicy::RoundRobin,
+        RoutePolicy::LeastLoaded,
+        RoutePolicy::Adaptive,
+    ] {
+        // Stealing off so the poisoned batches trip exactly the shard
+        // they were queued on.
+        let config = single_row_config()
+            .with_breaker(breaker.clone())
+            .with_work_stealing(false);
+        let router = ShardedRouter::new(2, config, policy).expect("valid config");
+
+        // Trip every shard.
+        for shard in 0..router.n_shards() {
+            for _ in 0..2 {
+                router
+                    .shard(shard)
+                    .submit(&kernel, vec![f64::NAN, 1.0], 2)
+                    .expect("admitted while closed")
+                    .wait()
+                    .expect_err("NaN row fails");
+            }
+            assert_eq!(router.shard(shard).breaker_state(), BreakerState::Open);
+        }
+
+        // A whole-router sweep finds no admitting shard: the submission
+        // is refused with QueueFull (the fail-over error), immediately.
+        let err = router
+            .submit(&kernel, vec![1.0, 2.0], 2)
+            .expect_err("all breakers open must refuse");
+        assert!(
+            matches!(err, SoftmaxError::QueueFull),
+            "{err:?} ({policy:?})"
+        );
+
+        // Past the cooldown both breakers are half-open: clean probes
+        // get through and the router serves again.
+        std::thread::sleep(Duration::from_millis(60));
+        router
+            .submit(&kernel, vec![1.0, 2.0], 2)
+            .expect("half-open probe admits")
+            .wait()
+            .expect("clean probe succeeds");
     }
 }

@@ -1,0 +1,491 @@
+//! Scheduler regressions: the weighted fair dequeue's two starvation
+//! guarantees (interactive never waits behind a deep batch queue, batch
+//! is never fully starved by interactive pressure) and the work-stealing
+//! invariants (stolen jobs complete bit-identical, expired jobs are left
+//! for the victim to account, an unhealthy shard never steals).
+//!
+//! Every ordering here is made deterministic the same way as in
+//! `robustness.rs`: a gate kernel parks a worker on purpose so queues
+//! can be staged exactly, and only then is the gate released.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use softermax::kernel::{
+    BaseKind, BufferedSession, KernelDescriptor, NormalizationKind, SoftmaxKernel, StreamSession,
+    StreamingClass,
+};
+use softermax::{reference, KernelRegistry, Result, SoftmaxError};
+use softermax_serve::{
+    Admission, BreakerConfig, Priority, RoutePolicy, ServeConfig, ShardedRouter, Submission,
+};
+
+fn descriptor(name: &str) -> KernelDescriptor {
+    KernelDescriptor {
+        name: name.to_string(),
+        aliases: vec![],
+        base: BaseKind::E,
+        normalization: NormalizationKind::ThreePass,
+        bitwidth: None,
+        input_passes: 2,
+        streaming: StreamingClass::Buffered,
+        mass_tol_abs: 1e-9,
+        mass_tol_per_element: 0.0,
+    }
+}
+
+/// Parks forward calls until released (see `robustness.rs`).
+#[derive(Debug, Default)]
+struct Gate {
+    inner: Mutex<GateInner>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct GateInner {
+    entered: usize,
+    released: bool,
+}
+
+impl Gate {
+    fn wait_entered(&self, n: usize) {
+        let mut g = self.inner.lock().expect("gate");
+        while g.entered < n {
+            g = self.cv.wait(g).expect("gate");
+        }
+    }
+
+    fn release(&self) {
+        let mut g = self.inner.lock().expect("gate");
+        g.released = true;
+        self.cv.notify_all();
+    }
+
+    fn pass(&self) {
+        let mut g = self.inner.lock().expect("gate");
+        g.entered += 1;
+        self.cv.notify_all();
+        while !g.released {
+            g = self.cv.wait(g).expect("gate");
+        }
+    }
+}
+
+/// Records the tag (`row[0]`) of every row it serves, in service order.
+/// Rows with a negative tag additionally park on the gate — that is the
+/// job used to pin a worker while the test stages the queues.
+#[derive(Debug)]
+struct OrderKernel {
+    descriptor: KernelDescriptor,
+    gate: Arc<Gate>,
+    order: Arc<Mutex<Vec<i64>>>,
+}
+
+impl OrderKernel {
+    fn new(gate: &Arc<Gate>, order: &Arc<Mutex<Vec<i64>>>) -> Self {
+        Self {
+            descriptor: descriptor("order"),
+            gate: Arc::clone(gate),
+            order: Arc::clone(order),
+        }
+    }
+}
+
+impl SoftmaxKernel for OrderKernel {
+    fn descriptor(&self) -> &KernelDescriptor {
+        &self.descriptor
+    }
+
+    fn forward(&self, row: &[f64]) -> Result<Vec<f64>> {
+        #[allow(clippy::cast_possible_truncation)]
+        let tag = row[0] as i64;
+        if tag < 0 {
+            self.gate.pass();
+        }
+        self.order.lock().expect("order").push(tag);
+        reference::softmax(row)
+    }
+
+    fn stream_session(&self) -> Box<dyn StreamSession + '_> {
+        Box::new(BufferedSession::new(self))
+    }
+}
+
+/// Errors on NaN scores — drives breaker trips from the input alone.
+#[derive(Debug)]
+struct NanRejectingKernel {
+    descriptor: KernelDescriptor,
+}
+
+impl NanRejectingKernel {
+    fn new() -> Self {
+        Self {
+            descriptor: descriptor("nan-rejecting"),
+        }
+    }
+}
+
+impl SoftmaxKernel for NanRejectingKernel {
+    fn descriptor(&self) -> &KernelDescriptor {
+        &self.descriptor
+    }
+
+    fn forward(&self, row: &[f64]) -> Result<Vec<f64>> {
+        if row.iter().any(|v| v.is_nan()) {
+            return Err(SoftmaxError::InvalidConfig("NaN score".to_string()));
+        }
+        reference::softmax(row)
+    }
+
+    fn stream_session(&self) -> Box<dyn StreamSession + '_> {
+        Box::new(BufferedSession::new(self))
+    }
+}
+
+/// One worker, one chunk per job: a parked worker lets the test stage
+/// both class queues exactly, and the recorded service order then *is*
+/// the dequeue order.
+fn staged_engine(weight: usize) -> (ShardedRouter, Arc<Gate>, Arc<Mutex<Vec<i64>>>) {
+    let config = ServeConfig::new(1)
+        .with_chunk_rows(1)
+        .with_queue_depth(64)
+        .with_interactive_weight(weight);
+    let router = ShardedRouter::new(1, config, RoutePolicy::RoundRobin).expect("valid config");
+    let gate = Arc::new(Gate::default());
+    let order = Arc::new(Mutex::new(Vec::new()));
+    (router, gate, order)
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn tagged(tag: i64) -> Vec<f64> {
+    vec![tag as f64, 0.5]
+}
+
+/// Blocks until every worker of the given shard is parked. While a
+/// shard has an idle worker, its enqueues send no steal ping — so
+/// staging a pin job on an all-idle router deterministically lands it
+/// on its home shard instead of racing a sibling's startup steal
+/// attempt.
+fn wait_idle(router: &ShardedRouter, shard: usize) {
+    let engine = router.shard(shard);
+    for _ in 0..10_000 {
+        if engine.idle_workers() == engine.config().threads {
+            return;
+        }
+        std::thread::sleep(Duration::from_micros(100));
+    }
+    panic!("shard {shard} workers never went idle");
+}
+
+#[test]
+fn interactive_is_never_starved_behind_a_deep_batch_queue() {
+    let (router, gate, order) = staged_engine(4);
+    let kernel: Arc<dyn SoftmaxKernel> = Arc::new(OrderKernel::new(&gate, &order));
+
+    // Pin the lone worker, then queue 6 batch jobs *before* 3
+    // interactive ones.
+    let pin = router
+        .submit_request(Submission::new(&kernel, tagged(-1), 2), Admission::Fail)
+        .expect("pin job");
+    gate.wait_entered(1);
+    let batch: Vec<_> = (100..106)
+        .map(|tag| {
+            router
+                .submit_request(
+                    Submission::new(&kernel, tagged(tag), 2).with_priority(Priority::Batch),
+                    Admission::Fail,
+                )
+                .expect("batch job")
+        })
+        .collect();
+    let interactive: Vec<_> = (1..=3)
+        .map(|tag| {
+            router
+                .submit_request(Submission::new(&kernel, tagged(tag), 2), Admission::Fail)
+                .expect("interactive job")
+        })
+        .collect();
+
+    gate.release();
+    for ticket in interactive.into_iter().chain(batch) {
+        ticket.wait().expect("served");
+    }
+    pin.wait().expect("pin served");
+
+    // All three interactive jobs started before any batch job, despite
+    // being queued last: 3 consecutive interactive starts are within the
+    // weight-4 budget.
+    let order = order.lock().expect("order");
+    let first_batch = order
+        .iter()
+        .position(|t| *t >= 100)
+        .expect("batch jobs ran");
+    let last_interactive = order
+        .iter()
+        .rposition(|t| (1..100).contains(t))
+        .expect("interactive jobs ran");
+    assert!(
+        last_interactive < first_batch,
+        "interactive starved behind batch: service order {order:?}"
+    );
+}
+
+#[test]
+fn batch_is_never_fully_starved_by_interactive_pressure() {
+    let weight = 2;
+    let (router, gate, order) = staged_engine(weight);
+    let kernel: Arc<dyn SoftmaxKernel> = Arc::new(OrderKernel::new(&gate, &order));
+
+    // Pin the worker; queue 2 batch jobs first, then 8 interactive jobs
+    // that would monopolize a plain priority queue.
+    let pin = router
+        .submit_request(Submission::new(&kernel, tagged(-1), 2), Admission::Fail)
+        .expect("pin job");
+    gate.wait_entered(1);
+    let batch: Vec<_> = (100..102)
+        .map(|tag| {
+            router
+                .submit_request(
+                    Submission::new(&kernel, tagged(tag), 2).with_priority(Priority::Batch),
+                    Admission::Fail,
+                )
+                .expect("batch job")
+        })
+        .collect();
+    let interactive: Vec<_> = (1..=8)
+        .map(|tag| {
+            router
+                .submit_request(Submission::new(&kernel, tagged(tag), 2), Admission::Fail)
+                .expect("interactive job")
+        })
+        .collect();
+
+    gate.release();
+    for ticket in interactive.into_iter().chain(batch) {
+        ticket.wait().expect("served");
+    }
+    pin.wait().expect("pin served");
+
+    // While batch work waits, at most `weight` interactive starts may
+    // pass over it before a batch start — so each batch job lands within
+    // its window instead of after all 8 interactive jobs.
+    let order = order.lock().expect("order");
+    let served: Vec<i64> = order.iter().copied().filter(|t| *t >= 0).collect();
+    let mut interactive_run = 0usize;
+    let mut batch_seen = 0usize;
+    for tag in &served {
+        if *tag >= 100 {
+            batch_seen += 1;
+            interactive_run = 0;
+        } else if batch_seen < 2 {
+            // Batch work still waiting: this interactive start consumed
+            // one of the `weight` credits.
+            interactive_run += 1;
+            assert!(
+                interactive_run <= weight,
+                "batch starved past its weight-{weight} share: service order {served:?}"
+            );
+        }
+    }
+    assert_eq!(batch_seen, 2, "both batch jobs must be served: {served:?}");
+}
+
+#[test]
+fn stolen_jobs_complete_bit_identical_on_the_thief_shard() {
+    let kernel = KernelRegistry::global().get("softermax").expect("built-in");
+    let gate = Arc::new(Gate::default());
+    let order = Arc::new(Mutex::new(Vec::new()));
+    let gated: Arc<dyn SoftmaxKernel> = Arc::new(OrderKernel::new(&gate, &order));
+    let config = ServeConfig::new(1).with_chunk_rows(4).with_queue_depth(16);
+    let router = ShardedRouter::new(2, config, RoutePolicy::RoundRobin).expect("valid config");
+
+    // Pin shard 0's lone worker, then backlog shard 0 directly: every
+    // enqueue pings the idle sibling, which steals the whole job.
+    wait_idle(&router, 0);
+    wait_idle(&router, 1);
+    let pin = router
+        .shard(0)
+        .submit(&gated, tagged(-1), 2)
+        .expect("pin job");
+    gate.wait_entered(1);
+    let matrices: Vec<Vec<f64>> = (0..4)
+        .map(|m| {
+            (0..3 * 4)
+                .map(|i| f64::from((i * (m + 1)) % 7) - 3.0)
+                .collect()
+        })
+        .collect();
+    let tickets: Vec<_> = matrices
+        .iter()
+        .map(|rows| {
+            router
+                .shard(0)
+                .submit(&kernel, rows.clone(), 4)
+                .expect("queued on the pinned shard")
+        })
+        .collect();
+
+    // With shard 0 parked, only shard 1 can complete these — via steals.
+    for (rows, ticket) in matrices.iter().zip(tickets) {
+        let got = ticket.wait().expect("stolen job served");
+        for (row, got_row) in rows.chunks_exact(4).zip(got.chunks_exact(4)) {
+            let want = kernel.forward(row).expect("row");
+            let got_bits: Vec<u64> = got_row.iter().map(|v| v.to_bits()).collect();
+            let want_bits: Vec<u64> = want.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got_bits, want_bits, "stolen job diverged from sequential");
+        }
+    }
+    assert_eq!(router.shard(1).jobs_stolen(), 4, "thief count");
+    assert_eq!(router.shard(0).jobs_donated(), 4, "victim count");
+    assert_eq!(router.jobs_stolen(), 4);
+
+    gate.release();
+    pin.wait().expect("pin served");
+}
+
+#[test]
+fn expired_jobs_are_left_for_the_victim_to_account() {
+    let kernel = KernelRegistry::global().get("softermax").expect("built-in");
+    // One gate per shard, so each pin can be lifted independently.
+    let gates: Vec<Arc<Gate>> = (0..2).map(|_| Arc::new(Gate::default())).collect();
+    let order = Arc::new(Mutex::new(Vec::new()));
+    let config = ServeConfig::new(1).with_chunk_rows(4).with_queue_depth(16);
+    let router = ShardedRouter::new(2, config, RoutePolicy::RoundRobin).expect("valid config");
+
+    // Pin *both* shards' workers so nothing moves while staging. The
+    // idle wait before each pin keeps the pin on its home shard (an
+    // idle submitter sends no steal ping).
+    let pins: Vec<_> = gates
+        .iter()
+        .enumerate()
+        .map(|(shard, gate)| {
+            // The about-to-be-pinned shard must be idle (an idle
+            // submitter sends no ping); an already-pinned sibling is
+            // busy inside the gate and cannot steal either.
+            wait_idle(&router, 1);
+            if shard == 0 {
+                wait_idle(&router, 0);
+            }
+            let gated: Arc<dyn SoftmaxKernel> = Arc::new(OrderKernel::new(gate, &order));
+            let pin = router
+                .shard(shard)
+                .submit(&gated, tagged(-1), 2)
+                .expect("pin job");
+            gate.wait_entered(1);
+            pin
+        })
+        .collect();
+
+    // A doomed job (1 ms deadline) and then a fresh job, both queued on
+    // shard 0; sleep the doomed job's deadline away.
+    let doomed = router
+        .shard(0)
+        .submit_request(
+            Submission::new(&kernel, vec![0.5; 4], 4).with_deadline(Duration::from_millis(1)),
+            Admission::Fail,
+        )
+        .expect("doomed job admitted");
+    let fresh_rows = vec![1.0, 2.0, 3.0, 4.0];
+    let fresh = router
+        .shard(0)
+        .submit(&kernel, fresh_rows.clone(), 4)
+        .expect("fresh job admitted");
+    std::thread::sleep(Duration::from_millis(10));
+
+    // Unpin shard 1 only: its worker steals the *fresh* job — never the
+    // expired one, which must stay with the victim for accounting.
+    gates[1].release();
+    let got = fresh.wait().expect("fresh job served via steal");
+    assert_eq!(got, kernel.forward(&fresh_rows).expect("row"));
+    assert_eq!(router.shard(1).jobs_stolen(), 1);
+    assert_eq!(router.shard(0).jobs_donated(), 1);
+
+    // Unpin shard 0: it dequeues the doomed job and expires it on its
+    // own books.
+    gates[0].release();
+    let err = doomed.wait().expect_err("deadline must have passed");
+    assert!(matches!(err, SoftmaxError::DeadlineExceeded), "{err:?}");
+    for pin in pins {
+        pin.wait().expect("pin served");
+    }
+    let expired_on_victim = router
+        .shard(0)
+        .stats()
+        .kernel(kernel.name())
+        .map_or(0, |s| s.expired_requests);
+    assert_eq!(expired_on_victim, 1, "expiry accounted on the victim");
+    let expired_on_thief = router
+        .shard(1)
+        .stats()
+        .kernel(kernel.name())
+        .map_or(0, |s| s.expired_requests);
+    assert_eq!(expired_on_thief, 0, "thief never adopted the expired job");
+}
+
+#[test]
+fn a_shard_with_an_open_breaker_does_not_steal() {
+    let nan: Arc<dyn SoftmaxKernel> = Arc::new(NanRejectingKernel::new());
+    let kernel = KernelRegistry::global().get("softermax").expect("built-in");
+    let gate = Arc::new(Gate::default());
+    let order = Arc::new(Mutex::new(Vec::new()));
+    let gated: Arc<dyn SoftmaxKernel> = Arc::new(OrderKernel::new(&gate, &order));
+    let breaker = BreakerConfig {
+        window: 4,
+        min_samples: 2,
+        failure_pct: 50,
+        // Stays open for the whole test.
+        cooldown: Duration::from_secs(30),
+        latency_budget: None,
+    };
+    let config = ServeConfig::new(1)
+        .with_chunk_rows(4)
+        .with_queue_depth(16)
+        .with_breaker(breaker);
+    let router = ShardedRouter::new(2, config, RoutePolicy::RoundRobin).expect("valid config");
+
+    // Pin shard 0 first so its idle worker cannot steal the poisoned
+    // jobs meant to trip shard 1's breaker (after the idle wait, the
+    // pin deterministically lands on shard 0 itself).
+    wait_idle(&router, 0);
+    wait_idle(&router, 1);
+    let pin = router
+        .shard(0)
+        .submit(&gated, tagged(-1), 2)
+        .expect("pin job");
+    gate.wait_entered(1);
+    for _ in 0..2 {
+        router
+            .shard(1)
+            .submit(&nan, vec![f64::NAN, 1.0], 2)
+            .expect("admitted while closed")
+            .wait()
+            .expect_err("NaN fails");
+    }
+    assert!(!router.shard(1).is_admitting(), "breaker must be open");
+
+    // Backlog the pinned shard 0. Each enqueue pings shard 1, whose
+    // worker wakes, finds its breaker open, and must refuse to steal.
+    let tickets: Vec<_> = (0..3)
+        .map(|_| {
+            router
+                .shard(0)
+                .submit(&kernel, vec![0.25; 4], 4)
+                .expect("queued on the pinned shard")
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(30));
+    assert_eq!(
+        router.jobs_stolen(),
+        0,
+        "an open-breaker shard must not pull work onto itself"
+    );
+    assert_eq!(router.shard(0).queued_jobs(), 3, "backlog stayed put");
+
+    // Released, shard 0 serves its own backlog.
+    gate.release();
+    for ticket in tickets {
+        ticket.wait().expect("served on the home shard");
+    }
+    pin.wait().expect("pin served");
+    assert_eq!(router.jobs_stolen(), 0);
+}
