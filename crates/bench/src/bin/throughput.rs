@@ -79,6 +79,23 @@
 //!   `--assert-priority` exits non-zero unless interactive p99 <
 //!   batch p99 — the CI sched-smoke gate. Written to `BENCH_PR8.json`.
 //!
+//! * **remote mode** (`--remote`) — the PR-9 network harness: loads a
+//!   `softermax-server` process over its wire protocol from this,
+//!   genuinely separate, process. With no `--endpoint` it spawns the
+//!   server binary itself (one process, TCP + Unix listeners) and
+//!   parses the `listening ...` lines; `--endpoint tcp:HOST:PORT` /
+//!   `--endpoint unix:PATH` (repeatable) drives an externally started
+//!   server instead — the CI net-smoke gate does that. Per transport it
+//!   runs a closed-loop latency phase (p50/p95/p99 *including* wire
+//!   time) and a pipelined mixed-traffic throughput phase
+//!   (batch/streamed/priority/deadline variants), bit-checks **every**
+//!   reply against sequential in-process ground truth (a mismatch
+//!   exits non-zero), and accounts wire bytes per frame. A local
+//!   in-process router runs the same workload for the local-vs-remote
+//!   rows/s comparison. `--shutdown-server` finishes by sending the
+//!   `Shutdown` frame and (for a spawned server) asserting a clean
+//!   drain and exit 0. Written to `BENCH_PR9.json`.
+//!
 //! Before anything is timed, each faster path's output is asserted
 //! **bit-identical** to the baseline path, so the CI smoke runs are real
 //! correctness gates even though timings are never asserted (they'd be
@@ -89,20 +106,23 @@
 //! flags) under a `"host"` key — see `softermax_bench::host_metadata`.
 //!
 //! ```text
-//! usage: throughput [--batch | --stream | --concurrent | --roofline | --chaos | --open-loop] [--threads N] [--smoke] [--out PATH]
+//! usage: throughput [--batch | --stream | --concurrent | --roofline | --chaos | --open-loop | --remote] [--threads N] [--smoke] [--out PATH]
 //!   --batch            compare per-row vs batched vs threaded serving paths
 //!   --stream           compare materialized vs tiled-streamed attention heads
 //!   --concurrent       sweep client count x shard count through the submission API
 //!   --roofline         scalar vs staged vs fused per kernel, against measured ceilings
 //!   --chaos            deterministic fault injection: availability, goodput, recovery
 //!   --open-loop        open-loop saturation sweep, skew speedup, priority latency
+//!   --remote           load a softermax-server process over the wire protocol
+//!   --endpoint         tcp:HOST:PORT or unix:PATH of a running server (repeatable; remote mode)
+//!   --shutdown-server  finish by draining the server with a Shutdown frame (remote mode)
 //!   --seed             chaos fault-plan / arrival-schedule seed (default 42)
 //!   --floor            minimum fault-window availability; exit 1 below it (chaos mode)
 //!   --min-speedup      minimum skew-leg goodput speedup; exit 1 below it (open-loop)
 //!   --assert-priority  exit 1 unless interactive p99 < batch p99 (open-loop)
 //!   --threads          worker threads for the threaded path (default 4)
 //!   --smoke            short measurement budgets (CI smoke test)
-//!   --out              output JSON path (BENCH_PR2/../PR8.json by mode)
+//!   --out              output JSON path (BENCH_PR2/../PR9.json by mode)
 //! ```
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -245,6 +265,9 @@ fn main() {
     let mut roofline_mode = false;
     let mut chaos_mode = false;
     let mut open_loop_mode = false;
+    let mut remote_mode = false;
+    let mut endpoints: Vec<String> = Vec::new();
+    let mut shutdown_server = false;
     let mut min_speedup: Option<f64> = None;
     let mut assert_priority = false;
     let mut smoke = false;
@@ -262,6 +285,14 @@ fn main() {
             "--roofline" => roofline_mode = true,
             "--chaos" => chaos_mode = true,
             "--open-loop" => open_loop_mode = true,
+            "--remote" => remote_mode = true,
+            "--endpoint" => {
+                endpoints.push(args.next().unwrap_or_else(|| {
+                    eprintln!("--endpoint needs a tcp:HOST:PORT or unix:PATH spec");
+                    std::process::exit(2);
+                }));
+            }
+            "--shutdown-server" => shutdown_server = true,
             "--min-speedup" => {
                 min_speedup = Some(
                     args.next()
@@ -314,7 +345,7 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown flag '{other}' (usage: throughput [--batch | --stream | --concurrent | --roofline | --chaos | --open-loop] [--threads N] [--seed S] [--floor F] [--min-speedup X] [--assert-priority] [--smoke] [--out PATH])"
+                    "unknown flag '{other}' (usage: throughput [--batch | --stream | --concurrent | --roofline | --chaos | --open-loop | --remote] [--endpoint SPEC] [--shutdown-server] [--threads N] [--seed S] [--floor F] [--min-speedup X] [--assert-priority] [--smoke] [--out PATH])"
                 );
                 std::process::exit(2);
             }
@@ -326,17 +357,29 @@ fn main() {
         + usize::from(roofline_mode)
         + usize::from(chaos_mode)
         + usize::from(open_loop_mode)
+        + usize::from(remote_mode)
         > 1
     {
         eprintln!(
-            "--batch, --stream, --concurrent, --roofline, --chaos and --open-loop are mutually exclusive"
+            "--batch, --stream, --concurrent, --roofline, --chaos, --open-loop and --remote are mutually exclusive"
         );
+        std::process::exit(2);
+    }
+    if (!endpoints.is_empty() || shutdown_server) && !remote_mode {
+        eprintln!("--endpoint/--shutdown-server only make sense with --remote");
         std::process::exit(2);
     }
     let warmup = Duration::from_millis(warmup_ms);
     let budget = Duration::from_millis(measure_ms);
 
-    if open_loop_mode {
+    if remote_mode {
+        remote_harness(
+            smoke,
+            &endpoints,
+            shutdown_server,
+            &out_path.unwrap_or_else(|| "BENCH_PR9.json".to_string()),
+        );
+    } else if open_loop_mode {
         open_loop_harness(
             smoke,
             chaos_seed,
@@ -2467,6 +2510,369 @@ fn serve_pool(
         outputs[index] = out;
     }
     outputs
+}
+
+/// Request geometry of remote mode: big enough that each frame carries
+/// real work, small enough that JSON framing stays a measurable (not
+/// dominant) fraction and smoke runs finish fast.
+const REMOTE_ROWS: usize = 16;
+const REMOTE_LEN: usize = 128;
+const REMOTE_ROWS_SMOKE: usize = 4;
+const REMOTE_LEN_SMOKE: usize = 32;
+
+/// Client-side pipelining window of the remote throughput phase (the
+/// server's own per-connection window defaults to 32; staying under it
+/// keeps backpressure at the client where the meter is).
+const REMOTE_WINDOW: usize = 16;
+
+/// The pipelined payloads cycle through variants so the bit-identity
+/// gate covers mixed traffic: plain batch, streamed, interactive with a
+/// roomy deadline, batch-priority streamed-with-deadline.
+fn remote_variant(
+    request: softermax_wire::SubmitRequest,
+    variant: usize,
+    row_len: usize,
+) -> softermax_wire::SubmitRequest {
+    match variant % 4 {
+        1 => request.streamed(2 * row_len).expect("chunk in range"),
+        2 => request
+            .with_deadline_ms(30_000)
+            .expect("budget in range")
+            .with_priority(softermax_wire::WirePriority::Interactive),
+        3 => request
+            .streamed(row_len)
+            .expect("chunk in range")
+            .with_deadline_ms(30_000)
+            .expect("budget in range")
+            .with_priority(softermax_wire::WirePriority::Batch),
+        _ => request,
+    }
+}
+
+/// Spawns a `softermax-server` child (TCP + Unix listeners) and parses
+/// its `listening ...` lines into endpoint specs. The binary is found
+/// via `SOFTERMAX_SERVER_BIN` or next to this harness binary in the
+/// cargo target directory.
+fn spawn_server() -> (std::process::Child, Vec<String>) {
+    let bin = std::env::var("SOFTERMAX_SERVER_BIN").unwrap_or_else(|_| {
+        let mut path = std::env::current_exe().expect("current exe");
+        path.set_file_name("softermax-server");
+        path.to_string_lossy().into_owned()
+    });
+    let socket = std::env::temp_dir().join(format!("softermax-bench-{}.sock", std::process::id()));
+    let mut child = std::process::Command::new(&bin)
+        .args([
+            "--tcp",
+            "127.0.0.1:0",
+            "--unix",
+            &socket.to_string_lossy(),
+            "--shards",
+            "2",
+            "--threads",
+            "2",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| {
+            eprintln!(
+                "cannot spawn server binary '{bin}': {e}\n\
+                 (build it with `cargo build -p softermax-server`, point \
+                 SOFTERMAX_SERVER_BIN at it, or pass --endpoint)"
+            );
+            std::process::exit(2);
+        });
+    let stdout = child.stdout.take().expect("child stdout piped");
+    let mut lines = std::io::BufRead::lines(std::io::BufReader::new(stdout));
+    let mut endpoints = Vec::new();
+    while endpoints.len() < 2 {
+        let line = lines
+            .next()
+            .expect("server exited before announcing its listeners")
+            .expect("read server stdout");
+        if let Some(spec) = line.strip_prefix("listening ") {
+            endpoints.push(spec.to_string());
+        }
+    }
+    // Let the drain message drain to nowhere; the child never writes
+    // enough afterwards to block on the dropped pipe.
+    drop(lines);
+    (child, endpoints)
+}
+
+/// The PR-9 network harness: drives a real `softermax-server` process
+/// over TCP and Unix sockets, bit-checking every reply against
+/// sequential in-process ground truth while metering latency (wire time
+/// included), throughput, and per-frame wire overhead.
+fn remote_harness(smoke: bool, endpoint_specs: &[String], shutdown_server: bool, out_path: &str) {
+    use softermax_client::{Client, ClientConfig, Endpoint};
+    use softermax_wire::SubmitRequest;
+
+    let (rows, row_len) = if smoke {
+        (REMOTE_ROWS_SMOKE, REMOTE_LEN_SMOKE)
+    } else {
+        (REMOTE_ROWS, REMOTE_LEN)
+    };
+    let closed_calls_per_kernel = if smoke { 4 } else { 24 };
+    let pipelined_requests = if smoke { 48 } else { 320 };
+
+    let (mut child, endpoints) = if endpoint_specs.is_empty() {
+        let (child, endpoints) = spawn_server();
+        (Some(child), endpoints)
+    } else {
+        (None, endpoint_specs.to_vec())
+    };
+    let source = if child.is_some() {
+        "spawned"
+    } else {
+        "external"
+    };
+    println!(
+        "remote harness: {source} server at {}",
+        endpoints.join(", ")
+    );
+
+    // Payloads and their sequential in-process ground truth, per kernel
+    // — the single source the bit-identity gate compares against. The
+    // sequential pass is also timed as the local scalar baseline.
+    let registry = registry();
+    let names = registry.names();
+    let scores: Vec<f64> = synthetic_matrix(rows, row_len, 6.5, 9);
+    let mut truth: std::collections::BTreeMap<String, Vec<f64>> = std::collections::BTreeMap::new();
+    let mut scratch = ScratchBuffers::default();
+    let seq_start = Instant::now();
+    for name in &names {
+        let kernel = registry.get(name).expect("registered kernel");
+        let mut out = vec![0.0; scores.len()];
+        for (row, out_row) in scores.chunks(row_len).zip(out.chunks_mut(row_len)) {
+            kernel
+                .forward_into(row, out_row, &mut scratch)
+                .expect("ground truth forward");
+        }
+        truth.insert(name.clone(), out);
+    }
+    let seq_s = seq_start.elapsed().as_secs_f64().max(1e-12);
+    let seq_rows_per_sec = (names.len() * rows) as f64 / seq_s;
+
+    // Local in-process baseline: the same mixed request stream through
+    // a router of the server's geometry, pipelined the same way — the
+    // honest "what did the network cost" comparison.
+    let local_rows_per_sec = {
+        let router = ShardedRouter::new(2, ServeConfig::new(2), RoutePolicy::Adaptive)
+            .expect("local router");
+        let start = Instant::now();
+        let mut tickets = std::collections::VecDeque::new();
+        for index in 0..pipelined_requests {
+            let name = &names[index % names.len()];
+            let kernel = registry.get(name).expect("registered kernel");
+            let mut submission = Submission::new(&kernel, scores.clone(), row_len);
+            match index % 4 {
+                1 => submission = submission.streamed(2 * row_len),
+                2 => {
+                    submission = submission
+                        .with_deadline(Duration::from_secs(30))
+                        .with_priority(Priority::Interactive);
+                }
+                3 => {
+                    submission = submission
+                        .streamed(row_len)
+                        .with_deadline(Duration::from_secs(30))
+                        .with_priority(Priority::Batch);
+                }
+                _ => {}
+            }
+            if tickets.len() >= REMOTE_WINDOW {
+                let (name, ticket): (String, softermax_serve::Ticket) =
+                    tickets.pop_front().expect("pending ticket");
+                let out = ticket.wait().expect("local request served");
+                assert_eq!(out, truth[&name], "local router must be bit-exact");
+            }
+            tickets.push_back((
+                name.clone(),
+                router
+                    .submit_request(submission, Admission::Block)
+                    .expect("local admission"),
+            ));
+        }
+        while let Some((name, ticket)) = tickets.pop_front() {
+            let out = ticket.wait().expect("local request served");
+            assert_eq!(out, truth[&name], "local router must be bit-exact");
+        }
+        (pipelined_requests * rows) as f64 / start.elapsed().as_secs_f64().max(1e-12)
+    };
+
+    let mut transports = Vec::new();
+    let mut mismatches_total: u64 = 0;
+    for spec in &endpoints {
+        let endpoint = Endpoint::parse(spec).unwrap_or_else(|e| {
+            eprintln!("bad --endpoint '{spec}': {e}");
+            std::process::exit(2);
+        });
+        let transport = match &endpoint {
+            Endpoint::Tcp(_) => "tcp",
+            Endpoint::Unix(_) => "unix",
+        };
+        let mut client = Client::connect(endpoint, ClientConfig::default()).unwrap_or_else(|e| {
+            eprintln!("cannot connect to {spec}: {e}");
+            std::process::exit(1);
+        });
+        let mut mismatches: u64 = 0;
+        let check = |name: &str, got: &[f64], mismatches: &mut u64| {
+            let want = &truth[name];
+            if got.len() != want.len()
+                || got
+                    .iter()
+                    .zip(want)
+                    .any(|(g, w)| g.to_bits() != w.to_bits())
+            {
+                *mismatches += 1;
+                eprintln!("BIT MISMATCH: kernel {name} over {spec}");
+            }
+        };
+
+        // Closed-loop latency phase: submit → wait, one at a time, so
+        // each sample spans encode + wire + serve + decode.
+        let mut samples_ns: Vec<f64> = Vec::new();
+        for name in &names {
+            for call in 0..closed_calls_per_kernel {
+                let request = remote_variant(
+                    SubmitRequest::build(0, name.clone(), &scores, row_len).expect("request"),
+                    call,
+                    row_len,
+                );
+                let start = Instant::now();
+                let result = client
+                    .call(request)
+                    .expect("remote call")
+                    .expect("remote result");
+                samples_ns.push(start.elapsed().as_nanos() as f64);
+                check(name, &result, &mut mismatches);
+            }
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        let closed_calls = samples_ns.len();
+
+        // Pipelined throughput phase, wire bytes metered across it.
+        let bytes_sent_0 = client.bytes_sent();
+        let bytes_received_0 = client.bytes_received();
+        let frames_sent_0 = client.frames_sent();
+        let start = Instant::now();
+        let mut sent: Vec<String> = Vec::with_capacity(pipelined_requests);
+        let mut answered = 0usize;
+        for index in 0..pipelined_requests {
+            let name = names[index % names.len()].clone();
+            let request = remote_variant(
+                SubmitRequest::build(0, name.clone(), &scores, row_len).expect("request"),
+                index,
+                row_len,
+            );
+            if client.in_flight() >= REMOTE_WINDOW {
+                let (_, result) = client.next_reply().expect("pipelined reply");
+                let result = result.expect("pipelined result");
+                check(&sent[answered], &result, &mut mismatches);
+                answered += 1;
+            }
+            client.submit(request).expect("pipelined submit");
+            sent.push(name);
+        }
+        while client.in_flight() > 0 {
+            let (_, result) = client.next_reply().expect("pipelined reply");
+            let result = result.expect("pipelined result");
+            check(&sent[answered], &result, &mut mismatches);
+            answered += 1;
+        }
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        let bytes_sent = client.bytes_sent() - bytes_sent_0;
+        let bytes_received = client.bytes_received() - bytes_received_0;
+        let frames = client.frames_sent() - frames_sent_0;
+        let payload_bytes = (rows * row_len * 8) as u64;
+        let rows_per_sec = (pipelined_requests * rows) as f64 / (wall_ns as f64 / 1e9).max(1e-12);
+        println!(
+            "{transport}: p50 {:.2} ms, p99 {:.2} ms closed-loop; {rows_per_sec:.0} rows/s pipelined ({:.1}% of local router); {mismatches} mismatches",
+            pctl(&samples_ns, 0.50) / 1e6,
+            pctl(&samples_ns, 0.99) / 1e6,
+            rows_per_sec / local_rows_per_sec * 100.0,
+        );
+        transports.push(serde_json::json!({
+            "transport": transport,
+            "endpoint": spec,
+            "closed_loop": {
+                "calls": closed_calls,
+                "p50_ns": pctl(&samples_ns, 0.50),
+                "p95_ns": pctl(&samples_ns, 0.95),
+                "p99_ns": pctl(&samples_ns, 0.99),
+            },
+            "pipelined": {
+                "requests": pipelined_requests,
+                "window": REMOTE_WINDOW,
+                "rows": pipelined_requests * rows,
+                "elements": pipelined_requests * rows * row_len,
+                "wall_ns": wall_ns,
+                "rows_per_sec": rows_per_sec,
+                "fraction_of_local_router": rows_per_sec / local_rows_per_sec,
+            },
+            "wire": {
+                "bytes_sent": bytes_sent,
+                "bytes_received": bytes_received,
+                "request_frames": frames,
+                "request_bytes_per_frame": bytes_sent as f64 / frames as f64,
+                "reply_bytes_per_frame": bytes_received as f64 / frames as f64,
+                "payload_f64_bytes_per_request": payload_bytes,
+                "request_overhead_bytes_per_frame":
+                    bytes_sent as f64 / frames as f64 - payload_bytes as f64,
+                "header_bytes_per_frame": softermax_wire::HEADER_BYTES,
+            },
+            "mismatches": mismatches,
+        }));
+        mismatches_total += mismatches;
+    }
+
+    // Optional clean-drain finale; a spawned child is always drained
+    // (never leaked), the flag is for externally started servers.
+    let mut clean_exit: Option<bool> = None;
+    if shutdown_server || child.is_some() {
+        let spec = endpoints.first().expect("at least one endpoint");
+        let endpoint = Endpoint::parse(spec).expect("validated above");
+        let mut closer =
+            Client::connect(endpoint, ClientConfig::default()).expect("shutdown connection");
+        closer.shutdown_server().expect("shutdown acknowledged");
+        if let Some(child) = child.as_mut() {
+            let status = child.wait().expect("server exit status");
+            clean_exit = Some(status.success());
+            println!("server drained, exit {status}");
+        }
+    }
+
+    let report = serde_json::json!({
+        "mode": "remote",
+        "smoke": smoke,
+        "server": { "source": source, "endpoints": endpoints.clone() },
+        "workload": {
+            "kernels": names.len(),
+            "rows_per_request": rows,
+            "row_len": row_len,
+            "closed_loop_calls_per_kernel": closed_calls_per_kernel,
+            "pipelined_requests": pipelined_requests,
+        },
+        "local": {
+            "sequential_rows_per_sec": seq_rows_per_sec,
+            "router_rows_per_sec": local_rows_per_sec,
+        },
+        "transports": transports,
+        "mismatches_total": mismatches_total,
+        "shutdown": {
+            "requested": shutdown_server || source == "spawned",
+            "clean_exit": clean_exit,
+        },
+    });
+    write_report(out_path, &report);
+    if mismatches_total > 0 {
+        eprintln!("{mismatches_total} replies were not bit-identical to in-process execution");
+        std::process::exit(1);
+    }
+    if clean_exit == Some(false) {
+        eprintln!("server did not exit cleanly after drain");
+        std::process::exit(1);
+    }
 }
 
 /// Writes one benchmark report, stamping the host/toolchain metadata

@@ -44,6 +44,16 @@ pub const USAGE: &str = "usage:
                                                     sequential execution;
                                                     --no-steal disables the
                                                     shards' work stealing
+                  [--stats-json]                    also selects concurrent
+                                                    mode; after the run, print
+                                                    the router's full control
+                                                    snapshot (per-kernel stats,
+                                                    scheduler counters, per-
+                                                    shard breaker/worker
+                                                    health) as pretty JSON —
+                                                    the same payload a
+                                                    softermax-server answers
+                                                    Stats frames with
                   [--chaos-seed N] [--fault-rate F]
                                                     either flag also selects
                                                     concurrent mode and wraps
@@ -231,6 +241,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     // fault injection exercises the router/engine recovery machinery.
     let mut chaos_seed: Option<u64> = None;
     let mut fault_rate: Option<f64> = None;
+    let mut stats_json = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -267,6 +278,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 });
             }
             "--no-steal" => no_steal = true,
+            "--stats-json" => stats_json = true,
             "--seed" => {
                 seed = value("--seed")?
                     .parse()
@@ -315,6 +327,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         || requests.is_some()
         || policy.is_some()
         || no_steal
+        || stats_json
         || chaos_seed.is_some()
         || fault_rate.is_some()
     {
@@ -348,6 +361,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             seed,
             chaos_seed,
             fault_rate,
+            stats_json,
         };
         return serve_concurrent(&kernels, &opts);
     }
@@ -517,6 +531,7 @@ struct ConcurrentServeOpts {
     seed: u64,
     chaos_seed: Option<u64>,
     fault_rate: Option<f64>,
+    stats_json: bool,
 }
 
 /// The concurrent `serve` mode: M client threads each submit K owned
@@ -775,6 +790,18 @@ fn serve_concurrent(
         results.push(entry);
     }
 
+    // The scheduler/health counters the network control plane reports
+    // (PR 7's breaker/respawn and PR 8's stealing telemetry) — printed
+    // here too so the local CLI and a remote `Stats` frame surface the
+    // same fields.
+    println!(
+        "\nscheduler: {} stolen, {} donated, {} breaker trip(s), {} worker respawn(s)",
+        router.jobs_stolen(),
+        router.jobs_donated(),
+        router.breaker_trips(),
+        router.worker_respawns(),
+    );
+
     println!();
     println!(
         "{}",
@@ -791,9 +818,22 @@ fn serve_concurrent(
             "streaming_mix": opts.streaming,
             "seed": opts.seed,
             "chaos": chaos,
+            "scheduler": {
+                "jobs_stolen": router.jobs_stolen(),
+                "jobs_donated": router.jobs_donated(),
+                "breaker_trips": router.breaker_trips(),
+                "worker_respawns": router.worker_respawns(),
+            },
             "results": serde_json::Value::Array(results),
         })
     );
+    if opts.stats_json {
+        // The full control snapshot, through the exact code path a
+        // `softermax-server` uses to answer a `Stats` frame.
+        let snapshot = serde_json::to_string_pretty(&router.control_snapshot())
+            .map_err(|e| format!("control snapshot serialization failed: {e}"))?;
+        println!("{snapshot}");
+    }
     Ok(())
 }
 

@@ -117,6 +117,12 @@ impl std::fmt::Display for BreakerState {
     }
 }
 
+impl serde::Serialize for BreakerState {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
+    }
+}
+
 /// The per-engine breaker state machine. Time never advances implicitly:
 /// every transition is evaluated against a caller-provided `now`.
 #[derive(Debug)]

@@ -188,6 +188,79 @@ impl ShardedRouter {
         self.shards.iter().map(BatchEngine::jobs_stolen).sum()
     }
 
+    /// Jobs the shards donated to stealers over the router's lifetime,
+    /// summed (equal to [`ShardedRouter::jobs_stolen`] by conservation,
+    /// but counted on the victim side).
+    #[must_use]
+    pub fn jobs_donated(&self) -> u64 {
+        self.shards.iter().map(BatchEngine::jobs_donated).sum()
+    }
+
+    /// Circuit-breaker trips summed over the shards.
+    #[must_use]
+    pub fn breaker_trips(&self) -> u64 {
+        self.shards.iter().map(BatchEngine::breaker_trips).sum()
+    }
+
+    /// Worker respawns (self-healing after panics) summed over the
+    /// shards.
+    #[must_use]
+    pub fn worker_respawns(&self) -> u64 {
+        self.shards.iter().map(BatchEngine::worker_respawns).sum()
+    }
+
+    /// One live per-shard health array: breaker state, worker
+    /// liveness, queue depth, and admission status for every shard —
+    /// the `"shards"` section of the control snapshot.
+    #[must_use]
+    pub fn shard_health_values(&self) -> serde::Value {
+        use serde::Serialize;
+        serde::Value::Array(
+            self.shards
+                .iter()
+                .map(|shard| {
+                    serde::Value::Object(vec![
+                        ("breaker".into(), shard.breaker_state().to_value()),
+                        ("breaker_trips".into(), shard.breaker_trips().to_value()),
+                        ("admitting".into(), shard.is_admitting().to_value()),
+                        ("live_workers".into(), shard.live_workers().to_value()),
+                        ("idle_workers".into(), shard.idle_workers().to_value()),
+                        ("worker_panics".into(), shard.worker_panics().to_value()),
+                        ("worker_respawns".into(), shard.worker_respawns().to_value()),
+                        ("queued_jobs".into(), shard.queued_jobs().to_value()),
+                        ("load_rows".into(), shard.load_rows().to_value()),
+                        ("load_cost".into(), shard.load_cost().to_value()),
+                        ("recent_p99_ns".into(), shard.recent_p99_ns().to_value()),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// The full control-plane snapshot as one JSON value: the merged
+    /// per-kernel [`EngineStats`], the scheduler counters (work
+    /// stealing, breaker trips, self-healing respawns), and the
+    /// per-shard health array. This is the **single** path behind both
+    /// the network `Stats` reply and `cli serve --stats-json`, so the
+    /// two can never report different fields.
+    #[must_use]
+    pub fn control_snapshot(&self) -> serde::Value {
+        use serde::Serialize;
+        serde::Value::Object(vec![
+            ("stats".into(), self.stats().to_value()),
+            (
+                "scheduler".into(),
+                serde::Value::Object(vec![
+                    ("jobs_stolen".into(), self.jobs_stolen().to_value()),
+                    ("jobs_donated".into(), self.jobs_donated().to_value()),
+                    ("breaker_trips".into(), self.breaker_trips().to_value()),
+                    ("worker_respawns".into(), self.worker_respawns().to_value()),
+                ]),
+            ),
+            ("shards".into(), self.shard_health_values()),
+        ])
+    }
+
     /// One snapshot of every shard's routing state — load, health, and
     /// (for [`RoutePolicy::Adaptive`]) the cached congestion score. The
     /// whole sweep that follows reads this snapshot instead of

@@ -266,6 +266,56 @@ impl KernelServeStats {
     }
 }
 
+impl serde::Serialize for LatencyWindow {
+    /// One honest percentile snapshot: the sample count plus
+    /// p50/p95/p99 from a single sorted pass (the raw window is not
+    /// shipped — it can be 4096 samples per kernel per snapshot).
+    fn to_value(&self) -> serde::Value {
+        let ps = self.percentiles_ns(&[0.50, 0.95, 0.99]);
+        serde::Value::Object(vec![
+            ("samples".into(), serde::Serialize::to_value(&self.len())),
+            ("p50_ns".into(), serde::Serialize::to_value(&ps[0])),
+            ("p95_ns".into(), serde::Serialize::to_value(&ps[1])),
+            ("p99_ns".into(), serde::Serialize::to_value(&ps[2])),
+        ])
+    }
+}
+
+impl serde::Serialize for KernelServeStats {
+    /// Every raw counter, plus the derived availability and the latency
+    /// percentile snapshot — the shape the network control plane's
+    /// `Stats` reply and `cli serve --stats-json` both emit.
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("batches".into(), self.batches.to_value()),
+            ("empty_batches".into(), self.empty_batches.to_value()),
+            ("failed_batches".into(), self.failed_batches.to_value()),
+            ("expired_requests".into(), self.expired_requests.to_value()),
+            ("rows".into(), self.rows.to_value()),
+            ("failed_rows".into(), self.failed_rows.to_value()),
+            ("elements".into(), self.elements.to_value()),
+            ("busy_ns".into(), self.busy_ns.to_value()),
+            ("wall_ns".into(), self.wall_ns.to_value()),
+            ("failed_wall_ns".into(), self.failed_wall_ns.to_value()),
+            ("availability".into(), self.availability().to_value()),
+            ("latency".into(), self.latency.to_value()),
+        ])
+    }
+}
+
+impl serde::Serialize for EngineStats {
+    /// An object keyed by kernel name (already in name order — the
+    /// snapshot is a `BTreeMap`).
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(
+            self.per_kernel
+                .iter()
+                .map(|(k, v)| (k.clone(), serde::Serialize::to_value(v)))
+                .collect(),
+        )
+    }
+}
+
 fn per_sec(count: u64, ns: u64) -> f64 {
     if ns == 0 {
         0.0

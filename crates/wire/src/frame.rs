@@ -1,0 +1,642 @@
+//! The protocol's frame vocabulary: version negotiation, the
+//! submit/reply data plane, and the control plane.
+//!
+//! Every frame body is a JSON object with a `"type"` tag; the
+//! [`Serialize`]/[`Deserialize`] impls here are written by hand (not
+//! derived) so the emitted field set and order are an explicit,
+//! reviewable contract — `docs/PROTOCOL.md` pins them, and a golden
+//! test in [`crate::codec`] holds the exact bytes. v2 frames must stay
+//! additive: decoders ignore unknown fields, and an unknown `"type"`
+//! is a typed shape error, not a panic.
+
+use std::fmt;
+
+use serde::{field, DeError, Deserialize, Serialize, Value};
+use softermax::SoftmaxError;
+
+use crate::types::{BoundsError, BudgetMs, ChunkLen, RowCount, RowLen, Score};
+
+/// Stable numeric codes for every error a reply can carry. Codes are
+/// part of the protocol: they never change meaning, and new ones are
+/// only appended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// [`SoftmaxError::EmptyInput`].
+    EmptyInput = 1,
+    /// [`SoftmaxError::InvalidConfig`].
+    InvalidConfig = 2,
+    /// [`SoftmaxError::DivisionByZero`].
+    DivisionByZero = 3,
+    /// [`SoftmaxError::QueueFull`] — backpressure; retry later.
+    QueueFull = 4,
+    /// [`SoftmaxError::DeadlineExceeded`] — the end-to-end budget ran
+    /// out before the result was produced.
+    DeadlineExceeded = 5,
+    /// [`SoftmaxError::EngineShutdown`] — the server is draining.
+    EngineShutdown = 6,
+    /// The requested kernel name is not in the server's registry.
+    UnknownKernel = 7,
+    /// The peer broke the framing or frame-shape rules.
+    Protocol = 8,
+    /// Any server-side error with no more specific code (future
+    /// [`SoftmaxError`] variants land here until a code is appended).
+    Internal = 9,
+}
+
+impl ErrorCode {
+    /// The stable numeric value.
+    #[must_use]
+    pub fn as_u16(self) -> u16 {
+        self as u16
+    }
+
+    /// Decodes a numeric code; unknown codes (from a newer peer) come
+    /// back as [`ErrorCode::Internal`] rather than failing the frame.
+    #[must_use]
+    pub fn from_u16(raw: u16) -> Self {
+        match raw {
+            1 => ErrorCode::EmptyInput,
+            2 => ErrorCode::InvalidConfig,
+            3 => ErrorCode::DivisionByZero,
+            4 => ErrorCode::QueueFull,
+            5 => ErrorCode::DeadlineExceeded,
+            6 => ErrorCode::EngineShutdown,
+            7 => ErrorCode::UnknownKernel,
+            8 => ErrorCode::Protocol,
+            _ => ErrorCode::Internal,
+        }
+    }
+}
+
+/// An error crossing the wire: a stable [`ErrorCode`] plus a
+/// human-readable message (informational only — dispatch on the code).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// The stable error code.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    /// Builds an error from a code and message.
+    #[must_use]
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// A protocol-violation error.
+    #[must_use]
+    pub fn protocol(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Protocol, message)
+    }
+
+    /// Maps the wire code back onto the in-process error taxonomy, so a
+    /// client caller sees the same [`SoftmaxError`] variants an
+    /// in-process caller would.
+    #[must_use]
+    pub fn to_softmax(&self) -> SoftmaxError {
+        match self.code {
+            ErrorCode::EmptyInput => SoftmaxError::EmptyInput,
+            ErrorCode::DivisionByZero => SoftmaxError::DivisionByZero,
+            ErrorCode::QueueFull => SoftmaxError::QueueFull,
+            ErrorCode::DeadlineExceeded => SoftmaxError::DeadlineExceeded,
+            ErrorCode::EngineShutdown => SoftmaxError::EngineShutdown,
+            ErrorCode::InvalidConfig
+            | ErrorCode::UnknownKernel
+            | ErrorCode::Protocol
+            | ErrorCode::Internal => SoftmaxError::InvalidConfig(self.message.clone()),
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire error {}: {}", self.code.as_u16(), self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<&SoftmaxError> for WireError {
+    fn from(e: &SoftmaxError) -> Self {
+        let code = match e {
+            SoftmaxError::EmptyInput => ErrorCode::EmptyInput,
+            SoftmaxError::InvalidConfig(_) => ErrorCode::InvalidConfig,
+            SoftmaxError::DivisionByZero => ErrorCode::DivisionByZero,
+            SoftmaxError::QueueFull => ErrorCode::QueueFull,
+            SoftmaxError::DeadlineExceeded => ErrorCode::DeadlineExceeded,
+            SoftmaxError::EngineShutdown => ErrorCode::EngineShutdown,
+            // `SoftmaxError` is #[non_exhaustive]: future variants get a
+            // stable catch-all until a dedicated code is appended.
+            _ => ErrorCode::Internal,
+        };
+        WireError::new(code, e.to_string())
+    }
+}
+
+impl Serialize for WireError {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("code".into(), self.code.as_u16().to_value()),
+            ("message".into(), self.message.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for WireError {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(WireError {
+            code: ErrorCode::from_u16(field::<u16>(v, "code")?),
+            message: field::<String>(v, "message")?,
+        })
+    }
+}
+
+/// The scheduling class of a wire submission, mirroring the serving
+/// layer's `Priority` (encoded as `"interactive"` / `"batch"`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WirePriority {
+    /// Latency-sensitive traffic (the default, as in-process).
+    #[default]
+    Interactive,
+    /// Throughput traffic, dequeued behind interactive work.
+    Batch,
+}
+
+impl Serialize for WirePriority {
+    fn to_value(&self) -> Value {
+        Value::Str(
+            match self {
+                WirePriority::Interactive => "interactive",
+                WirePriority::Batch => "batch",
+            }
+            .into(),
+        )
+    }
+}
+
+impl Deserialize for WirePriority {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v.as_str() {
+            Some("interactive") => Ok(WirePriority::Interactive),
+            Some("batch") => Ok(WirePriority::Batch),
+            Some(other) => Err(DeError::new(format!("unknown priority '{other}'"))),
+            None => Err(DeError::expected("priority string", v)),
+        }
+    }
+}
+
+/// Client's opening frame: the highest protocol version it speaks and a
+/// name for the server's logs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// Highest protocol version the client supports.
+    pub max_version: u16,
+    /// Client identification (free-form).
+    pub client: String,
+}
+
+/// Server's answer to [`Hello`]: the negotiated version (the minimum of
+/// the two sides' maxima) and the server's frame-size cap, so the
+/// client can size requests without trial and error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HelloAck {
+    /// The version both sides will speak.
+    pub version: u16,
+    /// Server identification (free-form).
+    pub server: String,
+    /// The server's body-size cap in bytes; larger frames are rejected.
+    pub max_frame_bytes: u32,
+}
+
+/// One softmax request — the wire twin of the serving layer's
+/// `Submission`, with every numeric field behind a validated newtype.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitRequest {
+    /// Caller-chosen correlation id, echoed verbatim in the reply.
+    pub id: u64,
+    /// Registry name of the kernel to run.
+    pub kernel: String,
+    /// Rows in the matrix.
+    pub n_rows: RowCount,
+    /// Scores per row.
+    pub row_len: RowLen,
+    /// The flattened row-major matrix; exactly `n_rows × row_len`
+    /// validated finite scores (enforced at construction and decode).
+    pub scores: Vec<Score>,
+    /// Route through the chunked-streaming path with this many scores
+    /// per push; `None` takes the batch path.
+    pub stream_chunk: Option<ChunkLen>,
+    /// End-to-end deadline budget, measured from the moment the server
+    /// decodes the frame; `None` means no deadline.
+    pub deadline_ms: Option<BudgetMs>,
+    /// Scheduling class.
+    pub priority: WirePriority,
+}
+
+impl SubmitRequest {
+    /// Validates and wraps a raw request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoundsError`] on a non-finite score, an out-of-range
+    /// dimension, or a `scores` length that is not `n_rows × row_len`.
+    pub fn build(
+        id: u64,
+        kernel: impl Into<String>,
+        scores: &[f64],
+        row_len: usize,
+    ) -> Result<Self, BoundsError> {
+        let row_len = RowLen::try_from(row_len)?;
+        if !scores.len().is_multiple_of(row_len.as_usize()) {
+            return Err(BoundsError::new(format!(
+                "scores length {} is not a multiple of row_len {}",
+                scores.len(),
+                row_len.get()
+            )));
+        }
+        let n_rows = RowCount::try_from(scores.len() / row_len.as_usize())?;
+        Ok(Self {
+            id,
+            kernel: kernel.into(),
+            n_rows,
+            row_len,
+            scores: crate::types::scores_from_f64(scores)?,
+            stream_chunk: None,
+            deadline_ms: None,
+            priority: WirePriority::default(),
+        })
+    }
+
+    /// Routes the request through the streaming path (builder-style,
+    /// like `Submission::streamed`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoundsError`] when `chunk` is out of range.
+    pub fn streamed(mut self, chunk: usize) -> Result<Self, BoundsError> {
+        self.stream_chunk = Some(ChunkLen::try_from(chunk)?);
+        Ok(self)
+    }
+
+    /// Attaches an end-to-end deadline budget in milliseconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoundsError`] when the budget is out of range.
+    pub fn with_deadline_ms(mut self, ms: u64) -> Result<Self, BoundsError> {
+        self.deadline_ms = Some(BudgetMs::try_from(ms)?);
+        Ok(self)
+    }
+
+    /// Sets the scheduling class (builder-style).
+    #[must_use]
+    pub fn with_priority(mut self, priority: WirePriority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Checks the `scores.len() == n_rows × row_len` invariant — run on
+    /// every decode so a hand-crafted frame cannot smuggle a mismatched
+    /// payload past the newtype bounds.
+    fn check_shape(&self) -> Result<(), DeError> {
+        let want = u64::from(self.n_rows.get()) * u64::from(self.row_len.get());
+        if self.scores.len() as u64 != want {
+            return Err(DeError::new(format!(
+                "scores length {} != n_rows {} x row_len {}",
+                self.scores.len(),
+                self.n_rows.get(),
+                self.row_len.get()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The server's answer to one [`SubmitRequest`]: the probabilities
+/// (same shape as the submitted matrix) or a typed error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitReply {
+    /// The request's correlation id, echoed.
+    pub id: u64,
+    /// The probabilities, or why there are none.
+    pub result: Result<Vec<Score>, WireError>,
+}
+
+/// One protocol frame. Request frames flow client→server; `*Reply`,
+/// [`Frame::HelloAck`], and [`Frame::Error`] flow server→client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Version negotiation, client side.
+    Hello(Hello),
+    /// Version negotiation, server side.
+    HelloAck(HelloAck),
+    /// Data plane: one softmax request.
+    Submit(SubmitRequest),
+    /// Data plane: one softmax reply.
+    SubmitReply(SubmitReply),
+    /// Control plane: liveness + per-shard breaker/worker state.
+    Health,
+    /// Reply to [`Frame::Health`]: a JSON object (shape documented in
+    /// `docs/PROTOCOL.md`, additive across versions).
+    HealthReply(Value),
+    /// Control plane: full serving-stats snapshot.
+    Stats,
+    /// Reply to [`Frame::Stats`]: the serialized `EngineStats` snapshot
+    /// plus scheduler counters.
+    StatsReply(Value),
+    /// Control plane: which kernels the server can run.
+    ListKernels,
+    /// Reply to [`Frame::ListKernels`].
+    KernelsReply(Vec<String>),
+    /// Ask the server to drain: stop accepting, resolve in-flight
+    /// tickets, then exit (the protocol's SIGTERM equivalent).
+    Shutdown,
+    /// The drain has started; in-flight replies on this connection have
+    /// already been flushed ahead of this frame.
+    ShutdownAck,
+    /// A connection-level error (e.g. a malformed frame); the server
+    /// closes the connection after sending it.
+    Error(WireError),
+}
+
+impl Frame {
+    /// The frame's `"type"` tag.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Frame::Hello(_) => "hello",
+            Frame::HelloAck(_) => "hello_ack",
+            Frame::Submit(_) => "submit",
+            Frame::SubmitReply(_) => "submit_reply",
+            Frame::Health => "health",
+            Frame::HealthReply(_) => "health_reply",
+            Frame::Stats => "stats",
+            Frame::StatsReply(_) => "stats_reply",
+            Frame::ListKernels => "list_kernels",
+            Frame::KernelsReply(_) => "kernels_reply",
+            Frame::Shutdown => "shutdown",
+            Frame::ShutdownAck => "shutdown_ack",
+            Frame::Error(_) => "error",
+        }
+    }
+}
+
+fn tagged(tag: &str, mut fields: Vec<(String, Value)>) -> Value {
+    let mut all = vec![("type".to_string(), Value::Str(tag.into()))];
+    all.append(&mut fields);
+    Value::Object(all)
+}
+
+impl Serialize for Frame {
+    fn to_value(&self) -> Value {
+        match self {
+            Frame::Hello(h) => tagged(
+                self.tag(),
+                vec![
+                    ("max_version".into(), h.max_version.to_value()),
+                    ("client".into(), h.client.to_value()),
+                ],
+            ),
+            Frame::HelloAck(h) => tagged(
+                self.tag(),
+                vec![
+                    ("version".into(), h.version.to_value()),
+                    ("server".into(), h.server.to_value()),
+                    ("max_frame_bytes".into(), h.max_frame_bytes.to_value()),
+                ],
+            ),
+            Frame::Submit(s) => tagged(
+                self.tag(),
+                vec![
+                    ("id".into(), s.id.to_value()),
+                    ("kernel".into(), s.kernel.to_value()),
+                    ("n_rows".into(), s.n_rows.to_value()),
+                    ("row_len".into(), s.row_len.to_value()),
+                    ("scores".into(), s.scores.to_value()),
+                    ("stream_chunk".into(), s.stream_chunk.to_value()),
+                    ("deadline_ms".into(), s.deadline_ms.to_value()),
+                    ("priority".into(), s.priority.to_value()),
+                ],
+            ),
+            Frame::SubmitReply(r) => {
+                let mut fields = vec![("id".into(), r.id.to_value())];
+                match &r.result {
+                    Ok(scores) => fields.push(("scores".into(), scores.to_value())),
+                    Err(e) => fields.push(("error".into(), e.to_value())),
+                }
+                tagged(self.tag(), fields)
+            }
+            Frame::Health
+            | Frame::Stats
+            | Frame::ListKernels
+            | Frame::Shutdown
+            | Frame::ShutdownAck => tagged(self.tag(), vec![]),
+            Frame::HealthReply(body) | Frame::StatsReply(body) => {
+                tagged(self.tag(), vec![("body".into(), body.clone())])
+            }
+            Frame::KernelsReply(kernels) => {
+                tagged(self.tag(), vec![("kernels".into(), kernels.to_value())])
+            }
+            Frame::Error(e) => tagged(self.tag(), vec![("error".into(), e.to_value())]),
+        }
+    }
+}
+
+impl Deserialize for Frame {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let tag = v
+            .get("type")
+            .ok_or_else(|| DeError::new("frame object has no 'type' tag"))?
+            .as_str()
+            .ok_or_else(|| DeError::new("frame 'type' tag is not a string"))?;
+        match tag {
+            "hello" => Ok(Frame::Hello(Hello {
+                max_version: field(v, "max_version")?,
+                client: field(v, "client")?,
+            })),
+            "hello_ack" => Ok(Frame::HelloAck(HelloAck {
+                version: field(v, "version")?,
+                server: field(v, "server")?,
+                max_frame_bytes: field(v, "max_frame_bytes")?,
+            })),
+            "submit" => {
+                let req = SubmitRequest {
+                    id: field(v, "id")?,
+                    kernel: field(v, "kernel")?,
+                    n_rows: field(v, "n_rows")?,
+                    row_len: field(v, "row_len")?,
+                    scores: field(v, "scores")?,
+                    stream_chunk: opt_field(v, "stream_chunk")?,
+                    deadline_ms: opt_field(v, "deadline_ms")?,
+                    priority: field(v, "priority")?,
+                };
+                req.check_shape()?;
+                Ok(Frame::Submit(req))
+            }
+            "submit_reply" => {
+                let id = field(v, "id")?;
+                let result = match (v.get("scores"), v.get("error")) {
+                    (Some(s), None) => Ok(Vec::<Score>::from_value(s)
+                        .map_err(|e| DeError::new(format!("field 'scores': {e}")))?),
+                    (None, Some(e)) => Err(WireError::from_value(e)
+                        .map_err(|err| DeError::new(format!("field 'error': {err}")))?),
+                    _ => {
+                        return Err(DeError::new(
+                            "submit_reply needs exactly one of 'scores' or 'error'",
+                        ))
+                    }
+                };
+                Ok(Frame::SubmitReply(SubmitReply { id, result }))
+            }
+            "health" => Ok(Frame::Health),
+            "health_reply" => Ok(Frame::HealthReply(field(v, "body")?)),
+            "stats" => Ok(Frame::Stats),
+            "stats_reply" => Ok(Frame::StatsReply(field(v, "body")?)),
+            "list_kernels" => Ok(Frame::ListKernels),
+            "kernels_reply" => Ok(Frame::KernelsReply(field(v, "kernels")?)),
+            "shutdown" => Ok(Frame::Shutdown),
+            "shutdown_ack" => Ok(Frame::ShutdownAck),
+            "error" => Ok(Frame::Error(field(v, "error")?)),
+            other => Err(DeError::new(format!("unknown frame type '{other}'"))),
+        }
+    }
+}
+
+/// Like [`field`], but a missing key decodes as `None` (the shim's
+/// `Option` impl only maps an explicit `null`) — this is what keeps v2
+/// field additions backward-decodable.
+fn opt_field<T: Deserialize>(v: &Value, name: &str) -> Result<Option<T>, DeError> {
+    match v.get(name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(f) => T::from_value(f)
+            .map(Some)
+            .map_err(|e| DeError::new(format!("field '{name}': {e}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_codes_are_stable() {
+        // These numbers are protocol: changing any of them is a wire
+        // break, so they are pinned here one by one.
+        assert_eq!(ErrorCode::EmptyInput.as_u16(), 1);
+        assert_eq!(ErrorCode::InvalidConfig.as_u16(), 2);
+        assert_eq!(ErrorCode::DivisionByZero.as_u16(), 3);
+        assert_eq!(ErrorCode::QueueFull.as_u16(), 4);
+        assert_eq!(ErrorCode::DeadlineExceeded.as_u16(), 5);
+        assert_eq!(ErrorCode::EngineShutdown.as_u16(), 6);
+        assert_eq!(ErrorCode::UnknownKernel.as_u16(), 7);
+        assert_eq!(ErrorCode::Protocol.as_u16(), 8);
+        assert_eq!(ErrorCode::Internal.as_u16(), 9);
+        for raw in 1..=9 {
+            assert_eq!(ErrorCode::from_u16(raw).as_u16(), raw);
+        }
+        // Unknown codes (a newer peer) degrade to Internal, not an error.
+        assert_eq!(ErrorCode::from_u16(999), ErrorCode::Internal);
+    }
+
+    #[test]
+    fn softmax_errors_map_onto_codes_and_back() {
+        let cases = [
+            (SoftmaxError::EmptyInput, ErrorCode::EmptyInput),
+            (SoftmaxError::QueueFull, ErrorCode::QueueFull),
+            (SoftmaxError::DeadlineExceeded, ErrorCode::DeadlineExceeded),
+            (SoftmaxError::EngineShutdown, ErrorCode::EngineShutdown),
+            (SoftmaxError::DivisionByZero, ErrorCode::DivisionByZero),
+            (
+                SoftmaxError::InvalidConfig("x".into()),
+                ErrorCode::InvalidConfig,
+            ),
+        ];
+        for (err, code) in cases {
+            let wire = WireError::from(&err);
+            assert_eq!(wire.code, code, "{err:?}");
+            // The taxonomy survives the round trip for every variant
+            // that has a lossless mapping.
+            match err {
+                SoftmaxError::InvalidConfig(_) => {}
+                ref e => assert_eq!(&wire.to_softmax(), e),
+            }
+        }
+    }
+
+    #[test]
+    fn submit_build_validates_shape() {
+        let req = SubmitRequest::build(1, "softermax", &[1.0, 2.0, 3.0, 4.0], 2).unwrap();
+        assert_eq!(req.n_rows.get(), 2);
+        assert_eq!(req.row_len.get(), 2);
+        assert!(SubmitRequest::build(1, "softermax", &[1.0, 2.0, 3.0], 2).is_err());
+        assert!(SubmitRequest::build(1, "softermax", &[1.0], 0).is_err());
+        assert!(SubmitRequest::build(1, "softermax", &[f64::NAN], 1).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_mismatched_scores_length() {
+        let good = Frame::Submit(SubmitRequest::build(7, "k", &[1.0, 2.0], 2).unwrap());
+        let mut v = good.to_value();
+        // Corrupt n_rows so the declared shape no longer matches.
+        if let Value::Object(fields) = &mut v {
+            for (k, val) in fields.iter_mut() {
+                if k == "n_rows" {
+                    *val = Value::Int(5);
+                }
+            }
+        }
+        let err = Frame::from_value(&v).unwrap_err();
+        assert!(err.to_string().contains("scores length"), "{err}");
+    }
+
+    #[test]
+    fn submit_reply_needs_exactly_one_arm() {
+        let both = Value::Object(vec![
+            ("type".into(), Value::Str("submit_reply".into())),
+            ("id".into(), Value::Int(1)),
+            ("scores".into(), Value::Array(vec![])),
+            ("error".into(), WireError::protocol("x").to_value()),
+        ]);
+        assert!(Frame::from_value(&both).is_err());
+        let neither = Value::Object(vec![
+            ("type".into(), Value::Str("submit_reply".into())),
+            ("id".into(), Value::Int(1)),
+        ]);
+        assert!(Frame::from_value(&neither).is_err());
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored_for_additive_v2() {
+        let mut v = Frame::Health.to_value();
+        if let Value::Object(fields) = &mut v {
+            fields.push(("future_field".into(), Value::Int(42)));
+        }
+        assert_eq!(Frame::from_value(&v).unwrap(), Frame::Health);
+        // An absent optional field decodes as None, so a v1 peer can
+        // read a sender that omits instead of nulling.
+        let mut submit = Frame::Submit(SubmitRequest::build(1, "k", &[0.5], 1).unwrap()).to_value();
+        if let Value::Object(fields) = &mut submit {
+            fields.retain(|(k, _)| k != "stream_chunk" && k != "deadline_ms");
+        }
+        match Frame::from_value(&submit).unwrap() {
+            Frame::Submit(req) => {
+                assert_eq!(req.stream_chunk, None);
+                assert_eq!(req.deadline_ms, None);
+            }
+            other => panic!("expected submit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_frame_type_is_a_typed_error() {
+        let v = Value::Object(vec![("type".into(), Value::Str("warp_core".into()))]);
+        let err = Frame::from_value(&v).unwrap_err();
+        assert!(err.to_string().contains("unknown frame type"), "{err}");
+    }
+}

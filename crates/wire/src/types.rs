@@ -1,0 +1,258 @@
+//! `try_from` newtypes for every numeric wire field.
+//!
+//! The idiom (after the newtype-serde pattern in SNIPPETS.md): the only
+//! way to construct one of these — in code via `TryFrom`, or off the
+//! wire via `Deserialize` — runs the same range check, so a decoded
+//! frame can never hold a NaN score, a zero row length, or a dimension
+//! large enough to overflow the frame cap. Server and client both lean
+//! on this: by the time a `SubmitRequest` exists as a value, its fields
+//! are known-good.
+
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Upper bound on `row_len`, `n_rows`, and `stream_chunk`. Generous
+/// (a 2^20 × 2^20 request would never fit a frame anyway — the byte
+/// cap binds first), but it keeps `n_rows × row_len` inside `u64`
+/// by construction.
+pub const MAX_DIM: u32 = 1 << 20;
+
+/// Upper bound on a wire deadline budget: one hour, in milliseconds.
+pub const MAX_BUDGET_MS: u32 = 3_600_000;
+
+/// A wire value failed its range check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundsError(String);
+
+impl BoundsError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl fmt::Display for BoundsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Error for BoundsError {}
+
+macro_rules! bounded_u32 {
+    ($(#[$doc:meta])* $name:ident, $min:expr, $max:expr, $what:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// The validated value.
+            #[must_use]
+            pub fn get(self) -> u32 {
+                self.0
+            }
+
+            /// The validated value, widened for indexing math.
+            #[must_use]
+            pub fn as_usize(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl TryFrom<u64> for $name {
+            type Error = BoundsError;
+
+            fn try_from(v: u64) -> Result<Self, BoundsError> {
+                if (u64::from($min)..=u64::from($max)).contains(&v) {
+                    #[allow(clippy::cast_possible_truncation)] // bounded by $max: u32
+                    Ok(Self(v as u32))
+                } else {
+                    Err(BoundsError::new(format!(
+                        "{} must be in {}..={}, got {v}",
+                        $what, $min, $max
+                    )))
+                }
+            }
+        }
+
+        impl TryFrom<usize> for $name {
+            type Error = BoundsError;
+
+            fn try_from(v: usize) -> Result<Self, BoundsError> {
+                Self::try_from(v as u64)
+            }
+        }
+
+        impl Serialize for $name {
+            fn to_value(&self) -> Value {
+                self.0.to_value()
+            }
+        }
+
+        impl Deserialize for $name {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = u64::from_value(v)?;
+                Self::try_from(raw).map_err(|e| DeError::new(e.to_string()))
+            }
+        }
+    };
+}
+
+bounded_u32!(
+    /// Scores per row of a submitted matrix: `1..=MAX_DIM`.
+    RowLen, 1u32, MAX_DIM, "row_len"
+);
+bounded_u32!(
+    /// Rows in a submitted matrix: `0..=MAX_DIM` (a zero-row request is
+    /// a legal no-op, exactly as it is in-process).
+    RowCount, 0u32, MAX_DIM, "n_rows"
+);
+bounded_u32!(
+    /// Scores per streamed push: `1..=MAX_DIM`.
+    ChunkLen, 1u32, MAX_DIM, "stream_chunk"
+);
+bounded_u32!(
+    /// A deadline budget in milliseconds: `1..=MAX_BUDGET_MS`. The
+    /// budget is end-to-end from the moment the server decodes the
+    /// request — every later hop subtracts elapsed time rather than
+    /// restarting the clock.
+    BudgetMs, 1u32, MAX_BUDGET_MS, "deadline_ms"
+);
+
+impl BudgetMs {
+    /// The budget as a [`Duration`].
+    #[must_use]
+    pub fn as_duration(self) -> Duration {
+        Duration::from_millis(u64::from(self.0))
+    }
+}
+
+/// One finite score or probability. NaN and ±∞ are rejected at
+/// construction and unrepresentable on the wire (the serde shim renders
+/// non-finite floats as `null`, which fails this type's deserializer),
+/// so a decoded matrix is always arithmetic-safe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Score(f64);
+
+impl Score {
+    /// The validated value.
+    #[must_use]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl TryFrom<f64> for Score {
+    type Error = BoundsError;
+
+    fn try_from(v: f64) -> Result<Self, BoundsError> {
+        if v.is_finite() {
+            Ok(Self(v))
+        } else {
+            Err(BoundsError::new(format!("score must be finite, got {v}")))
+        }
+    }
+}
+
+impl Serialize for Score {
+    fn to_value(&self) -> Value {
+        Value::Float(self.0)
+    }
+}
+
+impl Deserialize for Score {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let raw = match v {
+            Value::Float(f) => *f,
+            #[allow(clippy::cast_precision_loss)] // accepting lexical integers
+            Value::Int(i) => *i as f64,
+            #[allow(clippy::cast_precision_loss)]
+            Value::UInt(u) => *u as f64,
+            other => return Err(DeError::expected("finite number", other)),
+        };
+        Self::try_from(raw).map_err(|e| DeError::new(e.to_string()))
+    }
+}
+
+/// Converts a caller's raw `f64` slice into validated wire scores.
+///
+/// # Errors
+///
+/// Returns [`BoundsError`] on the first non-finite element.
+pub fn scores_from_f64(raw: &[f64]) -> Result<Vec<Score>, BoundsError> {
+    raw.iter().map(|&v| Score::try_from(v)).collect()
+}
+
+/// Flattens validated wire scores back into raw `f64`s (bit-identical:
+/// `Score` stores the value it was built from).
+#[must_use]
+pub fn scores_to_f64(scores: &[Score]) -> Vec<f64> {
+    scores.iter().map(|s| s.get()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_enforced_at_construction() {
+        assert!(RowLen::try_from(0u64).is_err());
+        assert_eq!(RowLen::try_from(1u64).unwrap().get(), 1);
+        assert_eq!(RowLen::try_from(u64::from(MAX_DIM)).unwrap().get(), MAX_DIM);
+        assert!(RowLen::try_from(u64::from(MAX_DIM) + 1).is_err());
+        // A zero-row matrix is legal; zero anything else is not.
+        assert_eq!(RowCount::try_from(0u64).unwrap().get(), 0);
+        assert!(ChunkLen::try_from(0u64).is_err());
+        assert!(BudgetMs::try_from(0u64).is_err());
+        assert!(BudgetMs::try_from(u64::from(MAX_BUDGET_MS) + 1).is_err());
+        assert_eq!(
+            BudgetMs::try_from(250u64).unwrap().as_duration(),
+            Duration::from_millis(250)
+        );
+    }
+
+    #[test]
+    fn deserialization_runs_the_same_checks() {
+        assert!(RowLen::from_value(&Value::Int(0)).is_err());
+        assert!(RowLen::from_value(&Value::Int(-4)).is_err());
+        assert_eq!(
+            RowLen::from_value(&Value::Int(7)).unwrap(),
+            RowLen::try_from(7u64).unwrap()
+        );
+        assert!(RowLen::from_value(&Value::Str("7".into())).is_err());
+    }
+
+    #[test]
+    fn scores_must_be_finite() {
+        assert!(Score::try_from(f64::NAN).is_err());
+        assert!(Score::try_from(f64::INFINITY).is_err());
+        assert!(Score::try_from(f64::NEG_INFINITY).is_err());
+        assert_eq!(
+            Score::try_from(-0.0).unwrap().get().to_bits(),
+            (-0.0f64).to_bits()
+        );
+        // Non-finite floats render as JSON null, which the deserializer
+        // rejects — NaN cannot cross the wire even maliciously.
+        assert!(Score::from_value(&Value::Null).is_err());
+        assert!(Score::from_value(&Value::Float(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn score_round_trip_is_bit_exact() {
+        for v in [0.0, -0.0, 1.5, -31.999_999_999, 1e-300, 123_456.75] {
+            let s = Score::try_from(v).unwrap();
+            let back = Score::from_value(&s.to_value()).unwrap();
+            assert_eq!(back.get().to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn score_slice_conversions_round_trip() {
+        let raw = vec![1.0, -2.5, 0.25];
+        let scores = scores_from_f64(&raw).unwrap();
+        assert_eq!(scores_to_f64(&scores), raw);
+        assert!(scores_from_f64(&[1.0, f64::NAN]).is_err());
+    }
+}
