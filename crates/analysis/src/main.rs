@@ -1,0 +1,125 @@
+//! `softermax-analysis` CLI.
+//!
+//! ```text
+//! cargo run -p softermax-analysis -- check [--root PATH]
+//! cargo run -p softermax-analysis -- inventory [--write | --check] [--root PATH]
+//! ```
+//!
+//! `check` runs the full lint catalog plus the inventory drift check
+//! and exits non-zero on any finding; it is the gate CI runs.
+//! `inventory --write` regenerates `docs/UNSAFE_INVENTORY.md` after an
+//! intentional unsafe change; `--check` (the default) only diffs.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use softermax_analysis::manifest::Manifest;
+use softermax_analysis::{analyze_workspace, inventory};
+
+const INVENTORY_PATH: &str = "docs/UNSAFE_INVENTORY.md";
+
+struct Args {
+    command: String,
+    write: bool,
+    root: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut command = None;
+    let mut write = false;
+    let mut root = softermax_analysis::default_root();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "check" | "inventory" => command = Some(arg),
+            "--write" => write = true,
+            "--check" => write = false,
+            "--root" => {
+                root = PathBuf::from(args.next().ok_or("--root needs a path")?);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Args {
+        command: command
+            .ok_or("usage: softermax-analysis <check|inventory> [--write] [--root PATH]")?,
+        write,
+        root,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let manifest = Manifest::workspace();
+    let analysis = match analyze_workspace(&args.root, &manifest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("failed to scan workspace at {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let rendered = inventory::render(&analysis.unsafe_sites);
+    let inventory_file = args.root.join(INVENTORY_PATH);
+
+    if args.command == "inventory" {
+        if args.write {
+            if let Err(e) = std::fs::write(&inventory_file, &rendered) {
+                eprintln!("cannot write {INVENTORY_PATH}: {e}");
+                return ExitCode::from(2);
+            }
+            println!(
+                "wrote {INVENTORY_PATH} ({} unsafe sites)",
+                analysis.unsafe_sites.len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        return check_drift(&inventory_file, &rendered);
+    }
+
+    // `check`: lints + drift, everything the CI gate needs.
+    for v in &analysis.violations {
+        println!("{v}");
+    }
+    let drift = check_drift(&inventory_file, &rendered);
+    if analysis.violations.is_empty() && drift == ExitCode::SUCCESS {
+        println!(
+            "static analysis clean: 0 violations, {} audited unsafe sites",
+            analysis.unsafe_sites.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "static analysis: {} violation(s); see docs/ANALYSIS.md for the catalog \
+             and the suppression syntax",
+            analysis.violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn check_drift(inventory_file: &std::path::Path, rendered: &str) -> ExitCode {
+    match std::fs::read_to_string(inventory_file) {
+        Ok(committed) if committed == rendered => ExitCode::SUCCESS,
+        Ok(_) => {
+            println!(
+                "{INVENTORY_PATH} is out of date: the workspace's unsafe sites changed. \
+                 Review them, then regenerate with \
+                 `cargo run -p softermax-analysis -- inventory --write`"
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            println!("{INVENTORY_PATH} unreadable ({e}): run `inventory --write`");
+            ExitCode::FAILURE
+        }
+    }
+}

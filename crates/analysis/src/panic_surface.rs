@@ -1,0 +1,72 @@
+//! panic-surface: inside declared no-panic zones (the remotely
+//! reachable wire/server/client code), `unwrap`, `expect`, the
+//! panicking macros, and direct indexing are denied outside test code.
+//! Every denial names the typed alternative.
+
+use crate::lexer::Tok;
+use crate::scan::{SourceFile, KEYWORDS};
+use crate::{Lint, Violation};
+
+/// Macros that are an unconditional panic when reached.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Scans one no-panic-zone file.
+pub fn run(file: &SourceFile, out: &mut Vec<Violation>) {
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if file.mask[i] {
+            continue;
+        }
+        let line = toks[i].line;
+        match &toks[i].tok {
+            Tok::Ident(id) if id == "unwrap" || id == "expect" => {
+                let after_dot = i > 0 && toks[i - 1].is_punct('.');
+                let called = toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+                if after_dot && called {
+                    out.push(Violation {
+                        lint: Lint::PanicSurface,
+                        file: file.rel_path.clone(),
+                        line,
+                        message: format!(
+                            "`.{id}()` in a no-panic zone: return a typed error \
+                             (`ok_or`/`map_err` into the crate's error enum) instead"
+                        ),
+                    });
+                }
+            }
+            Tok::Ident(id)
+                if PANIC_MACROS.contains(&id.as_str())
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct('!')) =>
+            {
+                out.push(Violation {
+                    lint: Lint::PanicSurface,
+                    file: file.rel_path.clone(),
+                    line,
+                    message: format!(
+                        "`{id}!` in a no-panic zone: a remote peer must never be able \
+                             to take the process down — surface a typed error"
+                    ),
+                });
+            }
+            Tok::Punct('[') if i > 0 => {
+                let indexing = match &toks[i - 1].tok {
+                    Tok::Ident(prev) => !KEYWORDS.contains(&prev.as_str()),
+                    Tok::Punct(')' | ']' | '?') => true,
+                    _ => false,
+                };
+                if indexing {
+                    out.push(Violation {
+                        lint: Lint::PanicSurface,
+                        file: file.rel_path.clone(),
+                        line,
+                        message: "direct indexing in a no-panic zone can panic on a bad \
+                                  offset: use `get`/`get_mut`/`split_at_checked` or \
+                                  destructure a fixed-size array"
+                            .to_owned(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! unsafe-audit: every `unsafe` block, function, impl, or trait must
+//! carry a `// SAFETY:` comment within the preceding few lines, and
+//! every site is recorded for `docs/UNSAFE_INVENTORY.md` so new unsafe
+//! cannot land without a visible diff.
+
+use crate::items::ItemTracker;
+use crate::scan::SourceFile;
+use crate::{Lint, Violation};
+
+/// How many lines above an `unsafe` token a `SAFETY:` comment may sit
+/// (multi-line rationales and a shared comment over adjacent sites are
+/// normal; anything further away has drifted from the code).
+const SAFETY_WINDOW: u32 = 8;
+
+/// One audited `unsafe` occurrence.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    pub file: String,
+    pub line: u32,
+    /// `"block"`, `"fn"`, `"impl"`, or `"trait"`.
+    pub kind: &'static str,
+    /// Human context: the enclosing function for blocks, the item's
+    /// own signature for fns/impls.
+    pub context: String,
+    /// The SAFETY rationale, when present.
+    pub rationale: Option<String>,
+}
+
+/// Scans one file for `unsafe` sites; appends to `sites` (for the
+/// inventory) and to `out` (for missing rationales).
+pub fn run(file: &SourceFile, sites: &mut Vec<UnsafeSite>, out: &mut Vec<Violation>) {
+    let mut tracker = ItemTracker::new();
+    for (i, token) in file.tokens.iter().enumerate() {
+        if token.ident() != Some("unsafe") {
+            tracker.observe(token);
+            continue;
+        }
+        let line = token.line;
+        let next = file.tokens.get(i + 1);
+        let (kind, context) = match next.and_then(|t| t.ident()) {
+            Some("fn") => {
+                let name = file
+                    .tokens
+                    .get(i + 2)
+                    .and_then(|t| t.ident())
+                    .unwrap_or("<anonymous>");
+                ("fn", format!("`fn {name}`"))
+            }
+            Some("impl") => {
+                let mut sig = String::from("impl");
+                for t in &file.tokens[i + 2..] {
+                    if t.is_punct('{') || t.is_punct(';') {
+                        break;
+                    }
+                    if let Some(id) = t.ident() {
+                        sig.push(' ');
+                        sig.push_str(id);
+                    }
+                }
+                ("impl", format!("`{sig}`"))
+            }
+            Some("trait") => {
+                let name = file
+                    .tokens
+                    .get(i + 2)
+                    .and_then(|t| t.ident())
+                    .unwrap_or("<anonymous>");
+                ("trait", format!("`trait {name}`"))
+            }
+            _ => ("block", tracker.context()),
+        };
+        let rationale = file.safety_rationale(line, SAFETY_WINDOW);
+        if rationale.is_none() {
+            out.push(Violation {
+                lint: Lint::UnsafeAudit,
+                file: file.rel_path.clone(),
+                line,
+                message: format!(
+                    "unsafe {kind} in {context} has no `// SAFETY:` comment within \
+                     {SAFETY_WINDOW} lines"
+                ),
+            });
+        }
+        sites.push(UnsafeSite {
+            file: file.rel_path.clone(),
+            line,
+            kind,
+            context,
+            rationale,
+        });
+        tracker.observe(token);
+    }
+}

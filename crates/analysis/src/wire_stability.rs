@@ -1,0 +1,164 @@
+//! wire-stability: the protocol's frame tags and error codes are
+//! extracted from `crates/wire` *source* and cross-checked against the
+//! golden tables in `docs/PROTOCOL.md`. A tag or code can then only
+//! change with a matching (reviewed) doc edit — the wire format cannot
+//! drift silently.
+
+use crate::lexer::{Tok, Token};
+use crate::scan::SourceFile;
+use crate::{Lint, Violation};
+
+/// Cross-checks `frame.rs` against the protocol document text.
+pub fn run(frame: &SourceFile, protocol_md: &str, out: &mut Vec<Violation>) {
+    let mut push = |line: u32, message: String| {
+        out.push(Violation {
+            lint: Lint::WireStability,
+            file: frame.rel_path.clone(),
+            line,
+            message,
+        });
+    };
+
+    // --- Error codes: `enum ErrorCode { Name = N, ... }` ---
+    let codes = error_codes(&frame.tokens);
+    if codes.is_empty() {
+        push(
+            1,
+            "could not extract any `Name = N` discriminants from `enum ErrorCode` — \
+             the extraction itself has rotted; fix the lint or the enum"
+                .to_owned(),
+        );
+    }
+    let doc_codes = table_codes(protocol_md);
+    for (name, value, line) in &codes {
+        if !doc_codes.contains(value) {
+            push(
+                *line,
+                format!(
+                    "error code `{name} = {value}` is not documented in the \
+                     docs/PROTOCOL.md error-code table"
+                ),
+            );
+        }
+    }
+    for value in &doc_codes {
+        if !codes.iter().any(|(_, v, _)| v == value) {
+            push(
+                1,
+                format!(
+                    "docs/PROTOCOL.md documents error code {value}, which `enum ErrorCode` \
+                     does not define — codes are append-only, never removed"
+                ),
+            );
+        }
+    }
+
+    // --- Frame tags: the string literals returned by `fn tag` ---
+    let tags = tag_strings(&frame.tokens);
+    if tags.is_empty() {
+        push(
+            1,
+            "could not extract any tag string literals from `fn tag` — the extraction \
+             itself has rotted; fix the lint or the function"
+                .to_owned(),
+        );
+    }
+    for (tag, line) in &tags {
+        let needle = format!("\"type\":\"{tag}\"");
+        if !protocol_md.contains(&needle) {
+            push(
+                *line,
+                format!(
+                    "frame tag \"{tag}\" has no `{needle}` example in docs/PROTOCOL.md — \
+                     every frame type must be documented"
+                ),
+            );
+        }
+    }
+}
+
+/// `(name, discriminant, line)` triples from `enum ErrorCode`.
+fn error_codes(toks: &[Token]) -> Vec<(String, u16, u32)> {
+    let mut out = Vec::new();
+    let Some(body) = item_body(toks, "enum", "ErrorCode") else {
+        return out;
+    };
+    let mut i = body.0;
+    while i + 2 < body.1 {
+        if let (Tok::Ident(name), Tok::Punct('='), Tok::Num(num)) =
+            (&toks[i].tok, &toks[i + 1].tok, &toks[i + 2].tok)
+        {
+            if let Ok(v) = num.parse::<u16>() {
+                out.push((name.clone(), v, toks[i].line));
+            }
+            i += 3;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// `(tag, line)` pairs: every string literal inside `fn tag`.
+fn tag_strings(toks: &[Token]) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let Some(body) = item_body(toks, "fn", "tag") else {
+        return out;
+    };
+    for t in &toks[body.0..body.1] {
+        if let Tok::Str(s) = &t.tok {
+            out.push((s.clone(), t.line));
+        }
+    }
+    out
+}
+
+/// Token range `(start, end)` of the brace-delimited body of
+/// `<kw> <name>`.
+fn item_body(toks: &[Token], kw: &str, name: &str) -> Option<(usize, usize)> {
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].ident() == Some(kw) && toks[i + 1].ident() == Some(name) {
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct('{') {
+                if toks[j].is_punct(';') {
+                    break;
+                }
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct('{') {
+                let mut depth = 1usize;
+                let start = j + 1;
+                let mut k = start;
+                while k < toks.len() && depth > 0 {
+                    if toks[k].is_punct('{') {
+                        depth += 1;
+                    } else if toks[k].is_punct('}') {
+                        depth -= 1;
+                    }
+                    k += 1;
+                }
+                return Some((start, k.saturating_sub(1)));
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Error codes from the markdown table: rows are `| N | meaning | … |`.
+fn table_codes(protocol_md: &str) -> Vec<u16> {
+    let mut out = Vec::new();
+    for line in protocol_md.lines() {
+        let line = line.trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        if let Some(cell) = line.split('|').nth(1) {
+            if let Ok(v) = cell.trim().parse::<u16>() {
+                out.push(v);
+            }
+        }
+    }
+    out
+}

@@ -7,6 +7,10 @@
 //! 4. bitwidth sweep around Table I (output format precision);
 //! 5. online (1-pass) vs explicit-max (2-pass) input traffic.
 
+// No unsafe code in this crate, enforced by the compiler; the
+// workspace-wide unsafe audit lives in `softermax-analysis`.
+#![forbid(unsafe_code)]
+
 use softermax::kernel::SoftermaxFixedKernel;
 use softermax::{Base, MaxMode, SoftermaxConfig};
 use softermax_bench::{measure_fidelity, print_header, registry};

@@ -5,6 +5,10 @@
 //! on the same quantized inputs, then annotated with its hardware
 //! posture from the kernel descriptor.
 
+// No unsafe code in this crate, enforced by the compiler; the
+// workspace-wide unsafe audit lives in `softermax-analysis`.
+#![forbid(unsafe_code)]
+
 use softermax::kernel::NormalizationKind;
 use softermax_bench::{measure_fidelity, print_header, registry};
 

@@ -3,6 +3,10 @@
 //! conventional (DesignWare FP16) hardware — showing softmax becoming a
 //! first-order cost — and the same breakdown with Softermax units.
 
+// No unsafe code in this crate, enforced by the compiler; the
+// workspace-wide unsafe audit lives in `softermax-analysis`.
+#![forbid(unsafe_code)]
+
 use softermax_bench::print_header;
 use softermax_hw::accel::Accelerator;
 use softermax_hw::pe::PeConfig;

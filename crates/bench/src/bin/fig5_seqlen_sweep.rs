@@ -2,6 +2,10 @@
 //! DesignWare baseline for the SELF+Softmax workload as sequence length
 //! grows, for both 16-wide and 32-wide configurations.
 
+// No unsafe code in this crate, enforced by the compiler; the
+// workspace-wide unsafe audit lives in `softermax-analysis`.
+#![forbid(unsafe_code)]
+
 use softermax_bench::print_header;
 use softermax_hw::accel::Accelerator;
 use softermax_hw::pe::PeConfig;

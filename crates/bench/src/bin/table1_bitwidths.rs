@@ -2,6 +2,10 @@
 //! in `SoftermaxConfig::paper()`, cross-checked against the formats module
 //! of `softermax-fixed`.
 
+// No unsafe code in this crate, enforced by the compiler; the
+// workspace-wide unsafe audit lives in `softermax-analysis`.
+#![forbid(unsafe_code)]
+
 use softermax::SoftermaxConfig;
 use softermax_bench::print_header;
 

@@ -2,6 +2,10 @@
 //! parameters as encoded in `PeConfig::paper_16()/paper_32()` and the
 //! technology assumptions of the cost model.
 
+// No unsafe code in this crate, enforced by the compiler; the
+// workspace-wide unsafe audit lives in `softermax-analysis`.
+#![forbid(unsafe_code)]
+
 use softermax_bench::print_header;
 use softermax_hw::pe::PeConfig;
 use softermax_hw::tech::TechParams;

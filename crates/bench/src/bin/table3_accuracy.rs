@@ -12,6 +12,10 @@
 //! A second table reports distributional fidelity of the Softermax
 //! operator itself on calibrated attention-score rows.
 
+// No unsafe code in this crate, enforced by the compiler; the
+// workspace-wide unsafe audit lives in `softermax-analysis`.
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 
 use softermax_bench::{measure_fidelity, print_header, registry};

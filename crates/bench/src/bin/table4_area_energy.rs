@@ -2,6 +2,10 @@
 //! energy, at the unit level and integrated into a 32-wide PE, for the
 //! SQuAD workload (sequence length 384).
 
+// No unsafe code in this crate, enforced by the compiler; the
+// workspace-wide unsafe audit lives in `softermax-analysis`.
+#![forbid(unsafe_code)]
+
 use softermax::SoftermaxConfig;
 use softermax_bench::{fmt_ratio, print_header};
 use softermax_hw::accel::Accelerator;

@@ -125,6 +125,10 @@
 //!   --out              output JSON path (BENCH_PR2/../PR9.json by mode)
 //! ```
 
+// Unsafe is audited (docs/UNSAFE_INVENTORY.md); inside `unsafe fn`,
+// each unsafe operation still needs its own explicit block.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -756,10 +760,14 @@ fn measure_triad_bandwidth(smoke: bool) -> f64 {
 fn tsc_per_ns() -> Option<f64> {
     use std::arch::x86_64::_rdtsc;
     let t0 = std::time::Instant::now();
+    // SAFETY: `_rdtsc` reads the timestamp counter; it has no memory
+    // or alignment preconditions and is available on every x86_64
+    // (this whole function is gated on that target_arch).
     let c0 = unsafe { _rdtsc() };
     while t0.elapsed() < Duration::from_millis(25) {
         std::hint::spin_loop();
     }
+    // SAFETY: as above — no preconditions on x86_64.
     let c1 = unsafe { _rdtsc() };
     let dt_ns = t0.elapsed().as_nanos() as f64;
     let cycles = c1.wrapping_sub(c0) as f64;

@@ -15,6 +15,10 @@
 //!
 //! Criterion benches for the software kernels live in `benches/`.
 
+// No unsafe code in this crate, enforced by the compiler; the
+// workspace-wide unsafe audit lives in `softermax-analysis`.
+#![forbid(unsafe_code)]
+
 use softermax::kernel::{BaseKind, KernelRegistry, ScratchBuffers, SoftmaxKernel};
 use softermax::metrics;
 

@@ -9,6 +9,10 @@
 //! softermax config                    # print the paper configuration
 //! ```
 
+// No unsafe code in this crate, enforced by the compiler; the
+// workspace-wide unsafe audit lives in `softermax-analysis`.
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 mod commands;

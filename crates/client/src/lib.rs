@@ -23,6 +23,10 @@
 //! only, matching the repo's no-external-runtime rule): the bench
 //! harness runs one client per OS thread.
 
+// No unsafe code in this crate, enforced by the compiler; the
+// workspace-wide unsafe audit lives in `softermax-analysis`.
+#![forbid(unsafe_code)]
+
 use std::collections::VecDeque;
 use std::fmt;
 use std::io::{Read, Write};
@@ -432,7 +436,8 @@ impl Client {
     /// [`ClientError::Frame`] / [`ClientError::ConnectionLost`] /
     /// [`ClientError::Connect`] as above.
     pub fn submit(&mut self, mut request: SubmitRequest) -> Result<u64, ClientError> {
-        request.id = self.next_id;
+        let id = self.next_id;
+        request.id = id;
         self.next_id += 1;
         let frame = Frame::Submit(request);
         if let Err(e) = self.send(&frame) {
@@ -452,10 +457,6 @@ impl Client {
                 other => return Err(other),
             }
         }
-        let id = match &frame {
-            Frame::Submit(r) => r.id,
-            _ => unreachable!("frame built as Submit above"),
-        };
         self.pending.push_back(id);
         Ok(id)
     }

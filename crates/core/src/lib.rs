@@ -39,6 +39,10 @@
 //! # Ok::<(), softermax::SoftmaxError>(())
 //! ```
 
+// No unsafe code in this crate, enforced by the compiler; the
+// workspace-wide unsafe audit lives in `softermax-analysis`.
+#![forbid(unsafe_code)]
+
 mod config;
 mod error;
 

@@ -35,6 +35,10 @@
 //! let y = x.requantize(QFormat::unsigned(1, 15), Rounding::Nearest);
 //! assert_eq!(y.to_f64(), 0.0); // negative values saturate to 0 in unsigned
 //! ```
+
+// Unsafe is audited (docs/UNSAFE_INVENTORY.md); inside `unsafe fn`,
+// each unsafe operation still needs its own explicit block.
+#![deny(unsafe_op_in_unsafe_fn)]
 #![cfg_attr(feature = "portable-simd", feature(portable_simd))]
 
 mod error;

@@ -27,6 +27,10 @@
 //! assert_eq!(Half::from_f64(65520.0), Half::INFINITY); // overflow rounds up
 //! ```
 
+// No unsafe code in this crate, enforced by the compiler; the
+// workspace-wide unsafe audit lives in `softermax-analysis`.
+#![forbid(unsafe_code)]
+
 mod half;
 pub mod softmax;
 

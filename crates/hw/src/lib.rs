@@ -39,6 +39,10 @@
 //! assert!(improvement > 1.0); // Softermax wins on energy
 //! ```
 
+// No unsafe code in this crate, enforced by the compiler; the
+// workspace-wide unsafe audit lives in `softermax-analysis`.
+#![forbid(unsafe_code)]
+
 pub mod accel;
 pub mod component;
 pub mod pe;

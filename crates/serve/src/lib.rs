@@ -123,6 +123,10 @@
 //!
 //! [`PeConfig::n_lanes`]: softermax_hw::pe::PeConfig
 
+// Unsafe is audited (docs/UNSAFE_INVENTORY.md); inside `unsafe fn`,
+// each unsafe operation still needs its own explicit block.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod config;
 mod engine;
 pub mod fault;

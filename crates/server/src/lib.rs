@@ -39,6 +39,10 @@
 //! frame and a close — the loopback tests drive both paths, hostile
 //! client included.
 
+// No unsafe code in this crate, enforced by the compiler; the
+// workspace-wide unsafe audit lives in `softermax-analysis`.
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -47,7 +51,7 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -197,6 +201,17 @@ impl Write for Conn {
     }
 }
 
+/// Locks with poison recovery: a panicking thread elsewhere must not
+/// cascade a panic into every connection that touches the same lock.
+/// All server state stays coherent under recovery (counters are
+/// monotonic, the connection map is re-derived at drain), so the guard
+/// is taken over rather than propagated — the same policy as
+/// `softermax-serve`.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    // analysis:allow(lock-discipline): the blessed recovery helper all declared locks funnel through; receivers are checked at every call site
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// The bounded per-connection in-flight window: the reader acquires a
 /// slot per submission, the writer releases it once the reply is on
 /// the wire.
@@ -216,15 +231,15 @@ impl Window {
     }
 
     fn acquire(&self) {
-        let mut n = self.open.lock().expect("window lock poisoned");
+        let mut n = lock(&self.open);
         while *n >= self.max {
-            n = self.freed.wait(n).expect("window lock poisoned");
+            n = self.freed.wait(n).unwrap_or_else(PoisonError::into_inner);
         }
         *n += 1;
     }
 
     fn release(&self) {
-        let mut n = self.open.lock().expect("window lock poisoned");
+        let mut n = lock(&self.open);
         *n = n.saturating_sub(1);
         drop(n);
         self.freed.notify_one();
@@ -271,14 +286,14 @@ struct ConnEntry {
 impl Shared {
     fn begin_drain(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        let mut draining = self.draining.lock().expect("drain lock poisoned");
+        let mut draining = lock(&self.draining);
         *draining = true;
         drop(draining);
         self.drain_bell.notify_all();
     }
 
     fn is_draining(&self) -> bool {
-        *self.draining.lock().expect("drain lock poisoned")
+        *lock(&self.draining)
     }
 }
 
@@ -374,13 +389,13 @@ impl Server {
     #[must_use = "the drained-connection count is the drain's receipt"]
     pub fn run(self) -> usize {
         {
-            let mut draining = self.shared.draining.lock().expect("drain lock poisoned");
+            let mut draining = lock(&self.shared.draining);
             while !*draining {
                 draining = self
                     .shared
                     .drain_bell
                     .wait(draining)
-                    .expect("drain lock poisoned");
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         }
         // 1. Stop accepting: flag is set; accept loops notice and exit
@@ -392,7 +407,7 @@ impl Server {
         //    taking new frames. Accept threads are joined, so no new
         //    entries can appear behind this sweep.
         let entries: Vec<ConnEntry> = {
-            let mut conns = self.shared.conns.lock().expect("conn lock poisoned");
+            let mut conns = lock(&self.shared.conns);
             conns.drain().map(|(_, e)| e).collect()
         };
         for entry in &entries {
@@ -467,7 +482,7 @@ fn spawn_connection(shared: &Arc<Shared>, conn: Conn) {
         reader_loop(&reader_shared, conn_id, read_half, &reader_window, &tx);
     });
     let writer = thread::spawn(move || writer_loop(write_half, &rx, &window));
-    let mut conns = shared.conns.lock().expect("conn lock poisoned");
+    let mut conns = lock(&shared.conns);
     conns.insert(
         conn_id,
         ConnEntry {
@@ -601,7 +616,7 @@ fn reader_loop(
     // (dropping the JoinHandles detaches the already-exiting threads);
     // during a drain the entry stays put for Server::run to join.
     if !shared.is_draining() {
-        let mut conns = shared.conns.lock().expect("conn lock poisoned");
+        let mut conns = lock(&shared.conns);
         conns.remove(&conn_id);
     }
 }

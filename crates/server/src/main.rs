@@ -15,6 +15,10 @@
 //! serves until a client sends a `Shutdown` frame, drains in-flight
 //! work, prints `drained N connections`, and exits 0.
 
+// No unsafe code in this crate, enforced by the compiler; the
+// workspace-wide unsafe audit lives in `softermax-analysis`.
+#![forbid(unsafe_code)]
+
 use std::io::Write;
 use std::process::ExitCode;
 

@@ -40,6 +40,10 @@
 //! assert_eq!(model.softmax_name(), "softermax");
 //! ```
 
+// No unsafe code in this crate, enforced by the compiler; the
+// workspace-wide unsafe audit lives in `softermax-analysis`.
+#![forbid(unsafe_code)]
+
 pub mod attention;
 pub mod model;
 pub mod nn;

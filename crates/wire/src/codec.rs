@@ -203,19 +203,20 @@ pub fn read_frame_capped<R: Read>(r: &mut R, cap: u32) -> Result<Frame, FrameErr
         n if n < HEADER_BYTES => return Err(FrameError::Truncated),
         _ => {}
     }
-    if header[0..4] != MAGIC {
-        return Err(FrameError::BadMagic([
-            header[0], header[1], header[2], header[3],
-        ]));
+    // Destructuring the fixed-size header is panic-free by
+    // construction — no offset arithmetic to get wrong.
+    let [m0, m1, m2, m3, v0, v1, l0, l1, l2, l3] = header;
+    if [m0, m1, m2, m3] != MAGIC {
+        return Err(FrameError::BadMagic([m0, m1, m2, m3]));
     }
-    let version = u16::from_be_bytes([header[4], header[5]]);
+    let version = u16::from_be_bytes([v0, v1]);
     if version != PROTOCOL_VERSION {
         return Err(FrameError::VersionMismatch {
             got: version,
             want: PROTOCOL_VERSION,
         });
     }
-    let len = u32::from_be_bytes([header[6], header[7], header[8], header[9]]);
+    let len = u32::from_be_bytes([l0, l1, l2, l3]);
     if len > cap {
         // Reject on the declared length alone: not one body byte is
         // read, so a hostile 4 GiB declaration costs nothing.
@@ -237,6 +238,7 @@ pub fn read_frame_capped<R: Read>(r: &mut R, cap: u32) -> Result<Frame, FrameErr
 fn fill<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<usize> {
     let mut read = 0;
     while read < buf.len() {
+        // analysis:allow(panic-surface): `read < buf.len()` is the loop condition, so the range start is always in bounds
         match r.read(&mut buf[read..]) {
             Ok(0) => break,
             Ok(n) => read += n,

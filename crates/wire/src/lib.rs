@@ -35,6 +35,10 @@
 //! [`codec::tests`] hold a golden encoding so the documented bytes and
 //! the implementation cannot drift apart silently.
 
+// No unsafe code in this crate, enforced by the compiler; the
+// workspace-wide unsafe audit lives in `softermax-analysis`.
+#![forbid(unsafe_code)]
+
 pub mod codec;
 pub mod frame;
 pub mod types;

@@ -7,6 +7,10 @@
 //! budget is spent, and report mean ns/iteration (plus throughput when
 //! declared). No statistical analysis, plots, or saved baselines.
 
+// No unsafe code in this crate, enforced by the compiler; the
+// workspace-wide unsafe audit lives in `softermax-analysis`.
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
 use std::time::{Duration, Instant};

@@ -11,6 +11,10 @@
 //! * seeding is deterministic per test name, so failures reproduce, and
 //!   `PROPTEST_SEED` perturbs the whole run when set.
 
+// No unsafe code in this crate, enforced by the compiler; the
+// workspace-wide unsafe audit lives in `softermax-analysis`.
+#![forbid(unsafe_code)]
+
 pub mod collection;
 pub mod strategy;
 pub mod test_runner;

@@ -8,6 +8,10 @@
 //! enough for test fixtures and weight initialization. Not
 //! cryptographically secure (neither is the code that calls it).
 
+// No unsafe code in this crate, enforced by the compiler; the
+// workspace-wide unsafe audit lives in `softermax-analysis`.
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// A source of random 64-bit words.

@@ -14,6 +14,10 @@
 //! Rendering/parsing of the `Value` tree as JSON text lives in the
 //! sibling `serde_json` shim.
 
+// No unsafe code in this crate, enforced by the compiler; the
+// workspace-wide unsafe audit lives in `softermax-analysis`.
+#![forbid(unsafe_code)]
+
 mod de;
 mod ser;
 mod value;

@@ -14,6 +14,10 @@
 //! unsupported; the macros panic with a clear message if they appear,
 //! so a future user hits a compile error rather than silent misbehavior.
 
+// No unsafe code in this crate, enforced by the compiler; the
+// workspace-wide unsafe audit lives in `softermax-analysis`.
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[derive(Debug)]

@@ -3,6 +3,10 @@
 //! [`json!`] macro covering the literal-keyed object/array forms this
 //! workspace uses.
 
+// No unsafe code in this crate, enforced by the compiler; the
+// workspace-wide unsafe audit lives in `softermax-analysis`.
+#![forbid(unsafe_code)]
+
 mod parse;
 
 pub use parse::from_str_value;

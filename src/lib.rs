@@ -5,6 +5,10 @@
 //! runnable examples (`examples/`). It re-exports the member crates so
 //! downstream experiments can depend on a single name.
 
+// No unsafe code in this crate, enforced by the compiler; the
+// workspace-wide unsafe audit lives in `softermax-analysis`.
+#![forbid(unsafe_code)]
+
 pub use softermax;
 pub use softermax_fixed;
 pub use softermax_hw;
